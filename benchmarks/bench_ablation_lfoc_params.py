@@ -1,0 +1,68 @@
+"""Ablation — LFOC's design parameters.
+
+DESIGN.md calls out the design choices inherited from the optimal-solution
+analysis (Section 3): confining streaming applications to at most two 1-way
+clusters, and driving the lookahead allocation with slowdown tables rather
+than MPKI tables.  This benchmark quantifies both choices on the 8-application
+S workloads.
+"""
+
+import numpy as np
+from conftest import full_scale, save_result
+
+from repro.analysis.reporting import format_table
+from repro.core import LfocParams
+from repro.hardware import skylake_gold_6138
+from repro.policies import LfocPolicy, UcpPolicy
+from repro.simulator import ClusteringEstimator
+from repro.workloads import static_study_workloads
+
+
+def _evaluate(policy, workloads, platform):
+    values = []
+    for workload in workloads:
+        profiles = workload.profiles(platform.llc_ways)
+        estimator = ClusteringEstimator(platform, profiles)
+        baseline = estimator.evaluate_unpartitioned(list(profiles))
+        estimate = estimator.evaluate_allocation(policy.allocate(profiles, platform))
+        values.append(estimate.unfairness / baseline.unfairness)
+    return float(np.mean(values))
+
+
+def _run_ablation():
+    platform = skylake_gold_6138()
+    workloads = static_study_workloads(max_size=None if full_scale() else 8)
+    variants = {
+        "LFOC (default: <=2 streaming ways)": LfocPolicy(),
+        "LFOC (1 streaming way)": LfocPolicy(LfocParams(max_streaming_ways_total=1)),
+        "LFOC (4 streaming ways)": LfocPolicy(LfocParams(max_streaming_ways_total=4)),
+        "LFOC (no light-app gaps)": LfocPolicy(LfocParams(gaps_per_streaming=0)),
+        "UCP lookahead on MPKI (throughput flavour)": UcpPolicy(metric="mpki"),
+        "UCP lookahead on slowdown (fairness flavour)": UcpPolicy(metric="slowdown"),
+    }
+    results = {}
+    for label, policy in variants.items():
+        try:
+            results[label] = _evaluate(policy, workloads, platform)
+        except Exception:  # UCP is infeasible for n > k workloads
+            results[label] = float("nan")
+    return results
+
+
+def test_ablation_lfoc_parameters(benchmark):
+    results = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["variant", "mean normalised unfairness"],
+        [[label, f"{value:.3f}"] for label, value in results.items()],
+    )
+    save_result("ablation_lfoc_params", table)
+
+    default = results["LFOC (default: <=2 streaming ways)"]
+    # The default configuration improves fairness...
+    assert default < 1.0
+    # ...and driving lookahead with slowdown tables is at least as fair as the
+    # throughput-oriented MPKI tables (the design choice of Section 2.3.1).
+    slowdown_flavour = results["UCP lookahead on slowdown (fairness flavour)"]
+    mpki_flavour = results["UCP lookahead on MPKI (throughput flavour)"]
+    if not (np.isnan(slowdown_flavour) or np.isnan(mpki_flavour)):
+        assert slowdown_flavour <= mpki_flavour + 0.02

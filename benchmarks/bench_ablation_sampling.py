@@ -1,0 +1,72 @@
+"""Ablation — the early-stopping sampling mode (Section 4.2).
+
+LFOC's sampling sweep stops as soon as extra ways cannot change the outcome,
+instead of sweeping every way count as KPart does.  This benchmark measures
+how many way counts each strategy visits per application class, and checks the
+classification outcome is unaffected.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.analysis.reporting import format_table
+from repro.apps import build_profile
+from repro.core import AppClass, classify_profile
+from repro.hardware import skylake_gold_6138
+from repro.hardware.pmc import DerivedMetrics
+from repro.runtime import SamplingConfig, SamplingSession
+
+
+def _sweep(benchmark_name: str, flat_ipc_gain: float) -> tuple:
+    """Run one sampling sweep against the alone-run profile of a benchmark."""
+    platform = skylake_gold_6138()
+    profile = build_profile(benchmark_name, platform.llc_ways)
+    config = SamplingConfig(flat_ipc_gain=flat_ipc_gain)
+    session = SamplingSession(benchmark_name, ["other"], platform.llc_ways, config)
+    while not session.finished:
+        ways = session.current_ways
+        metrics = DerivedMetrics(
+            ipc=profile.ipc_at(ways),
+            llcmpkc=profile.llcmpkc_at(ways),
+            llcmpki=profile.mpki_at(ways),
+            stall_fraction=profile.stall_fraction_at(ways, platform),
+            instructions=10e6,
+            cycles=10e6 / profile.ipc_at(ways),
+        )
+        session.record_step(metrics)
+    outcome = session.outcome()
+    return len(outcome.ways_visited), outcome.app_class
+
+
+def _run_ablation():
+    benchmarks = ["lbm06", "libquantum06", "gamess06", "namd06", "xalancbmk06", "soplex06"]
+    rows = {}
+    for name in benchmarks:
+        early_steps, early_class = _sweep(name, flat_ipc_gain=0.02)
+        # Disabling the flat-IPC early stop approximates KPart's full sweep.
+        full_steps, full_class = _sweep(name, flat_ipc_gain=1e-9)
+        rows[name] = (early_steps, full_steps, early_class.value, full_class.value)
+    return rows
+
+
+def test_ablation_sampling_early_stop(benchmark):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["benchmark", "steps (early stop)", "steps (full sweep)", "class", "class (full)"],
+        [[name, *map(str, values)] for name, values in rows.items()],
+    )
+    save_result("ablation_sampling_early_stop", table)
+
+    reference = {
+        name: classify_profile(build_profile(name, 11)).value for name in rows
+    }
+    for name, (early_steps, full_steps, early_class, full_class) in rows.items():
+        # Early stopping never visits more way counts than the full sweep and
+        # does not change the classification outcome.
+        assert early_steps <= full_steps
+        assert early_class == full_class == reference[name]
+    # Streaming and light-sharing programs are identified with only a few steps
+    # (this is the overhead reduction claimed in Section 4.2).
+    assert rows["lbm06"][0] <= 3
+    assert rows["gamess06"][0] <= 2
+    assert rows["xalancbmk06"][0] >= 4

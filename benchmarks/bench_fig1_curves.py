@@ -1,0 +1,15 @@
+"""Fig. 1 — slowdown and LLCMPKC vs way count for lbm and xalancbmk."""
+
+from conftest import save_result
+
+from repro.analysis import fig1_curves, render_fig1
+
+
+def test_fig1_curves(benchmark):
+    data = benchmark(fig1_curves)
+    save_result("fig1_curves", render_fig1(data))
+    # Shape checks: lbm is flat and miss-heavy, xalancbmk climbs steeply.
+    assert max(data["lbm06"]["slowdown"]) < 1.06
+    assert min(data["lbm06"]["llcmpkc"]) > 10
+    assert data["xalancbmk06"]["slowdown"][0] > 1.5
+    assert data["xalancbmk06"]["llcmpkc"][0] > data["xalancbmk06"]["llcmpkc"][-1]

@@ -1,0 +1,34 @@
+"""Fig. 2 — composition of the fairness-optimal clustering by cluster size."""
+
+from conftest import full_scale, save_result
+
+from repro.analysis import fig2_optimal_breakdown, render_fig2
+
+
+def test_fig2_optimal_breakdown(benchmark):
+    if full_scale():
+        # Paper configuration: 20 mixes of 10 applications (local search is
+        # used beyond the exact-solver limit).
+        kwargs = dict(n_workloads=20, workload_size=10, exact_limit=8)
+    else:
+        kwargs = dict(n_workloads=6, workload_size=7, exact_limit=8)
+    breakdown = benchmark.pedantic(
+        fig2_optimal_breakdown, kwargs=kwargs, rounds=1, iterations=1
+    )
+    save_result("fig2_optimal_breakdown", render_fig2(breakdown))
+
+    cluster_count = breakdown["cluster_count"]
+    streaming = breakdown["streaming"]
+    sensitive = breakdown["sensitive"]
+    # Streaming applications are confined to small (1-2 way) clusters...
+    small_streaming = sum(
+        streaming.get(size, 0.0) * cluster_count[size] for size in cluster_count if size <= 2
+    )
+    total_streaming = sum(
+        streaming.get(size, 0.0) * cluster_count[size] for size in cluster_count
+    )
+    assert total_streaming == 0 or small_streaming / total_streaming > 0.8
+    # ...while sensitive applications dominate the bigger clusters.
+    big_sizes = [size for size in cluster_count if size >= 4]
+    if big_sizes:
+        assert any(sensitive.get(size, 0.0) > 0 for size in big_sizes)

@@ -1,0 +1,23 @@
+"""Fig. 3 — unfairness of optimal partitioning normalised to optimal clustering."""
+
+from conftest import full_scale, save_result
+
+from repro.analysis import fig3_clustering_vs_partitioning, render_fig3
+
+
+def test_fig3_clustering_vs_partitioning(benchmark):
+    if full_scale():
+        kwargs = dict(app_counts=(4, 5, 6, 7, 8, 9, 10, 11), workloads_per_count=3)
+    else:
+        kwargs = dict(app_counts=(4, 5, 6, 7), workloads_per_count=2)
+    ratios = benchmark.pedantic(
+        fig3_clustering_vs_partitioning, kwargs=kwargs, rounds=1, iterations=1
+    )
+    save_result("fig3_clustering_vs_partitioning", render_fig3(ratios))
+
+    counts = sorted(ratios)
+    # Clustering is never worse than strict partitioning (it is a superset)...
+    assert all(ratios[c] >= 1.0 - 1e-9 for c in counts)
+    # ...and the advantage grows as the application count approaches the way
+    # count (Fig. 3 climbs towards ~1.3-1.4x at 10-11 applications).
+    assert ratios[counts[-1]] >= ratios[counts[0]] - 0.05

@@ -1,0 +1,24 @@
+"""Fig. 4 — LLCMPKC of fotonik3d over time (phase behaviour)."""
+
+from conftest import save_result
+
+from repro.analysis import fig4_fotonik3d_trace, format_table
+
+
+def test_fig4_phase_trace(benchmark):
+    trace = benchmark(fig4_fotonik3d_trace)
+    rows = [
+        [f"{t:.3f}", f"{m:.1f}"]
+        for t, m in zip(trace["time_s"], trace["llcmpkc"])
+    ]
+    save_result("fig4_phase_trace", format_table(["time (s)", "LLCMPKC"], rows))
+
+    # Fig. 4 shape: a short light-sharing prefix (low LLCMPKC) followed by a
+    # long streaming phase well above the high threshold of 10.
+    first = trace["llcmpkc"][0]
+    peak = max(trace["llcmpkc"])
+    assert first < 10.0
+    assert peak > 10.0
+    # The streaming phase dominates the trace.
+    streaming_points = sum(1 for v in trace["llcmpkc"] if v >= 10.0)
+    assert streaming_points > len(trace["llcmpkc"]) / 2

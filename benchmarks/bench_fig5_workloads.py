@@ -1,0 +1,29 @@
+"""Fig. 5 — composition matrix of the S1-S21 / P1-P15 evaluation workloads."""
+
+from conftest import save_result
+
+from repro.analysis import fig5_workload_matrix, format_table
+from repro.apps import benchmark_spec
+from repro.workloads import all_workloads
+
+
+def test_fig5_workload_matrix(benchmark):
+    matrix = benchmark(fig5_workload_matrix)
+    rows = [
+        [name, sum(counts.values()), ", ".join(f"{b}x{c}" for b, c in sorted(counts.items()))]
+        for name, counts in matrix.items()
+    ]
+    save_result("fig5_workloads", format_table(["workload", "size", "composition"], rows))
+
+    assert len(matrix) == 36
+    sizes = {sum(counts.values()) for counts in matrix.values()}
+    assert sizes == {8, 12, 16}
+    # At most two instances of a benchmark per mix, as in Fig. 5.
+    assert max(max(counts.values()) for counts in matrix.values()) <= 2
+    # P workloads contain phased applications, S workloads do not.
+    for workload in all_workloads():
+        phased = any(benchmark_spec(b).is_phased for b in workload.benchmarks)
+        if workload.name.startswith("P"):
+            assert phased
+        else:
+            assert not phased

@@ -1,0 +1,48 @@
+"""Fig. 6 — normalised unfairness and STP of the static clustering algorithms.
+
+Quick mode evaluates the 8-application S workloads; the full mode
+(``LFOC_BENCH_FULL=1``) runs all 21 S workloads as in the paper.
+"""
+
+from conftest import full_scale, save_result
+
+from repro.analysis import (
+    default_static_policies,
+    fig6_static_study,
+    render_fig6,
+    summarize_static_study,
+)
+from repro.analysis.reporting import format_table
+from repro.workloads import static_study_workloads
+
+
+def _run_study():
+    workloads = static_study_workloads(max_size=None if full_scale() else 8)
+    return fig6_static_study(workloads, policies=default_static_policies())
+
+
+def test_fig6_static_study(benchmark):
+    rows = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    summary = summarize_static_study(rows)
+    summary_table = format_table(
+        ["policy", "mean norm. unfairness", "min", "max", "mean norm. STP"],
+        [
+            [
+                policy,
+                f"{stats['mean_norm_unfairness']:.3f}",
+                f"{stats['min_norm_unfairness']:.3f}",
+                f"{stats['max_norm_unfairness']:.3f}",
+                f"{stats['mean_norm_stp']:.3f}",
+            ]
+            for policy, stats in summary.items()
+        ],
+    )
+    save_result("fig6_static_study", render_fig6(rows) + "\n\n" + summary_table)
+
+    # Headline shapes of Section 5.1.
+    assert summary["LFOC"]["mean_norm_unfairness"] < 0.95  # paper: 14% avg reduction
+    assert summary["LFOC"]["mean_norm_unfairness"] < summary["Dunn"]["mean_norm_unfairness"]
+    assert summary["LFOC"]["mean_norm_stp"] >= 1.0
+    assert summary["Best-Static"]["mean_norm_unfairness"] <= summary["LFOC"]["mean_norm_unfairness"] + 1e-9
+    gap = summary["LFOC"]["mean_norm_unfairness"] - summary["Best-Static"]["mean_norm_unfairness"]
+    assert gap < 0.08  # paper: LFOC performs within a close range of Best-Static

@@ -1,0 +1,19 @@
+"""Table 1 — classification of the benchmark catalogue."""
+
+from collections import Counter
+
+from conftest import save_result
+
+from repro.analysis import render_table1, table1_classification
+
+
+def test_table1_classification(benchmark):
+    classes = benchmark(table1_classification)
+    save_result("table1_classification", render_table1(classes))
+    counts = Counter(classes.values())
+    # All three behavioural classes are present, and — as the paper notes —
+    # most SPEC benchmarks are light sharing on this platform.
+    assert set(counts) == {"streaming", "sensitive", "light"}
+    assert counts["light"] >= counts["streaming"]
+    assert classes["lbm06"] == "streaming"
+    assert classes["xalancbmk06"] == "sensitive"

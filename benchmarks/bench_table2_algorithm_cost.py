@@ -1,0 +1,47 @@
+"""Table 2 — execution time of the LFOC and KPart clustering algorithms.
+
+Besides the aggregate Table 2 sweep, two dedicated pytest-benchmark timings
+measure each algorithm on an 8-application workload, so the relative cost
+shows up directly in the benchmark report.
+"""
+
+from conftest import save_result
+
+from repro.analysis import render_table2, table2_algorithm_cost
+from repro.hardware import skylake_gold_6138
+from repro.policies import KPartPolicy, LfocPolicy
+from repro.workloads import workload_by_name
+
+
+def test_table2_algorithm_cost(benchmark):
+    costs = benchmark.pedantic(
+        table2_algorithm_cost,
+        kwargs=dict(app_counts=(4, 5, 6, 7, 8, 9, 10, 11), repetitions=3),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2_algorithm_cost", render_table2(costs))
+    # Table 2 shape: LFOC stays orders of magnitude cheaper than KPart, and
+    # KPart's cost grows quickly with the number of applications.
+    for count, entry in costs.items():
+        assert entry["lfoc_s"] < entry["kpart_s"]
+    assert costs[11]["ratio"] > 10.0
+    assert costs[11]["kpart_s"] > costs[4]["kpart_s"]
+
+
+def _profiles():
+    platform = skylake_gold_6138()
+    workload = workload_by_name("S1")
+    return workload.profiles(platform.llc_ways), platform
+
+
+def test_lfoc_algorithm_latency(benchmark):
+    profiles, platform = _profiles()
+    policy = LfocPolicy()
+    benchmark(policy.decide, profiles, platform)
+
+
+def test_kpart_algorithm_latency(benchmark):
+    profiles, platform = _profiles()
+    policy = KPartPolicy()
+    benchmark(policy.decide, profiles, platform)

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one table or figure of the paper (see DESIGN.md for
+the experiment index).  Benchmarks default to a scaled-down configuration so
+``pytest benchmarks/ --benchmark-only`` completes in a few minutes; set
+``LFOC_BENCH_FULL=1`` to run the paper-scale configurations.
+
+Each benchmark writes the rendered table to ``benchmarks/results/<name>.txt``
+(and prints it), so the regenerated data survives pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when the paper-scale configuration was requested."""
+    return os.environ.get("LFOC_BENCH_FULL", "0") not in ("", "0", "false", "no")
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """'full' or 'quick', depending on LFOC_BENCH_FULL."""
+    return "full" if full_scale() else "quick"

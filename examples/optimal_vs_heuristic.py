@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Optimal clustering analysis (Section 3) on a small workload.
+
+Computes, for a 6-application mix:
+
+* the fairness-optimal cache *clustering* (branch-and-bound, exact);
+* the fairness-optimal strict cache *partitioning* (exact);
+* LFOC's heuristic clustering;
+
+and compares their unfairness/STP, illustrating the two findings that motivate
+LFOC's design: clustering beats strict partitioning, and the optimal solution
+confines streaming aggressors to tiny clusters — which is exactly what LFOC
+approximates with a fraction of the search cost.
+
+Run with:  python examples/optimal_vs_heuristic.py
+"""
+
+import time
+
+from repro.hardware import skylake_gold_6138
+from repro.optimal import (
+    branch_and_bound_clustering,
+    count_clustering_solutions,
+    count_partitioning_solutions,
+    optimal_partitioning,
+)
+from repro.policies import LfocPolicy
+from repro.simulator import ClusteringEstimator
+from repro.workloads import Workload
+
+
+def main() -> None:
+    platform = skylake_gold_6138()
+    workload = Workload(
+        "optimal-demo",
+        ("lbm06", "gemsfdtd06", "xalancbmk06", "soplex06", "gamess06", "namd06"),
+    )
+    profiles = workload.profiles(platform.llc_ways)
+    estimator = ClusteringEstimator(platform, profiles)
+
+    n, k = len(profiles), platform.llc_ways
+    print(
+        f"Search space for {n} applications on a {k}-way LLC: "
+        f"{count_clustering_solutions(n, k):,} clusterings, "
+        f"{count_partitioning_solutions(n, k):,} strict partitionings\n"
+    )
+
+    start = time.perf_counter()
+    clustering = branch_and_bound_clustering(platform, profiles, objective="fairness")
+    clustering_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    partitioning = optimal_partitioning(platform, profiles, objective="fairness")
+    partitioning_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    lfoc_solution = LfocPolicy().cluster(profiles, platform)
+    lfoc_time = time.perf_counter() - start
+    lfoc = estimator.evaluate(lfoc_solution)
+
+    stock = estimator.evaluate_unpartitioned(list(profiles))
+
+    print("Fairness-optimal clustering (branch and bound):")
+    print(clustering.solution.describe())
+    print(f"  unfairness={clustering.unfairness:.3f}  stp={clustering.stp:.3f}  "
+          f"candidates={clustering.candidates_evaluated}  time={clustering_time:.2f}s\n")
+
+    print("Fairness-optimal strict partitioning:")
+    print(partitioning.solution.describe())
+    print(f"  unfairness={partitioning.unfairness:.3f}  stp={partitioning.stp:.3f}  "
+          f"time={partitioning_time:.2f}s\n")
+
+    print("LFOC heuristic clustering:")
+    print(lfoc_solution.describe())
+    print(f"  unfairness={lfoc.unfairness:.3f}  stp={lfoc.stp:.3f}  "
+          f"time={lfoc_time * 1e3:.2f}ms\n")
+
+    print(f"Stock Linux (no partitioning): unfairness={stock.unfairness:.3f}  "
+          f"stp={stock.stp:.3f}\n")
+
+    gap = 100.0 * (lfoc.unfairness / clustering.unfairness - 1.0)
+    advantage = 100.0 * (partitioning.unfairness / clustering.unfairness - 1.0)
+    print(
+        f"Clustering beats strict partitioning by {advantage:.1f}% on unfairness; "
+        f"LFOC lands within {gap:.1f}% of the optimal clustering while exploring "
+        f"none of the search space."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: classify a workload, run LFOC and compare against stock Linux.
+
+This is the 60-second tour of the library:
+
+1. build the paper's Skylake platform model and a small SPEC-like workload;
+2. classify every application with the Table 1 criteria;
+3. run LFOC's clustering algorithm (Algorithm 1);
+4. predict per-application slowdowns, unfairness and STP with the contention
+   estimator, for both the unpartitioned cache and the LFOC clustering.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import classify_profiles
+from repro.hardware import skylake_gold_6138
+from repro.policies import LfocPolicy, StockLinuxPolicy
+from repro.simulator import ClusteringEstimator
+from repro.workloads import Workload
+
+
+def main() -> None:
+    platform = skylake_gold_6138()
+    print(f"Platform: {platform.name} ({platform.llc_ways}-way, {platform.llc_mb:.1f} MB LLC)\n")
+
+    # A small mix: two streaming aggressors, three cache-sensitive programs
+    # and three light-sharing ones.
+    workload = Workload(
+        "quickstart",
+        (
+            "lbm06",
+            "libquantum06",
+            "xalancbmk06",
+            "soplex06",
+            "omnetpp06",
+            "gamess06",
+            "namd06",
+            "sjeng06",
+        ),
+    )
+    profiles = workload.profiles(platform.llc_ways)
+
+    print("Application classification (Table 1 criteria):")
+    for name, klass in sorted(classify_profiles(profiles.values()).items()):
+        print(f"  {name:<16s} {klass.value}")
+    print()
+
+    clustering = LfocPolicy().cluster(profiles, platform)
+    print("LFOC clustering (Algorithm 1):")
+    print(clustering.describe())
+    print()
+
+    estimator = ClusteringEstimator(platform, profiles)
+    stock = estimator.evaluate(StockLinuxPolicy().cluster(profiles, platform))
+    lfoc = estimator.evaluate(clustering)
+
+    print("Predicted metrics (contention estimator):")
+    print(f"  {'policy':<12s} {'unfairness':>10s} {'STP':>8s}")
+    print(f"  {'Stock-Linux':<12s} {stock.unfairness:>10.3f} {stock.stp:>8.3f}")
+    print(f"  {'LFOC':<12s} {lfoc.unfairness:>10.3f} {lfoc.stp:>8.3f}")
+    reduction = 100.0 * (1.0 - lfoc.unfairness / stock.unfairness)
+    print(f"\nLFOC reduces unfairness by {reduction:.1f}% on this mix.")
+
+    print("\nWorst-off application under each policy:")
+    print(f"  Stock-Linux: {stock.metrics.worst_app()} "
+          f"(slowdown {stock.metrics.max_slowdown:.2f})")
+    print(f"  LFOC:        {lfoc.metrics.worst_app()} "
+          f"(slowdown {lfoc.metrics.max_slowdown:.2f})")
+
+
+if __name__ == "__main__":
+    main()

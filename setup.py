@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on environments whose packaging toolchain
+predates PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

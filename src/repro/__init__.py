@@ -1,0 +1,59 @@
+"""Reproduction of *LFOC: A Lightweight Fairness-Oriented Cache Clustering
+Policy for Commodity Multicores* (ICPP 2019).
+
+The package is organised by role:
+
+* :mod:`repro.hardware` -- simulated platform: CAT, CMT, resctrl, PMCs;
+* :mod:`repro.apps` -- application model (per-way curves, SPEC-like catalogue,
+  phased profiles);
+* :mod:`repro.core` -- the paper's contribution: classification, lookahead,
+  LFOC's clustering algorithm (float and kernel-style integer variants);
+* :mod:`repro.simulator` -- contention estimator (the PBBCache role);
+* :mod:`repro.optimal` -- optimal clustering / partitioning solvers;
+* :mod:`repro.policies` -- LFOC and the baselines (Dunn, KPart, UCP, stock);
+* :mod:`repro.runtime` -- event-driven OS-runtime simulation of the dynamic
+  policies;
+* :mod:`repro.workloads` -- the S/P evaluation suites and random mixes;
+* :mod:`repro.metrics` -- slowdown, unfairness, STP and friends;
+* :mod:`repro.analysis` -- builders for every table and figure of the paper.
+
+Quick start::
+
+    from repro.hardware import skylake_gold_6138
+    from repro.workloads import s_workloads
+    from repro.policies import LfocPolicy
+    from repro.simulator import ClusteringEstimator
+
+    platform = skylake_gold_6138()
+    workload = s_workloads()[0]
+    profiles = workload.profiles(platform.llc_ways)
+    clustering = LfocPolicy().cluster(profiles, platform)
+    estimate = ClusteringEstimator(platform, profiles).evaluate(clustering)
+    print(clustering.describe())
+    print(estimate.metrics.as_dict())
+"""
+
+from repro.version import PAPER, __version__
+from repro.errors import (
+    CatError,
+    ClusteringError,
+    ConfigurationError,
+    ProfileError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    WorkloadError,
+)
+
+__all__ = [
+    "PAPER",
+    "__version__",
+    "CatError",
+    "ClusteringError",
+    "ConfigurationError",
+    "ProfileError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "WorkloadError",
+]

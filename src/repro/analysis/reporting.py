@@ -1,0 +1,188 @@
+"""Plain-text rendering of the evaluation data.
+
+The benchmark harness prints the regenerated tables/figures as aligned text
+tables (the paper plots them; absolute numbers are not expected to match a
+real Skylake machine, only the shapes).  Keeping the formatting here keeps the
+benchmark modules tiny and makes the output unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.figures import DynamicStudyRow, StaticStudyRow
+
+__all__ = [
+    "format_table",
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig6",
+    "render_fig7",
+    "render_table1",
+    "render_table2",
+    "summarize_static_study",
+    "summarize_dynamic_study",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(columns), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_fig1(data: Mapping[str, Mapping[str, Sequence[float]]]) -> str:
+    rows = []
+    benchmarks = sorted(data)
+    ways = data[benchmarks[0]]["ways"]
+    for index, way in enumerate(ways):
+        row = [way]
+        for benchmark in benchmarks:
+            row.append(f"{data[benchmark]['slowdown'][index]:.3f}")
+            row.append(f"{data[benchmark]['llcmpkc'][index]:.1f}")
+        rows.append(row)
+    headers = ["ways"]
+    for benchmark in benchmarks:
+        headers.extend([f"{benchmark} slowdown", f"{benchmark} LLCMPKC"])
+    return format_table(headers, rows)
+
+
+def render_table1(classes: Mapping[str, str]) -> str:
+    return format_table(
+        ["benchmark", "class"], [[name, klass] for name, klass in sorted(classes.items())]
+    )
+
+
+def render_fig2(breakdown: Mapping[str, Mapping[int, float]]) -> str:
+    sizes = sorted(breakdown["cluster_count"])
+    rows = []
+    for size in sizes:
+        rows.append(
+            [
+                size,
+                f"{breakdown['cluster_count'][size]:.0f}",
+                f"{breakdown['streaming'].get(size, 0.0):.2f}",
+                f"{breakdown['sensitive'].get(size, 0.0):.2f}",
+                f"{breakdown['light'].get(size, 0.0):.2f}",
+            ]
+        )
+    return format_table(
+        ["cluster size (ways)", "cluster count", "avg streaming", "avg sensitive", "avg light"],
+        rows,
+    )
+
+
+def render_fig3(ratios: Mapping[int, float]) -> str:
+    rows = [[count, f"{ratio:.3f}"] for count, ratio in sorted(ratios.items())]
+    return format_table(["#applications", "partitioning unfairness / clustering"], rows)
+
+
+def render_fig6(rows: Sequence[StaticStudyRow]) -> str:
+    table_rows = [
+        [
+            row.workload,
+            row.size,
+            row.policy,
+            f"{row.normalized_unfairness:.3f}",
+            f"{row.normalized_stp:.3f}",
+        ]
+        for row in rows
+    ]
+    return format_table(
+        ["workload", "size", "policy", "norm. unfairness", "norm. STP"], table_rows
+    )
+
+
+def render_fig7(rows: Sequence[DynamicStudyRow]) -> str:
+    table_rows = [
+        [
+            row.workload,
+            row.size,
+            row.policy,
+            f"{row.normalized_unfairness:.3f}",
+            f"{row.normalized_stp:.3f}",
+            row.repartitions,
+            row.sampling_entries,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        [
+            "workload",
+            "size",
+            "policy",
+            "norm. unfairness",
+            "norm. STP",
+            "repartitions",
+            "sampling entries",
+        ],
+        table_rows,
+    )
+
+
+def render_table2(costs: Mapping[int, Mapping[str, float]]) -> str:
+    rows = []
+    for count in sorted(costs):
+        entry = costs[count]
+        rows.append(
+            [
+                count,
+                f"{entry['lfoc_s'] * 1e3:.4f}",
+                f"{entry['kpart_s'] * 1e3:.4f}",
+                f"{entry['ratio']:.0f}x",
+            ]
+        )
+    return format_table(["#apps", "LFOC (ms)", "KPart (ms)", "KPart / LFOC"], rows)
+
+
+def _per_policy(rows: Sequence, attr: str) -> Dict[str, List[float]]:
+    result: Dict[str, List[float]] = {}
+    for row in rows:
+        result.setdefault(row.policy, []).append(getattr(row, attr))
+    return result
+
+
+def summarize_static_study(rows: Sequence[StaticStudyRow]) -> Dict[str, Dict[str, float]]:
+    """Per-policy averages of the Fig. 6 data (normalised metrics)."""
+    unfairness = _per_policy(rows, "normalized_unfairness")
+    stp = _per_policy(rows, "normalized_stp")
+    return {
+        policy: {
+            "mean_norm_unfairness": float(np.mean(unfairness[policy])),
+            "min_norm_unfairness": float(np.min(unfairness[policy])),
+            "max_norm_unfairness": float(np.max(unfairness[policy])),
+            "mean_norm_stp": float(np.mean(stp[policy])),
+            "mean_unfairness_reduction_pct": float(
+                100.0 * (1.0 - np.mean(unfairness[policy]))
+            ),
+        }
+        for policy in unfairness
+    }
+
+
+def summarize_dynamic_study(rows: Sequence[DynamicStudyRow]) -> Dict[str, Dict[str, float]]:
+    """Per-policy averages of the Fig. 7 data (normalised metrics)."""
+    unfairness = _per_policy(rows, "normalized_unfairness")
+    stp = _per_policy(rows, "normalized_stp")
+    summary = {}
+    for policy in unfairness:
+        summary[policy] = {
+            "mean_norm_unfairness": float(np.mean(unfairness[policy])),
+            "mean_norm_stp": float(np.mean(stp[policy])),
+            "mean_unfairness_reduction_pct": float(
+                100.0 * (1.0 - np.mean(unfairness[policy]))
+            ),
+        }
+    return summary

@@ -1,0 +1,57 @@
+"""Application model: per-way performance curves, SPEC-like catalogue, phases."""
+
+from repro.apps.curves import (
+    CurveSet,
+    blend_curves,
+    light_curves,
+    sensitive_curves,
+    streaming_curves,
+)
+from repro.apps.profile import AppProfile, CACHE_LINE_BYTES
+from repro.apps.phases import PhasedProfile, PhaseSegment
+from repro.apps.catalog import (
+    REFERENCE_WAYS,
+    BenchmarkSpec,
+    benchmark_names,
+    benchmark_spec,
+    benchmarks_by_class,
+    build_catalog,
+    build_phased_profile,
+    build_profile,
+    expected_class,
+)
+from repro.apps.synthetic import (
+    random_light_profile,
+    random_phased_profile,
+    random_profile,
+    random_sensitive_profile,
+    random_streaming_profile,
+    random_workload_profiles,
+)
+
+__all__ = [
+    "CurveSet",
+    "blend_curves",
+    "light_curves",
+    "sensitive_curves",
+    "streaming_curves",
+    "AppProfile",
+    "CACHE_LINE_BYTES",
+    "PhasedProfile",
+    "PhaseSegment",
+    "REFERENCE_WAYS",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "benchmark_spec",
+    "benchmarks_by_class",
+    "build_catalog",
+    "build_phased_profile",
+    "build_profile",
+    "expected_class",
+    "random_light_profile",
+    "random_phased_profile",
+    "random_profile",
+    "random_sensitive_profile",
+    "random_streaming_profile",
+    "random_workload_profiles",
+]

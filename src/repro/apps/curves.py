@@ -1,0 +1,193 @@
+"""Parametric per-way performance-curve archetypes.
+
+The paper's entire analysis rests on two offline-collected curves per
+application (Fig. 1): the *slowdown* as a function of the number of LLC ways
+allotted, and the *LLC misses per kilo-cycle* (LLCMPKC).  Three behavioural
+archetypes emerge (Table 1):
+
+* **cache-sensitive** applications lose a lot of performance when squeezed —
+  the IPC curve has a steep knee, and the miss rate explodes below the knee;
+* **streaming** applications have an essentially flat IPC curve but a very
+  high miss rate at every size (their working set never fits);
+* **light-sharing** applications have both a flat IPC curve and a low miss
+  rate (their working set fits in the private levels).
+
+Since we cannot profile SPEC CPU on a CAT machine, the catalogue in
+:mod:`repro.apps.catalog` builds each benchmark's curves from these
+archetypes with per-benchmark parameters.  The generator functions here are
+pure NumPy and deterministic, so the same parameters always produce the same
+curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ProfileError
+
+__all__ = [
+    "CurveSet",
+    "sensitive_curves",
+    "streaming_curves",
+    "light_curves",
+    "blend_curves",
+]
+
+
+@dataclass(frozen=True)
+class CurveSet:
+    """Per-way performance curves over ``1..n_ways`` ways.
+
+    ``ipc[w-1]`` is the average instructions-per-cycle the application achieves
+    running *alone* with ``w`` ways; ``llcmpkc[w-1]`` the LLC misses per
+    thousand cycles in the same configuration.
+    """
+
+    ipc: np.ndarray
+    llcmpkc: np.ndarray
+
+    def __post_init__(self) -> None:
+        ipc = np.asarray(self.ipc, dtype=float)
+        llcmpkc = np.asarray(self.llcmpkc, dtype=float)
+        if ipc.ndim != 1 or llcmpkc.ndim != 1:
+            raise ProfileError("curves must be one-dimensional")
+        if ipc.shape != llcmpkc.shape:
+            raise ProfileError(
+                f"curve length mismatch: ipc has {ipc.shape[0]} points, "
+                f"llcmpkc has {llcmpkc.shape[0]}"
+            )
+        if ipc.shape[0] < 1:
+            raise ProfileError("curves need at least one way point")
+        if np.any(ipc <= 0):
+            raise ProfileError("IPC curve must be strictly positive")
+        if np.any(llcmpkc < 0):
+            raise ProfileError("LLCMPKC curve must be non-negative")
+        object.__setattr__(self, "ipc", ipc)
+        object.__setattr__(self, "llcmpkc", llcmpkc)
+
+    @property
+    def n_ways(self) -> int:
+        return int(self.ipc.shape[0])
+
+    def slowdown(self) -> np.ndarray:
+        """Slowdown table relative to the full-cache configuration (Eq. 2)."""
+        return self.ipc[-1] / self.ipc
+
+
+def _way_axis(n_ways: int) -> np.ndarray:
+    if n_ways < 1:
+        raise ProfileError(f"n_ways must be >= 1, got {n_ways}")
+    return np.arange(1, n_ways + 1, dtype=float)
+
+
+def sensitive_curves(
+    n_ways: int,
+    *,
+    ipc_full: float,
+    slowdown_at_1: float,
+    knee_ways: float,
+    llcmpkc_at_1: float,
+    llcmpkc_full: float = 0.8,
+) -> CurveSet:
+    """Curves for a cache-sensitive benchmark (e.g. ``xalancbmk`` in Fig. 1).
+
+    Parameters
+    ----------
+    ipc_full:
+        IPC with the whole LLC available.
+    slowdown_at_1:
+        Slowdown suffered with a single way (>= 1).  ``xalancbmk`` in Fig. 1
+        reaches roughly 1.8.
+    knee_ways:
+        Exponential decay constant (in ways) of the performance loss: the
+        smaller the knee, the faster the application recovers as it gains
+        space.
+    llcmpkc_at_1 / llcmpkc_full:
+        Miss rate with one way and with the full cache.  The miss curve decays
+        with the same knee as the slowdown (misses are what cause the
+        slowdown).
+    """
+    if slowdown_at_1 < 1.0:
+        raise ProfileError(f"slowdown_at_1 must be >= 1, got {slowdown_at_1}")
+    if knee_ways <= 0:
+        raise ProfileError("knee_ways must be positive")
+    ways = _way_axis(n_ways)
+    # Slowdown decays exponentially from `slowdown_at_1` (at w=1) to 1 (at w=n).
+    decay = np.exp(-(ways - 1.0) / knee_ways)
+    edge = np.exp(-(n_ways - 1.0) / knee_ways)
+    # Normalise so the last point is exactly 1.0 regardless of the knee.
+    shape = (decay - edge) / max(1.0 - edge, 1e-12)
+    slowdown = 1.0 + (slowdown_at_1 - 1.0) * shape
+    ipc = ipc_full / slowdown
+    miss_shape = shape
+    llcmpkc = llcmpkc_full + (llcmpkc_at_1 - llcmpkc_full) * miss_shape
+    return CurveSet(ipc=ipc, llcmpkc=np.maximum(llcmpkc, 0.0))
+
+
+def streaming_curves(
+    n_ways: int,
+    *,
+    ipc_full: float,
+    slowdown_at_1: float = 1.02,
+    llcmpkc: float = 30.0,
+    llcmpkc_slope: float = 0.0,
+) -> CurveSet:
+    """Curves for a streaming (aggressor, cache-insensitive) benchmark.
+
+    The IPC curve is almost flat: the working set does not fit in the LLC at
+    any allocation, so extra ways barely help (``lbm`` in Fig. 1 stays under a
+    1.03 slowdown).  The miss rate is high everywhere — these applications
+    keep inserting lines and evicting their neighbours'.
+    """
+    if not (1.0 <= slowdown_at_1 < 1.2):
+        raise ProfileError(
+            f"streaming apps have a nearly flat slowdown curve, got {slowdown_at_1}"
+        )
+    ways = _way_axis(n_ways)
+    span = max(n_ways - 1, 1)
+    slowdown = 1.0 + (slowdown_at_1 - 1.0) * (n_ways - ways) / span
+    ipc = ipc_full / slowdown
+    mpkc = llcmpkc - llcmpkc_slope * (ways - 1.0)
+    return CurveSet(ipc=ipc, llcmpkc=np.maximum(mpkc, 0.0))
+
+
+def light_curves(
+    n_ways: int,
+    *,
+    ipc_full: float,
+    slowdown_at_1: float = 1.01,
+    llcmpkc: float = 0.5,
+) -> CurveSet:
+    """Curves for a light-sharing benchmark: flat IPC, negligible LLC misses.
+
+    The working set fits in the per-core private levels, so the application is
+    neither hurt by a small allocation nor aggressive towards co-runners.
+    """
+    if llcmpkc >= 10.0:
+        raise ProfileError(
+            "a light-sharing benchmark must stay well below the streaming miss "
+            f"threshold (LLCMPKC >= 10); got {llcmpkc}"
+        )
+    ways = _way_axis(n_ways)
+    span = max(n_ways - 1, 1)
+    slowdown = 1.0 + (slowdown_at_1 - 1.0) * (n_ways - ways) / span
+    ipc = ipc_full / slowdown
+    mpkc = np.full_like(ways, float(llcmpkc))
+    return CurveSet(ipc=ipc, llcmpkc=mpkc)
+
+
+def blend_curves(a: CurveSet, b: CurveSet, weight_a: float) -> CurveSet:
+    """Blend two curve sets (e.g. to model a benchmark that sits between two
+    archetypes).  ``weight_a`` is the weight of ``a`` in ``[0, 1]``."""
+    if a.n_ways != b.n_ways:
+        raise ProfileError("cannot blend curves with different way counts")
+    if not (0.0 <= weight_a <= 1.0):
+        raise ProfileError(f"weight_a must be in [0, 1], got {weight_a}")
+    wb = 1.0 - weight_a
+    return CurveSet(
+        ipc=weight_a * a.ipc + wb * b.ipc,
+        llcmpkc=weight_a * a.llcmpkc + wb * b.llcmpkc,
+    )

@@ -1,0 +1,153 @@
+"""Command-line interface: ``lfoc-repro``.
+
+A thin front-end over the analysis builders so the experiments can be
+regenerated without writing Python:
+
+.. code-block:: console
+
+   $ lfoc-repro fig1                 # slowdown / LLCMPKC curves (Fig. 1)
+   $ lfoc-repro table1               # benchmark classification (Table 1)
+   $ lfoc-repro fig3 --sizes 4 5 6   # optimal clustering vs partitioning
+   $ lfoc-repro fig6 --max-size 8    # static clustering study
+   $ lfoc-repro fig7 --quick         # dynamic study on the 8-app workloads
+   $ lfoc-repro table2               # LFOC vs KPart algorithm cost
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import (
+    fig1_curves,
+    fig2_optimal_breakdown,
+    fig3_clustering_vs_partitioning,
+    fig4_fotonik3d_trace,
+    fig5_workload_matrix,
+    fig6_static_study,
+    fig7_dynamic_study,
+    format_table,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig6,
+    render_fig7,
+    render_table1,
+    render_table2,
+    summarize_dynamic_study,
+    summarize_static_study,
+    table1_classification,
+    table2_algorithm_cost,
+)
+from repro.runtime import EngineConfig
+from repro.version import PAPER, __version__
+from repro.workloads import dynamic_study_workloads, static_study_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lfoc-repro",
+        description=f"Reproduction harness for: {PAPER}",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="slowdown and LLCMPKC curves (Fig. 1)")
+    sub.add_parser("table1", help="benchmark classification (Table 1)")
+
+    fig2 = sub.add_parser("fig2", help="optimal clustering breakdown (Fig. 2)")
+    fig2.add_argument("--workloads", type=int, default=8, help="number of random mixes")
+    fig2.add_argument("--size", type=int, default=8, help="applications per mix")
+
+    fig3 = sub.add_parser("fig3", help="optimal clustering vs partitioning (Fig. 3)")
+    fig3.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7, 8])
+    fig3.add_argument("--per-size", type=int, default=3, help="workloads per size")
+
+    sub.add_parser("fig4", help="LLCMPKC phase trace of fotonik3d (Fig. 4)")
+    sub.add_parser("fig5", help="workload composition matrix (Fig. 5)")
+
+    fig6 = sub.add_parser("fig6", help="static clustering study (Fig. 6)")
+    fig6.add_argument("--max-size", type=int, default=None, help="largest workload size")
+
+    fig7 = sub.add_parser("fig7", help="dynamic policy study (Fig. 7)")
+    fig7.add_argument("--quick", action="store_true", help="only the 8-app workloads")
+    fig7.add_argument(
+        "--instructions", type=float, default=1.0e9, help="instructions per completion"
+    )
+
+    table2 = sub.add_parser("table2", help="algorithm execution cost (Table 2)")
+    table2.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7, 8, 9, 10, 11])
+    table2.add_argument("--repetitions", type=int, default=5)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "fig1":
+        print(render_fig1(fig1_curves()))
+    elif args.command == "table1":
+        print(render_table1(table1_classification()))
+    elif args.command == "fig2":
+        print(render_fig2(fig2_optimal_breakdown(args.workloads, args.size)))
+    elif args.command == "fig3":
+        print(render_fig3(fig3_clustering_vs_partitioning(args.sizes, args.per_size)))
+    elif args.command == "fig4":
+        trace = fig4_fotonik3d_trace()
+        rows = [
+            [f"{t:.3f}", f"{m:.1f}"] for t, m in zip(trace["time_s"], trace["llcmpkc"])
+        ]
+        print(format_table(["time (s)", "LLCMPKC"], rows))
+    elif args.command == "fig5":
+        matrix = fig5_workload_matrix()
+        rows = [
+            [name, ", ".join(f"{b}x{c}" for b, c in sorted(counts.items()))]
+            for name, counts in matrix.items()
+        ]
+        print(format_table(["workload", "composition"], rows))
+    elif args.command == "fig6":
+        workloads = static_study_workloads(max_size=args.max_size)
+        rows = fig6_static_study(workloads)
+        print(render_fig6(rows))
+        print()
+        summary = summarize_static_study(rows)
+        print(
+            format_table(
+                ["policy", "mean norm. unfairness", "mean norm. STP"],
+                [
+                    [p, f"{s['mean_norm_unfairness']:.3f}", f"{s['mean_norm_stp']:.3f}"]
+                    for p, s in summary.items()
+                ],
+            )
+        )
+    elif args.command == "fig7":
+        workloads = dynamic_study_workloads()
+        if args.quick:
+            workloads = [w for w in workloads if w.size <= 8]
+        config = EngineConfig(
+            instructions_per_run=args.instructions, min_completions=2, record_traces=False
+        )
+        rows = fig7_dynamic_study(workloads, engine_config=config)
+        print(render_fig7(rows))
+        print()
+        summary = summarize_dynamic_study(rows)
+        print(
+            format_table(
+                ["policy", "mean norm. unfairness", "mean norm. STP"],
+                [
+                    [p, f"{s['mean_norm_unfairness']:.3f}", f"{s['mean_norm_stp']:.3f}"]
+                    for p, s in summary.items()
+                ],
+            )
+        )
+    elif args.command == "table2":
+        print(render_table2(table2_algorithm_cost(args.sizes, args.repetitions)))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

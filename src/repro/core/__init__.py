@@ -1,0 +1,52 @@
+"""Core contribution of the paper: classification, lookahead and LFOC itself."""
+
+from repro.core.types import ClusterSpec, ClusteringSolution, WayAllocation
+from repro.core.classification import (
+    AppClass,
+    ClassificationThresholds,
+    classify_partial_tables,
+    classify_profile,
+    classify_profiles,
+    classify_tables,
+    split_by_class,
+)
+from repro.core.lookahead import lookahead, lookahead_int, marginal_utility
+from repro.core.fixedpoint import (
+    SCALE,
+    fixed_div,
+    fixed_mul,
+    fixed_ratio,
+    from_fixed,
+    slowdown_table_fixed,
+    table_to_fixed,
+    to_fixed,
+)
+from repro.core.lfoc import LfocParams, lfoc_clustering
+from repro.core.lfoc_kernel import lfoc_clustering_kernel
+
+__all__ = [
+    "ClusterSpec",
+    "ClusteringSolution",
+    "WayAllocation",
+    "AppClass",
+    "ClassificationThresholds",
+    "classify_partial_tables",
+    "classify_profile",
+    "classify_profiles",
+    "classify_tables",
+    "split_by_class",
+    "lookahead",
+    "lookahead_int",
+    "marginal_utility",
+    "SCALE",
+    "fixed_div",
+    "fixed_mul",
+    "fixed_ratio",
+    "from_fixed",
+    "slowdown_table_fixed",
+    "table_to_fixed",
+    "to_fixed",
+    "LfocParams",
+    "lfoc_clustering",
+    "lfoc_clustering_kernel",
+]

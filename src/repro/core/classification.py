@@ -1,0 +1,183 @@
+"""Application classification (Table 1 of the paper).
+
+LFOC sorts applications into three classes according to their cache behaviour:
+
+=============  ==============================================================
+Class          Criterion (Table 1)
+=============  ==============================================================
+Streaming      (slowdown <= 1.03 and LLCMPKC >= 10) in at least one way
+               assignment, and slowdown < 1.06 in *all* way assignments
+Sensitive      not streaming, and slowdown >= 1.05 for a number of ways >= 2
+Light sharing  neither streaming nor sensitive
+=============  ==============================================================
+
+The *offline* classifier below applies these rules to full per-way tables
+(used by the optimal-solution analysis of Section 3 and the static study of
+Section 5.1).  The *online* classifier works from whatever subset of way
+counts the sampling mode has visited so far (Section 4.2), which is what the
+runtime engine uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.errors import ProfileError
+
+__all__ = [
+    "AppClass",
+    "ClassificationThresholds",
+    "classify_tables",
+    "classify_profile",
+    "classify_profiles",
+    "classify_partial_tables",
+    "split_by_class",
+]
+
+
+class AppClass(str, Enum):
+    """Behavioural classes used by LFOC (plus the transient ``UNKNOWN`` state)."""
+
+    STREAMING = "streaming"
+    SENSITIVE = "sensitive"
+    LIGHT = "light"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """Tunable thresholds of Table 1 and the Section 4.2 online heuristics."""
+
+    #: Streaming: slowdown at or below this value in some way assignment...
+    streaming_slowdown: float = 1.03
+    #: ...with an LLCMPKC at or above this value (``high_threshold`` in §4.2)...
+    streaming_llcmpkc: float = 10.0
+    #: ...and a slowdown strictly below this value in *every* way assignment.
+    streaming_slowdown_max: float = 1.06
+    #: Sensitive: slowdown at or above this value for some way count >= 2.
+    sensitive_slowdown: float = 1.05
+    #: Minimum way count at which the sensitive criterion is evaluated.
+    sensitive_min_ways: int = 2
+    #: Online heuristic (§4.2): a light-sharing app entering a phase whose
+    #: average memory-stall fraction exceeds this value is re-sampled.
+    stall_fraction_high: float = 0.25
+    #: Online heuristic (§4.2): the LLCMPKC ``low_threshold`` is this fraction
+    #: of ``streaming_llcmpkc``.
+    low_llcmpkc_factor: float = 0.30
+    #: Critical size definition for sensitive apps: smallest allocation whose
+    #: slowdown falls below this value (1 + 5%).
+    critical_slowdown: float = 1.05
+
+    @property
+    def low_llcmpkc(self) -> float:
+        """``low_threshold`` of Section 4.2."""
+        return self.streaming_llcmpkc * self.low_llcmpkc_factor
+
+    def __post_init__(self) -> None:
+        if self.streaming_slowdown < 1.0 or self.streaming_slowdown_max < 1.0:
+            raise ProfileError("slowdown thresholds must be >= 1.0")
+        if self.sensitive_slowdown < 1.0:
+            raise ProfileError("sensitive_slowdown must be >= 1.0")
+        if self.streaming_llcmpkc <= 0:
+            raise ProfileError("streaming_llcmpkc must be positive")
+        if self.sensitive_min_ways < 1:
+            raise ProfileError("sensitive_min_ways must be >= 1")
+        if not (0.0 < self.low_llcmpkc_factor <= 1.0):
+            raise ProfileError("low_llcmpkc_factor must be in (0, 1]")
+
+
+DEFAULT_THRESHOLDS = ClassificationThresholds()
+
+
+def classify_tables(
+    slowdown: Sequence[float],
+    llcmpkc: Sequence[float],
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+) -> AppClass:
+    """Classify an application from full per-way slowdown and LLCMPKC tables.
+
+    ``slowdown[w-1]`` / ``llcmpkc[w-1]`` hold the values for ``w`` ways.
+    """
+    sd = np.asarray(slowdown, dtype=float)
+    mpkc = np.asarray(llcmpkc, dtype=float)
+    if sd.shape != mpkc.shape or sd.ndim != 1 or sd.size < 1:
+        raise ProfileError(
+            f"slowdown and LLCMPKC tables must be 1-D and equally long, got "
+            f"{sd.shape} and {mpkc.shape}"
+        )
+    streaming_point = np.any(
+        (sd <= thresholds.streaming_slowdown) & (mpkc >= thresholds.streaming_llcmpkc)
+    )
+    flat_everywhere = bool(np.all(sd < thresholds.streaming_slowdown_max))
+    if streaming_point and flat_everywhere:
+        return AppClass.STREAMING
+    start = min(thresholds.sensitive_min_ways, sd.size) - 1
+    if np.any(sd[start:] >= thresholds.sensitive_slowdown):
+        return AppClass.SENSITIVE
+    return AppClass.LIGHT
+
+
+def classify_profile(
+    profile: AppProfile,
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+) -> AppClass:
+    """Classify an :class:`AppProfile` using its offline-collected curves."""
+    return classify_tables(profile.slowdown_table(), profile.llcmpkc_table(), thresholds)
+
+
+def classify_profiles(
+    profiles: Iterable[AppProfile],
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+) -> Dict[str, AppClass]:
+    """Classify every profile; returns a name → class mapping."""
+    return {p.name: classify_profile(p, thresholds) for p in profiles}
+
+
+def classify_partial_tables(
+    slowdown_by_ways: Mapping[int, float],
+    llcmpkc_by_ways: Mapping[int, float],
+    n_ways: int,
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+) -> AppClass:
+    """Classify from the *partial* tables gathered by LFOC's sampling mode.
+
+    The sampling mode often stops early (Section 4.2): only a few way counts
+    have been visited.  Unvisited way counts are assumed to behave like the
+    largest visited one — the same extrapolation LFOC applies when it cancels
+    the sweep because the miss rate dropped below the low threshold.
+    """
+    if not slowdown_by_ways:
+        return AppClass.UNKNOWN
+    visited = sorted(slowdown_by_ways)
+    if any(w < 1 or w > n_ways for w in visited):
+        raise ProfileError(f"visited way counts {visited} outside [1, {n_ways}]")
+    largest = visited[-1]
+    slowdown = np.empty(n_ways, dtype=float)
+    llcmpkc = np.empty(n_ways, dtype=float)
+    for w in range(1, n_ways + 1):
+        source = w if w in slowdown_by_ways else largest
+        slowdown[w - 1] = slowdown_by_ways[source]
+        llcmpkc[w - 1] = llcmpkc_by_ways.get(source, llcmpkc_by_ways[largest])
+    # The reference point for the slowdown is the largest visited allocation,
+    # mirroring how LFOC normalises against the last IPC sample gathered.
+    return classify_tables(slowdown, llcmpkc, thresholds)
+
+
+def split_by_class(
+    classes: Mapping[str, AppClass],
+) -> Dict[AppClass, list]:
+    """Group application names by class (the ST / CS / LS inputs of Algorithm 1)."""
+    groups: Dict[AppClass, list] = {
+        AppClass.STREAMING: [],
+        AppClass.SENSITIVE: [],
+        AppClass.LIGHT: [],
+        AppClass.UNKNOWN: [],
+    }
+    for app, klass in classes.items():
+        groups[klass].append(app)
+    return groups

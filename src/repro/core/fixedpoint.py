@@ -1,0 +1,102 @@
+"""Fixed-point arithmetic helpers for the kernel-style LFOC implementation.
+
+The paper stresses (Section 2.3) that LFOC lives in the Linux kernel, where
+floating point is off limits, so the whole policy — slowdown tables, the
+lookahead allocation, the classification thresholds — is implemented with
+integer arithmetic.  This module provides the small fixed-point toolkit the
+kernel-style code path (:mod:`repro.core.lfoc_kernel`) uses:
+
+* values are stored as integers scaled by :data:`SCALE` (per-mille by default,
+  i.e. a slowdown of 1.273 is stored as 1273);
+* division rounds to nearest, matching how the in-kernel implementation
+  derives slowdowns from IPC counter ratios.
+
+Keeping the scale small (1000) keeps every intermediate product comfortably
+inside 64-bit integers for realistic counter values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SCALE",
+    "to_fixed",
+    "from_fixed",
+    "fixed_div",
+    "fixed_mul",
+    "fixed_ratio",
+    "slowdown_table_fixed",
+    "table_to_fixed",
+]
+
+#: Fixed-point scale: values are stored in thousandths.
+SCALE = 1000
+
+
+def to_fixed(value: float, scale: int = SCALE) -> int:
+    """Convert a float to fixed point (round to nearest)."""
+    if scale <= 0:
+        raise ReproError("fixed-point scale must be positive")
+    return int(round(float(value) * scale))
+
+
+def from_fixed(value: int, scale: int = SCALE) -> float:
+    """Convert a fixed-point integer back to a float."""
+    if scale <= 0:
+        raise ReproError("fixed-point scale must be positive")
+    return value / scale
+
+
+def fixed_ratio(numerator: int, denominator: int, scale: int = SCALE) -> int:
+    """Fixed-point value of ``numerator / denominator`` (round to nearest).
+
+    This is how the kernel implementation turns two raw counter values (e.g.
+    instruction counts over the same cycle window) into a scaled ratio without
+    touching the FPU.
+    """
+    if denominator == 0:
+        raise ReproError("division by zero in fixed_ratio")
+    numerator = int(numerator)
+    denominator = int(denominator)
+    sign = -1 if (numerator < 0) != (denominator < 0) else 1
+    numerator, denominator = abs(numerator), abs(denominator)
+    return sign * ((numerator * scale + denominator // 2) // denominator)
+
+
+def fixed_div(a: int, b: int, scale: int = SCALE) -> int:
+    """Divide two fixed-point values, producing a fixed-point result."""
+    if b == 0:
+        raise ReproError("division by zero in fixed_div")
+    return fixed_ratio(int(a), int(b), scale)
+
+
+def fixed_mul(a: int, b: int, scale: int = SCALE) -> int:
+    """Multiply two fixed-point values, producing a fixed-point result."""
+    product = int(a) * int(b)
+    sign = -1 if product < 0 else 1
+    product = abs(product)
+    return sign * ((product + scale // 2) // scale)
+
+
+def table_to_fixed(table: Sequence[float], scale: int = SCALE) -> List[int]:
+    """Convert a float cost table (e.g. slowdowns) to fixed point."""
+    return [to_fixed(value, scale) for value in table]
+
+
+def slowdown_table_fixed(ipc_table_fixed: Sequence[int], scale: int = SCALE) -> List[int]:
+    """Build a fixed-point slowdown table from a fixed-point IPC table.
+
+    ``ipc_table_fixed[w-1]`` is the (scaled) IPC observed with ``w`` ways; the
+    slowdown is computed relative to the largest allocation in the table, as
+    LFOC does online with the IPC samples gathered during the sampling mode.
+    """
+    values = [int(v) for v in ipc_table_fixed]
+    if not values:
+        raise ReproError("IPC table must not be empty")
+    if any(v <= 0 for v in values):
+        raise ReproError("IPC values must be positive")
+    reference = values[-1]
+    return [fixed_ratio(reference, value, scale) for value in values]

@@ -1,0 +1,230 @@
+"""LFOC's cache-clustering algorithm (Algorithm 1 of the paper).
+
+Given the workload already split into streaming (ST), cache-sensitive (CS)
+and light-sharing (LS) applications, the algorithm:
+
+1. if there are no sensitive applications, puts everything in one cluster
+   spanning the whole LLC (partitioning cannot help fairness in that case);
+2. otherwise reserves a *small* number of ways (at most
+   ``max_streaming_ways_total``, default 2) for the streaming aggressors and
+   spreads them over that many 1-way clusters — this is the key insight from
+   the optimal-solution analysis of Section 3: isolating the aggressors in a
+   tiny corner of the cache is what protects fairness;
+3. distributes the remaining ways among the sensitive applications with UCP's
+   *lookahead* algorithm driven by their **slowdown tables**, one cluster per
+   sensitive application;
+4. scatters the light-sharing applications, preferring the streaming clusters
+   first (the optimal solution does the same, and light programs are barely
+   affected by where they land), then round-robin over the other clusters.
+
+Two details of the published pseudo-code are interpreted, as the literal
+expressions would contradict the surrounding prose:
+
+* ``ways_for_streaming = min(2, |ST| / max_streaming_way)`` — a plain integer
+  division would yield zero ways (and a division by zero one line later) for
+  small streaming groups, so we read it as a *ceiling* division: one way per
+  started group of ``max_streaming_way`` streaming applications, capped at
+  ``max_streaming_ways_total``;
+* ``gaps_available = r − |TargetC| · gaps_per_streaming`` — with the default
+  parameters this is never positive, yet the text says light-sharing
+  applications should "populate partitions with streaming applications first,
+  as the optimal solution typically does".  We therefore account for a
+  streaming cluster's capacity in *gaps*: a 1-way streaming cluster offers
+  ``max_streaming_way × gaps_per_streaming`` gaps, each streaming application
+  already mapped there consumes ``gaps_per_streaming`` of them, and each
+  light-sharing application consumes one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.lookahead import lookahead
+from repro.core.types import ClusterSpec, ClusteringSolution
+from repro.errors import ClusteringError
+
+__all__ = ["LfocParams", "lfoc_clustering"]
+
+
+@dataclass(frozen=True)
+class LfocParams:
+    """Configurable parameters of Algorithm 1."""
+
+    #: Maximum number of streaming applications that share one streaming way
+    #: before a second streaming way is provisioned (default 5 in the paper).
+    max_streaming_way: int = 5
+    #: "Gaps" (light-sharing slots) accounting constant used when filling
+    #: streaming clusters with light-sharing applications (default 3).
+    gaps_per_streaming: int = 3
+    #: Hard cap on the number of ways devoted to streaming clusters
+    #: (the paper's analysis never uses more than 2).
+    max_streaming_ways_total: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_streaming_way < 1:
+            raise ClusteringError("max_streaming_way must be >= 1")
+        if self.gaps_per_streaming < 0:
+            raise ClusteringError("gaps_per_streaming must be >= 0")
+        if self.max_streaming_ways_total < 1:
+            raise ClusteringError("max_streaming_ways_total must be >= 1")
+
+
+DEFAULT_PARAMS = LfocParams()
+
+
+def _round_robin(items: Sequence[str], buckets: List[List[str]]) -> None:
+    """Distribute ``items`` over ``buckets`` one at a time, in order."""
+    if not buckets:
+        raise ClusteringError("cannot distribute applications over zero clusters")
+    for index, item in enumerate(items):
+        buckets[index % len(buckets)].append(item)
+
+
+def lfoc_clustering(
+    streaming: Sequence[str],
+    sensitive: Sequence[str],
+    light: Sequence[str],
+    n_ways: int,
+    slowdown_tables: Mapping[str, Sequence[float]],
+    params: LfocParams = DEFAULT_PARAMS,
+) -> ClusteringSolution:
+    """Run Algorithm 1 and return the resulting clustering.
+
+    Parameters
+    ----------
+    streaming, sensitive, light:
+        Application names per class (the ST, CS and LS sets).  The three sets
+        must be disjoint; ``unknown`` applications should be passed as light
+        sharing (that is how the runtime treats them until sampled).
+    n_ways:
+        Number of ways of the LLC.
+    slowdown_tables:
+        Per-application slowdown tables (``table[w-1]`` = slowdown with ``w``
+        ways).  Only required for the sensitive applications.
+    params:
+        Algorithm parameters (see :class:`LfocParams`).
+    """
+    streaming = list(streaming)
+    sensitive = list(sensitive)
+    light = list(light)
+    all_apps = streaming + sensitive + light
+    if not all_apps:
+        raise ClusteringError("LFOC needs at least one application")
+    if len(set(all_apps)) != len(all_apps):
+        raise ClusteringError("the ST/CS/LS sets must be disjoint")
+    if n_ways < 1:
+        raise ClusteringError("n_ways must be >= 1")
+
+    # ------------------------------------------------------------------ step 1
+    # No sensitive applications: a single shared cluster over the whole LLC.
+    if not sensitive:
+        return ClusteringSolution.single_cluster(all_apps, n_ways)
+
+    for app in sensitive:
+        if app not in slowdown_tables:
+            raise ClusteringError(
+                f"sensitive application {app!r} has no slowdown table"
+            )
+        if len(slowdown_tables[app]) < n_ways:
+            raise ClusteringError(
+                f"slowdown table of {app!r} must cover all {n_ways} way counts"
+            )
+
+    # ------------------------------------------------------------------ step 2
+    # Reserve up to `max_streaming_ways_total` 1-way clusters for the aggressors.
+    groups: List[List[str]] = []
+    ways: List[int] = []
+    labels: List[str] = []
+    streaming_cluster_indices: List[int] = []
+
+    ways_for_streaming = 0
+    apps_per_streaming_cluster = 0
+    if streaming:
+        ways_for_streaming = min(
+            params.max_streaming_ways_total,
+            ceil(len(streaming) / params.max_streaming_way),
+        )
+        # Never starve the sensitive applications: each needs at least one way.
+        ways_for_streaming = min(ways_for_streaming, max(n_ways - 1, 1))
+        apps_per_streaming_cluster = ceil(len(streaming) / ways_for_streaming)
+        pending = list(streaming)
+        for _ in range(ways_for_streaming):
+            take, pending = (
+                pending[:apps_per_streaming_cluster],
+                pending[apps_per_streaming_cluster:],
+            )
+            if not take:
+                break
+            groups.append(list(take))
+            ways.append(1)
+            labels.append("streaming")
+            streaming_cluster_indices.append(len(groups) - 1)
+        # Rounding can leave fewer streaming clusters than planned ways.
+        ways_for_streaming = len(streaming_cluster_indices)
+        if pending:  # pragma: no cover - defensive, ceil() prevents this
+            groups[streaming_cluster_indices[-1]].extend(pending)
+
+    ways_for_sensitive = n_ways - ways_for_streaming
+    if ways_for_sensitive < 1:
+        raise ClusteringError(
+            f"no ways left for sensitive applications ({n_ways} ways total)"
+        )
+
+    # ------------------------------------------------------------------ step 3
+    # Lookahead over the sensitive applications' slowdown tables.
+    if len(sensitive) <= ways_for_sensitive:
+        tables = [np.asarray(slowdown_tables[app], dtype=float) for app in sensitive]
+        sensitive_ways = lookahead(tables, ways_for_sensitive, min_ways=1)
+        sensitive_groups = [[app] for app in sensitive]
+    else:
+        # More sensitive applications than ways left: the paper's workloads
+        # never hit this, but a robust OS policy must not fail.  Keep the most
+        # sensitive applications in their own 1-way clusters and co-locate the
+        # least sensitive ones round-robin.
+        order = sorted(
+            sensitive,
+            key=lambda app: float(np.max(np.asarray(slowdown_tables[app], dtype=float))),
+            reverse=True,
+        )
+        sensitive_groups = [[app] for app in order[:ways_for_sensitive]]
+        _round_robin(order[ways_for_sensitive:], sensitive_groups)
+        sensitive_ways = [1] * ways_for_sensitive
+
+    sensitive_cluster_indices: List[int] = []
+    for group, way in zip(sensitive_groups, sensitive_ways):
+        groups.append(list(group))
+        ways.append(way)
+        labels.append("sensitive")
+        sensitive_cluster_indices.append(len(groups) - 1)
+
+    # ------------------------------------------------------------------ step 4
+    # Scatter the light-sharing applications: streaming clusters first (as the
+    # optimal solution does), then round-robin over the sensitive clusters.
+    remaining_light = list(light)
+    if remaining_light and streaming_cluster_indices:
+        for cluster_index in streaming_cluster_indices:
+            if not remaining_light:
+                break
+            occupancy = len(groups[cluster_index])
+            gaps_available = (
+                params.max_streaming_way - occupancy
+            ) * params.gaps_per_streaming
+            if gaps_available <= 0:
+                continue
+            take, remaining_light = (
+                remaining_light[:gaps_available],
+                remaining_light[gaps_available:],
+            )
+            groups[cluster_index].extend(take)
+    if remaining_light:
+        non_streaming = [groups[i] for i in sensitive_cluster_indices]
+        if non_streaming:
+            _round_robin(remaining_light, non_streaming)
+        else:  # pragma: no cover - sensitive is non-empty here by construction
+            _round_robin(remaining_light, [groups[i] for i in streaming_cluster_indices])
+
+    return ClusteringSolution.from_groups(groups, ways, n_ways, labels=labels)

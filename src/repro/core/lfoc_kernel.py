@@ -1,0 +1,163 @@
+"""Kernel-style (integer-only) implementation of LFOC's clustering algorithm.
+
+The paper's LFOC lives inside the Linux kernel, where using the FPU is
+problematic, so the in-kernel implementation is free of floating-point
+operations (Section 2.3).  This module mirrors :mod:`repro.core.lfoc` under
+that constraint:
+
+* slowdown tables are fixed-point integers (scaled by
+  :data:`repro.core.fixedpoint.SCALE`, i.e. per-mille);
+* the lookahead allocation uses :func:`repro.core.lookahead.lookahead_int`,
+  which compares marginal utilities by cross-multiplication;
+* every intermediate computation (ceiling divisions, gap accounting) is pure
+  integer arithmetic.
+
+Feeding both implementations tables that represent the same values must yield
+the same clustering — the test suite checks this equivalence property, which
+is exactly the guarantee an OS developer would need before shipping the
+integer version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.lfoc import DEFAULT_PARAMS, LfocParams
+from repro.core.lookahead import lookahead_int
+from repro.core.types import ClusteringSolution
+from repro.errors import ClusteringError
+
+__all__ = ["lfoc_clustering_kernel"]
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division (what the kernel would use instead of ``ceil``)."""
+    if denominator <= 0:
+        raise ClusteringError("ceiling division by a non-positive value")
+    return -((-numerator) // denominator)
+
+
+def _round_robin(items: Sequence[str], buckets: List[List[str]]) -> None:
+    for index, item in enumerate(items):
+        buckets[index % len(buckets)].append(item)
+
+
+def lfoc_clustering_kernel(
+    streaming: Sequence[str],
+    sensitive: Sequence[str],
+    light: Sequence[str],
+    n_ways: int,
+    slowdown_tables_fixed: Mapping[str, Sequence[int]],
+    params: LfocParams = DEFAULT_PARAMS,
+) -> ClusteringSolution:
+    """Integer-only Algorithm 1.
+
+    ``slowdown_tables_fixed`` holds fixed-point (integer) slowdown tables for
+    the sensitive applications, e.g. produced by
+    :func:`repro.core.fixedpoint.slowdown_table_fixed` from raw IPC counters.
+    """
+    streaming = list(streaming)
+    sensitive = list(sensitive)
+    light = list(light)
+    all_apps = streaming + sensitive + light
+    if not all_apps:
+        raise ClusteringError("LFOC needs at least one application")
+    if len(set(all_apps)) != len(all_apps):
+        raise ClusteringError("the ST/CS/LS sets must be disjoint")
+    if n_ways < 1:
+        raise ClusteringError("n_ways must be >= 1")
+
+    if not sensitive:
+        return ClusteringSolution.single_cluster(all_apps, n_ways)
+
+    for app in sensitive:
+        if app not in slowdown_tables_fixed:
+            raise ClusteringError(f"sensitive application {app!r} has no slowdown table")
+        table = slowdown_tables_fixed[app]
+        if len(table) < n_ways:
+            raise ClusteringError(
+                f"slowdown table of {app!r} must cover all {n_ways} way counts"
+            )
+        if any(int(v) != v for v in table):
+            raise ClusteringError(
+                f"slowdown table of {app!r} must contain integers (fixed point)"
+            )
+
+    groups: List[List[str]] = []
+    ways: List[int] = []
+    labels: List[str] = []
+    streaming_cluster_indices: List[int] = []
+
+    ways_for_streaming = 0
+    apps_per_streaming_cluster = 0
+    if streaming:
+        ways_for_streaming = min(
+            params.max_streaming_ways_total,
+            _ceil_div(len(streaming), params.max_streaming_way),
+        )
+        ways_for_streaming = min(ways_for_streaming, max(n_ways - 1, 1))
+        apps_per_streaming_cluster = _ceil_div(len(streaming), ways_for_streaming)
+        pending = list(streaming)
+        for _ in range(ways_for_streaming):
+            take, pending = (
+                pending[:apps_per_streaming_cluster],
+                pending[apps_per_streaming_cluster:],
+            )
+            if not take:
+                break
+            groups.append(list(take))
+            ways.append(1)
+            labels.append("streaming")
+            streaming_cluster_indices.append(len(groups) - 1)
+        ways_for_streaming = len(streaming_cluster_indices)
+        if pending:  # pragma: no cover - defensive
+            groups[streaming_cluster_indices[-1]].extend(pending)
+
+    ways_for_sensitive = n_ways - ways_for_streaming
+    if ways_for_sensitive < 1:
+        raise ClusteringError(
+            f"no ways left for sensitive applications ({n_ways} ways total)"
+        )
+
+    if len(sensitive) <= ways_for_sensitive:
+        tables = [list(map(int, slowdown_tables_fixed[app])) for app in sensitive]
+        sensitive_ways = lookahead_int(tables, ways_for_sensitive, min_ways=1)
+        sensitive_groups = [[app] for app in sensitive]
+    else:
+        order = sorted(
+            sensitive,
+            key=lambda app: max(int(v) for v in slowdown_tables_fixed[app]),
+            reverse=True,
+        )
+        sensitive_groups = [[app] for app in order[:ways_for_sensitive]]
+        _round_robin(order[ways_for_sensitive:], sensitive_groups)
+        sensitive_ways = [1] * ways_for_sensitive
+
+    sensitive_cluster_indices: List[int] = []
+    for group, way in zip(sensitive_groups, sensitive_ways):
+        groups.append(list(group))
+        ways.append(way)
+        labels.append("sensitive")
+        sensitive_cluster_indices.append(len(groups) - 1)
+
+    remaining_light = list(light)
+    if remaining_light and streaming_cluster_indices:
+        for cluster_index in streaming_cluster_indices:
+            if not remaining_light:
+                break
+            occupancy = len(groups[cluster_index])
+            gaps_available = (
+                params.max_streaming_way - occupancy
+            ) * params.gaps_per_streaming
+            if gaps_available <= 0:
+                continue
+            take, remaining_light = (
+                remaining_light[:gaps_available],
+                remaining_light[gaps_available:],
+            )
+            groups[cluster_index].extend(take)
+    if remaining_light:
+        non_streaming = [groups[i] for i in sensitive_cluster_indices]
+        _round_robin(remaining_light, non_streaming)
+
+    return ClusteringSolution.from_groups(groups, ways, n_ways, labels=labels)

@@ -1,0 +1,185 @@
+"""UCP's *lookahead* way-allocation algorithm (Qureshi & Patt, MICRO'06).
+
+Lookahead distributes a budget of cache ways among applications greedily: at
+every step it gives the next chunk of ways to the application with the highest
+*marginal utility per way* — the largest reduction of its cost metric divided
+by the number of extra ways needed to obtain it.  Considering multi-way jumps
+(not just +1) is what lets it handle non-convex utility curves.
+
+UCP drives lookahead with MPKI tables (fewer misses → more throughput).  LFOC
+reuses the same algorithm but feeds it per-application *slowdown* tables
+(Section 2.3.1 / Algorithm 1), so the ways go where they reduce slowdown the
+most — a fairer criterion.  KPart uses it at the cluster level with combined
+miss curves.
+
+Two implementations are provided:
+
+* :func:`lookahead` — floating point, operating on NumPy arrays;
+* :func:`lookahead_int` — integer-only (scaled tables), mirroring the
+  kernel-level implementation of LFOC, which must avoid floating point.
+
+Both return the same allocations when the integer tables are a fixed-point
+scaling of the float tables (a property exercised by the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+__all__ = ["lookahead", "lookahead_int", "marginal_utility"]
+
+
+def marginal_utility(table: Sequence[float], current: int, target: int) -> float:
+    """Utility per way of growing an allocation from ``current`` to ``target`` ways.
+
+    ``table[w-1]`` is the cost (MPKI or slowdown — lower is better) at ``w``
+    ways.  Positive utility means the extra ways reduce the cost.
+    """
+    if target <= current:
+        raise ClusteringError(f"target {target} must exceed current {current}")
+    return (float(table[current - 1]) - float(table[target - 1])) / (target - current)
+
+
+def _validate_tables(tables: Sequence[Sequence[float]], n_ways: int) -> List[np.ndarray]:
+    if not tables:
+        raise ClusteringError("lookahead needs at least one utility table")
+    arrays = []
+    for index, table in enumerate(tables):
+        arr = np.asarray(table, dtype=float)
+        if arr.ndim != 1 or arr.size < n_ways:
+            raise ClusteringError(
+                f"table {index} must provide a value for every way count up to "
+                f"{n_ways}, got shape {arr.shape}"
+            )
+        arrays.append(arr)
+    return arrays
+
+
+def lookahead(
+    tables: Sequence[Sequence[float]],
+    n_ways: int,
+    min_ways: int = 1,
+) -> List[int]:
+    """Distribute ``n_ways`` ways among ``len(tables)`` applications.
+
+    Parameters
+    ----------
+    tables:
+        One cost table per application; ``tables[i][w-1]`` is the cost of
+        application ``i`` with ``w`` ways (lower is better, e.g. MPKI or
+        slowdown).
+    n_ways:
+        Total ways to distribute.  Must allow ``min_ways`` per application.
+    min_ways:
+        Minimum allocation per application (1 under Intel CAT, since every
+        class of service needs a non-empty mask).
+
+    Returns
+    -------
+    list of int
+        Way count per application, in input order, summing to ``n_ways``.
+    """
+    n_apps = len(tables)
+    arrays = _validate_tables(tables, n_ways)
+    if min_ways < 1:
+        raise ClusteringError("min_ways must be >= 1")
+    if n_apps * min_ways > n_ways:
+        raise ClusteringError(
+            f"cannot give {min_ways} way(s) to each of {n_apps} applications "
+            f"with only {n_ways} ways available"
+        )
+    allocation = [min_ways] * n_apps
+    remaining = n_ways - n_apps * min_ways
+    while remaining > 0:
+        best_app = -1
+        best_target = -1
+        best_utility = 0.0
+        for app in range(n_apps):
+            current = allocation[app]
+            max_target = min(n_ways, current + remaining)
+            for target in range(current + 1, max_target + 1):
+                utility = (arrays[app][current - 1] - arrays[app][target - 1]) / (
+                    target - current
+                )
+                if utility > best_utility + 1e-15:
+                    best_utility = utility
+                    best_app = app
+                    best_target = target
+        if best_app < 0:
+            # No application benefits from more space: hand the leftovers to the
+            # application that is currently worst off (highest cost), breaking
+            # ties towards the smallest allocation — the fairness-friendly choice.
+            costs = [arrays[app][allocation[app] - 1] for app in range(n_apps)]
+            best_app = max(
+                range(n_apps), key=lambda a: (costs[a], -allocation[a], -a)
+            )
+            best_target = allocation[best_app] + 1
+        granted = best_target - allocation[best_app]
+        allocation[best_app] = best_target
+        remaining -= granted
+    return allocation
+
+
+def lookahead_int(
+    tables: Sequence[Sequence[int]],
+    n_ways: int,
+    min_ways: int = 1,
+) -> List[int]:
+    """Integer-only lookahead (kernel-style: no floating point).
+
+    ``tables`` hold integer costs (e.g. slowdowns scaled by 1000).  Marginal
+    utilities are compared with cross-multiplication so no division result is
+    ever truncated.
+    """
+    n_apps = len(tables)
+    if n_apps == 0:
+        raise ClusteringError("lookahead needs at least one utility table")
+    for index, table in enumerate(tables):
+        if len(table) < n_ways:
+            raise ClusteringError(
+                f"table {index} must provide a value for every way count up to {n_ways}"
+            )
+        if any(int(v) != v for v in table):
+            raise ClusteringError(f"table {index} contains non-integer costs")
+    if min_ways < 1:
+        raise ClusteringError("min_ways must be >= 1")
+    if n_apps * min_ways > n_ways:
+        raise ClusteringError(
+            f"cannot give {min_ways} way(s) to each of {n_apps} applications "
+            f"with only {n_ways} ways available"
+        )
+    allocation = [min_ways] * n_apps
+    remaining = n_ways - n_apps * min_ways
+    while remaining > 0:
+        best_app = -1
+        best_target = -1
+        # Utility is a rational number num/den; track it as a pair and compare
+        # with cross-multiplication (num_a * den_b > num_b * den_a).
+        best_num = 0
+        best_den = 1
+        for app in range(n_apps):
+            current = allocation[app]
+            max_target = min(n_ways, current + remaining)
+            table = tables[app]
+            for target in range(current + 1, max_target + 1):
+                num = int(table[current - 1]) - int(table[target - 1])
+                den = target - current
+                if num * best_den > best_num * den:
+                    best_num = num
+                    best_den = den
+                    best_app = app
+                    best_target = target
+        if best_app < 0 or best_num <= 0:
+            costs = [int(tables[app][allocation[app] - 1]) for app in range(n_apps)]
+            best_app = max(
+                range(n_apps), key=lambda a: (costs[a], -allocation[a], -a)
+            )
+            best_target = allocation[best_app] + 1
+        granted = best_target - allocation[best_app]
+        allocation[best_app] = best_target
+        remaining -= granted
+    return allocation

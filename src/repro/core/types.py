@@ -1,0 +1,250 @@
+"""Core data structures: cache clusters, clustering solutions and way allocations.
+
+Section 2.2 of the paper defines the two objects every policy manipulates:
+
+* a **cache partitioning**: one partition (way count) per application;
+* a **cache clustering**: a set of disjoint application groups (*clusters*),
+  each with a way count, covering the whole workload, with the way counts
+  summing to the LLC way count.
+
+:class:`ClusteringSolution` encodes both (a partitioning is simply a
+clustering whose clusters are singletons) and enforces the feasibility
+restrictions (i)–(iv) of Section 2.2.  :class:`WayAllocation` is the lower
+level object the hardware model consumes: an explicit capacity bitmask per
+application, which — unlike a clustering — may describe *overlapping*
+assignments (Dunn's policy produces these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ClusteringError
+from repro.hardware.cat import contiguous_layout, mask_ways
+
+__all__ = ["ClusterSpec", "ClusteringSolution", "WayAllocation"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cache cluster: a group of applications plus its way count."""
+
+    apps: Tuple[str, ...]
+    ways: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ClusteringError("a cluster must contain at least one application")
+        if len(set(self.apps)) != len(self.apps):
+            raise ClusteringError(f"duplicate applications inside cluster {self.apps}")
+        if self.ways < 1:
+            raise ClusteringError(
+                f"cluster {self.apps} must receive at least one way, got {self.ways}"
+            )
+        object.__setattr__(self, "apps", tuple(self.apps))
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.apps)
+
+    def __contains__(self, app: str) -> bool:
+        return app in self.apps
+
+
+@dataclass(frozen=True)
+class ClusteringSolution:
+    """A feasible distribution of LLC ways among application clusters.
+
+    Enforces the restrictions of Section 2.2: clusters are non-empty and
+    pairwise disjoint, every cluster gets at least one way, and the way counts
+    sum to exactly ``total_ways``.
+    """
+
+    clusters: Tuple[ClusterSpec, ...]
+    total_ways: int
+
+    def __post_init__(self) -> None:
+        clusters = tuple(self.clusters)
+        object.__setattr__(self, "clusters", clusters)
+        if not clusters:
+            raise ClusteringError("a clustering solution needs at least one cluster")
+        if self.total_ways < 1:
+            raise ClusteringError("total_ways must be >= 1")
+        seen: set = set()
+        for cluster in clusters:
+            overlap = seen.intersection(cluster.apps)
+            if overlap:
+                raise ClusteringError(
+                    f"applications {sorted(overlap)} appear in more than one cluster"
+                )
+            seen.update(cluster.apps)
+        way_sum = sum(c.ways for c in clusters)
+        if way_sum != self.total_ways:
+            raise ClusteringError(
+                f"cluster way counts sum to {way_sum}, expected {self.total_ways}"
+            )
+        if len(clusters) > self.total_ways:
+            raise ClusteringError(
+                f"{len(clusters)} clusters cannot each get a way out of {self.total_ways}"
+            )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def single_cluster(cls, apps: Sequence[str], total_ways: int) -> "ClusteringSolution":
+        """Everything shares the whole cache (what stock Linux does)."""
+        return cls(
+            clusters=(ClusterSpec(apps=tuple(apps), ways=total_ways, label="shared"),),
+            total_ways=total_ways,
+        )
+
+    @classmethod
+    def from_partitioning(
+        cls, apps: Sequence[str], ways: Sequence[int], total_ways: int
+    ) -> "ClusteringSolution":
+        """Strict way-partitioning: one singleton cluster per application."""
+        if len(apps) != len(ways):
+            raise ClusteringError("apps and ways must have the same length")
+        clusters = tuple(
+            ClusterSpec(apps=(app,), ways=way) for app, way in zip(apps, ways)
+        )
+        return cls(clusters=clusters, total_ways=total_ways)
+
+    @classmethod
+    def from_groups(
+        cls,
+        groups: Sequence[Sequence[str]],
+        ways: Sequence[int],
+        total_ways: int,
+        labels: Optional[Sequence[str]] = None,
+    ) -> "ClusteringSolution":
+        """Build a clustering from parallel sequences of groups and way counts."""
+        if len(groups) != len(ways):
+            raise ClusteringError("groups and ways must have the same length")
+        labels = list(labels) if labels is not None else [""] * len(groups)
+        clusters = tuple(
+            ClusterSpec(apps=tuple(group), ways=way, label=label)
+            for group, way, label in zip(groups, ways, labels)
+        )
+        return cls(clusters=clusters, total_ways=total_ways)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def apps(self) -> List[str]:
+        """All applications covered by the solution (cluster order)."""
+        result: List[str] = []
+        for cluster in self.clusters:
+            result.extend(cluster.apps)
+        return result
+
+    @property
+    def n_apps(self) -> int:
+        return sum(c.n_apps for c in self.clusters)
+
+    def cluster_of(self, app: str) -> ClusterSpec:
+        for cluster in self.clusters:
+            if app in cluster:
+                return cluster
+        raise ClusteringError(f"application {app!r} is not part of this solution")
+
+    def ways_of(self, app: str) -> int:
+        """Ways of the cluster hosting ``app``."""
+        return self.cluster_of(app).ways
+
+    def is_partitioning(self) -> bool:
+        """True when every cluster is a singleton (strict way-partitioning)."""
+        return all(cluster.n_apps == 1 for cluster in self.clusters)
+
+    def covers(self, apps: Iterable[str]) -> bool:
+        """True when the solution covers exactly the given application set."""
+        return set(self.apps()) == set(apps)
+
+    def cluster_sizes(self) -> List[int]:
+        return [c.ways for c in self.clusters]
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_allocation(self) -> "WayAllocation":
+        """Concrete per-application capacity bitmasks (contiguous, left-packed)."""
+        masks = contiguous_layout([c.ways for c in self.clusters], self.total_ways)
+        allocation: Dict[str, int] = {}
+        for cluster, mask in zip(self.clusters, masks):
+            for app in cluster.apps:
+                allocation[app] = mask
+        return WayAllocation(masks=allocation, total_ways=self.total_ways)
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-cluster description."""
+        lines = []
+        for index, cluster in enumerate(self.clusters):
+            label = f" [{cluster.label}]" if cluster.label else ""
+            lines.append(
+                f"cluster {index}{label}: {cluster.ways} way(s) <- {', '.join(cluster.apps)}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class WayAllocation:
+    """Per-application LLC capacity bitmasks (possibly overlapping).
+
+    This is what actually gets programmed into CAT.  Non-overlapping
+    allocations correspond to proper clusterings; Dunn's policy produces
+    overlapping masks, which is why the estimator works at this level.
+    """
+
+    masks: Mapping[str, int]
+    total_ways: int
+
+    def __post_init__(self) -> None:
+        if not self.masks:
+            raise ClusteringError("an allocation must cover at least one application")
+        full = (1 << self.total_ways) - 1
+        for app, mask in self.masks.items():
+            if mask <= 0:
+                raise ClusteringError(f"application {app!r} has an empty capacity mask")
+            if mask > full:
+                raise ClusteringError(
+                    f"mask {mask:#x} of application {app!r} exceeds the "
+                    f"{self.total_ways}-way LLC"
+                )
+        object.__setattr__(self, "masks", dict(self.masks))
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.masks)
+
+    def apps(self) -> List[str]:
+        return list(self.masks)
+
+    def mask_of(self, app: str) -> int:
+        try:
+            return self.masks[app]
+        except KeyError as exc:
+            raise ClusteringError(f"application {app!r} is not allocated") from exc
+
+    def ways_of(self, app: str) -> int:
+        return mask_ways(self.mask_of(app))
+
+    def is_overlapping(self) -> bool:
+        """True when two applications with *different* masks share a way."""
+        distinct = {}
+        for app, mask in self.masks.items():
+            distinct.setdefault(mask, []).append(app)
+        masks = list(distinct)
+        for i, a in enumerate(masks):
+            for b in masks[i + 1 :]:
+                if a & b:
+                    return True
+        return False
+
+    def sharers_of_way(self, way: int) -> List[str]:
+        """Applications whose mask includes the given way index."""
+        bit = 1 << way
+        return [app for app, mask in self.masks.items() if mask & bit]

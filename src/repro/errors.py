@@ -1,0 +1,56 @@
+"""Exception hierarchy for the LFOC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers embedding the library (e.g. the benchmark harness or an OS-level
+driver) can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A platform, policy or workload was configured with invalid parameters."""
+
+
+class CatError(ReproError):
+    """Invalid use of the simulated Cache Allocation Technology interface."""
+
+
+class InvalidMaskError(CatError):
+    """A capacity bitmask violates CAT constraints (empty, non-contiguous, too wide)."""
+
+
+class ClosExhaustedError(CatError):
+    """No free class-of-service slot is available on the simulated platform."""
+
+
+class RmidExhaustedError(CatError):
+    """No free resource-monitoring ID is available for cache occupancy monitoring."""
+
+
+class ResctrlError(ReproError):
+    """Invalid operation on the simulated resctrl filesystem."""
+
+
+class ProfileError(ReproError):
+    """An application profile is malformed (wrong curve lengths, negative values...)."""
+
+
+class ClusteringError(ReproError):
+    """A clustering solution violates the feasibility constraints of Section 2.2."""
+
+
+class SolverError(ReproError):
+    """The optimal-solution search was configured inconsistently or failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition references unknown benchmarks or is empty."""
+
+
+class SimulationError(ReproError):
+    """The runtime engine reached an inconsistent state."""

@@ -1,0 +1,220 @@
+"""Platform model: the machine the policies run on.
+
+The paper evaluates LFOC on an Intel Xeon Gold 6138 "Skylake" server with an
+11-way 27.5 MB last-level cache that supports way-partitioning through Intel
+CAT.  We do not have that hardware, so :class:`PlatformSpec` captures every
+architectural parameter the policies, the contention estimator and the runtime
+engine consume:
+
+* the way-partitionable LLC geometry (way count, per-way capacity),
+* the private cache levels (only their aggregate capacity matters — it decides
+  whether a "light sharing" working set fits without touching the LLC),
+* the core count and nominal frequency (to convert cycles to seconds),
+* the peak DRAM bandwidth and an average memory access latency (inputs to the
+  bandwidth-contention model),
+* the CAT/CMT limits (number of classes of service, minimum mask width,
+  number of RMIDs).
+
+All policies operate purely on these parameters, so swapping in a different
+platform preset (or, eventually, a real-hardware backend) requires no changes
+to the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PlatformSpec",
+    "skylake_gold_6138",
+    "broadwell_like",
+    "small_test_platform",
+]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Architectural description of a CAT-capable multicore machine.
+
+    Parameters
+    ----------
+    name:
+        Human readable identifier (used in reports).
+    n_cores:
+        Number of physical cores sharing the LLC.
+    llc_ways:
+        Number of ways in the shared last-level cache.  This is the unit of
+        allocation exposed by Intel CAT.
+    llc_way_kb:
+        Capacity of a single LLC way in KiB.
+    l2_kb:
+        Per-core private L2 capacity in KiB.
+    l1_kb:
+        Per-core private L1 (data) capacity in KiB.
+    freq_ghz:
+        Nominal core frequency in GHz; used to convert cycle counts into
+        wall-clock time in the runtime engine.
+    peak_bw_gbs:
+        Peak sustainable DRAM bandwidth in GB/s (all cores combined).
+    mem_latency_cycles:
+        Average LLC-miss service latency in core cycles; used to synthesise
+        the ``STALLS_L2_MISS`` stall fraction.
+    n_clos:
+        Number of classes of service (COS/CLOS) supported by CAT.
+    min_mask_bits:
+        Minimum number of contiguous ways a capacity bitmask must contain
+        (Intel CAT requires at least 1, some SKUs 2).
+    n_rmids:
+        Number of resource monitoring IDs available for CMT occupancy
+        monitoring.
+    """
+
+    name: str = "generic-cat-platform"
+    n_cores: int = 20
+    llc_ways: int = 11
+    llc_way_kb: int = 2560
+    l2_kb: int = 1024
+    l1_kb: int = 64
+    freq_ghz: float = 2.0
+    peak_bw_gbs: float = 60.0
+    mem_latency_cycles: int = 230
+    n_clos: int = 16
+    min_mask_bits: int = 1
+    n_rmids: int = 128
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.llc_ways < 1:
+            raise ConfigurationError(f"llc_ways must be >= 1, got {self.llc_ways}")
+        if self.n_cores < 1:
+            raise ConfigurationError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.llc_way_kb <= 0:
+            raise ConfigurationError("llc_way_kb must be positive")
+        if self.freq_ghz <= 0:
+            raise ConfigurationError("freq_ghz must be positive")
+        if self.peak_bw_gbs <= 0:
+            raise ConfigurationError("peak_bw_gbs must be positive")
+        if not (1 <= self.min_mask_bits <= self.llc_ways):
+            raise ConfigurationError(
+                "min_mask_bits must lie in [1, llc_ways], got "
+                f"{self.min_mask_bits} with llc_ways={self.llc_ways}"
+            )
+        if self.n_clos < 1:
+            raise ConfigurationError("n_clos must be >= 1")
+        if self.n_rmids < 1:
+            raise ConfigurationError("n_rmids must be >= 1")
+        if self.mem_latency_cycles <= 0:
+            raise ConfigurationError("mem_latency_cycles must be positive")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def llc_kb(self) -> int:
+        """Total LLC capacity in KiB."""
+        return self.llc_ways * self.llc_way_kb
+
+    @property
+    def llc_mb(self) -> float:
+        """Total LLC capacity in MiB."""
+        return self.llc_kb / 1024.0
+
+    @property
+    def way_mb(self) -> float:
+        """Capacity of a single way in MiB (the CAT allocation granularity)."""
+        return self.llc_way_kb / 1024.0
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with every LLC way set."""
+        return (1 << self.llc_ways) - 1
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Core cycles per second at nominal frequency."""
+        return self.freq_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count into seconds at nominal frequency."""
+        return cycles / self.cycles_per_second
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds into core cycles at nominal frequency."""
+        return seconds * self.cycles_per_second
+
+    def ways_to_kb(self, ways: float) -> float:
+        """Convert a (possibly fractional) way count into KiB of LLC space."""
+        return ways * self.llc_way_kb
+
+    def with_ways(self, llc_ways: int) -> "PlatformSpec":
+        """Return a copy of the platform with a different LLC way count."""
+        return replace(self, llc_ways=llc_ways)
+
+    def validate_ways(self, ways: int) -> int:
+        """Check that ``ways`` is a legal per-cluster allocation size."""
+        if not (self.min_mask_bits <= ways <= self.llc_ways):
+            raise ConfigurationError(
+                f"allocation of {ways} ways outside [{self.min_mask_bits}, "
+                f"{self.llc_ways}] on platform {self.name!r}"
+            )
+        return ways
+
+
+def skylake_gold_6138() -> PlatformSpec:
+    """The experimental platform of the paper (Section 5).
+
+    Xeon Gold 6138: 20 cores at 2 GHz, 11-way 27.5 MB L3 (2.5 MB per way),
+    1 MB private L2 and 64 KB L1 per core.
+    """
+    return PlatformSpec(
+        name="intel-xeon-gold-6138",
+        n_cores=20,
+        llc_ways=11,
+        llc_way_kb=2560,
+        l2_kb=1024,
+        l1_kb=64,
+        freq_ghz=2.0,
+        peak_bw_gbs=60.0,
+        mem_latency_cycles=230,
+        n_clos=16,
+        min_mask_bits=1,
+        n_rmids=176,
+    )
+
+
+def broadwell_like() -> PlatformSpec:
+    """A 20-way Broadwell-style platform (used by the search-space examples
+    in Section 2.2, where the paper counts ~9M clustering options for 8 apps)."""
+    return PlatformSpec(
+        name="broadwell-20way",
+        n_cores=16,
+        llc_ways=20,
+        llc_way_kb=1280,
+        l2_kb=256,
+        l1_kb=32,
+        freq_ghz=2.2,
+        peak_bw_gbs=55.0,
+        mem_latency_cycles=200,
+        n_clos=16,
+        min_mask_bits=2,
+        n_rmids=144,
+    )
+
+
+def small_test_platform(ways: int = 4, cores: int = 4) -> PlatformSpec:
+    """A deliberately tiny platform used by unit tests and quick examples."""
+    return PlatformSpec(
+        name=f"test-{ways}way",
+        n_cores=cores,
+        llc_ways=ways,
+        llc_way_kb=1024,
+        l2_kb=256,
+        l1_kb=32,
+        freq_ghz=1.0,
+        peak_bw_gbs=20.0,
+        mem_latency_cycles=150,
+        n_clos=8,
+        min_mask_bits=1,
+        n_rmids=32,
+    )

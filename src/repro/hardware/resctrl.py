@@ -1,0 +1,215 @@
+"""Simulated ``resctrl`` filesystem interface.
+
+On Linux, Intel CAT is exposed through the ``/sys/fs/resctrl`` pseudo
+filesystem: the root group plus one directory per control group, each with a
+``schemata`` file describing the capacity bitmask (``L3:0=7ff``) and a
+``tasks`` file listing the bound tasks.  LFOC itself bypasses resctrl and
+programs MSRs through a kernel API, but a downstream user of this library is
+far more likely to script resctrl — so we provide a faithful in-memory model
+of the interface on top of :class:`repro.hardware.cat.CatController`.
+
+The model supports:
+
+* creating / removing control groups,
+* reading and writing ``schemata`` strings (with the real parsing rules),
+* moving tasks between groups,
+* an ``info`` view exposing the platform limits (num_closids, cbm_mask,
+  min_cbm_bits), mirroring ``/sys/fs/resctrl/info/L3``.
+
+A hardware backend could implement the same class against the real filesystem
+without touching any policy code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import ResctrlError
+from repro.hardware.cat import (
+    CatController,
+    format_mask,
+    mask_ways,
+    parse_mask,
+)
+from repro.hardware.platform import PlatformSpec
+
+__all__ = ["ResctrlInfo", "ControlGroup", "ResctrlFilesystem"]
+
+
+@dataclass(frozen=True)
+class ResctrlInfo:
+    """Contents of ``/sys/fs/resctrl/info/L3`` for the simulated platform."""
+
+    num_closids: int
+    cbm_mask: str
+    min_cbm_bits: int
+    shareable_bits: str = "0"
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "num_closids": str(self.num_closids),
+            "cbm_mask": self.cbm_mask,
+            "min_cbm_bits": str(self.min_cbm_bits),
+            "shareable_bits": self.shareable_bits,
+        }
+
+
+@dataclass
+class ControlGroup:
+    """One resctrl control group (a directory under ``/sys/fs/resctrl``)."""
+
+    name: str
+    clos_id: int
+    mask: int
+    tasks: List[str]
+
+    def schemata(self, llc_ways: int, cache_id: int = 0) -> str:
+        return f"L3:{cache_id}={format_mask(self.mask, llc_ways)}"
+
+
+class ResctrlFilesystem:
+    """In-memory model of the resctrl mount point."""
+
+    ROOT = ""
+
+    def __init__(self, platform: PlatformSpec, cache_id: int = 0) -> None:
+        self.platform = platform
+        self.cache_id = cache_id
+        self.cat = CatController(platform)
+        self._groups: Dict[str, int] = {self.ROOT: 0}  # group name -> CLOS id
+
+    # -- info ---------------------------------------------------------------
+
+    def info(self) -> ResctrlInfo:
+        return ResctrlInfo(
+            num_closids=self.platform.n_clos,
+            cbm_mask=format_mask(self.platform.full_mask, self.platform.llc_ways),
+            min_cbm_bits=self.platform.min_mask_bits,
+        )
+
+    # -- group management ---------------------------------------------------
+
+    def groups(self) -> List[str]:
+        """Names of all control groups, the root group first."""
+        return sorted(self._groups, key=lambda name: (name != self.ROOT, name))
+
+    def group(self, name: str) -> ControlGroup:
+        clos_id = self._clos_for(name)
+        cos = self.cat.get_class(clos_id)
+        return ControlGroup(
+            name=name,
+            clos_id=clos_id,
+            mask=cos.mask,
+            tasks=sorted(cos.tasks),
+        )
+
+    def mkdir(self, name: str) -> ControlGroup:
+        """Create a control group (``mkdir /sys/fs/resctrl/<name>``)."""
+        if not name or "/" in name:
+            raise ResctrlError(f"invalid control group name {name!r}")
+        if name in self._groups:
+            raise ResctrlError(f"control group {name!r} already exists")
+        cos = self.cat.create_class(self.platform.full_mask)
+        self._groups[name] = cos.clos_id
+        return self.group(name)
+
+    def rmdir(self, name: str) -> None:
+        """Remove a control group; its tasks return to the root group."""
+        if name == self.ROOT:
+            raise ResctrlError("the root control group cannot be removed")
+        clos_id = self._clos_for(name)
+        self.cat.remove_class(clos_id)
+        del self._groups[name]
+
+    def reset(self) -> None:
+        """Remove every non-root group (equivalent to remounting resctrl)."""
+        for name in [g for g in self._groups if g != self.ROOT]:
+            self.rmdir(name)
+        self.cat.set_mask(0, self.platform.full_mask)
+
+    # -- schemata -----------------------------------------------------------
+
+    def read_schemata(self, name: str = ROOT) -> str:
+        return self.group(name).schemata(self.platform.llc_ways, self.cache_id)
+
+    def write_schemata(self, name: str, schemata: str) -> None:
+        """Write a schemata line, e.g. ``L3:0=7ff``."""
+        mask = self._parse_schemata(schemata)
+        self.cat.set_mask(self._clos_for(name), mask)
+
+    def _parse_schemata(self, schemata: str) -> int:
+        text = schemata.strip()
+        if not text.upper().startswith("L3"):
+            raise ResctrlError(f"unsupported schemata resource in {schemata!r}")
+        try:
+            _, assignments = text.split(":", 1)
+        except ValueError as exc:
+            raise ResctrlError(f"malformed schemata {schemata!r}") from exc
+        mask: Optional[int] = None
+        for assignment in assignments.split(";"):
+            assignment = assignment.strip()
+            if not assignment:
+                continue
+            try:
+                cache, value = assignment.split("=", 1)
+            except ValueError as exc:
+                raise ResctrlError(f"malformed schemata entry {assignment!r}") from exc
+            if int(cache) != self.cache_id:
+                continue
+            mask = parse_mask(value)
+        if mask is None:
+            raise ResctrlError(
+                f"schemata {schemata!r} does not mention cache id {self.cache_id}"
+            )
+        return mask
+
+    # -- tasks --------------------------------------------------------------
+
+    def add_task(self, name: str, task: str) -> None:
+        """Move a task into a control group (``echo PID > tasks``)."""
+        clos_id = self._clos_for(name)
+        self.cat.bind_task(task, clos_id)
+
+    def tasks(self, name: str = ROOT) -> List[str]:
+        return self.group(name).tasks
+
+    def group_of(self, task: str) -> str:
+        clos_id = self.cat.clos_of(task)
+        for name, gid in self._groups.items():
+            if gid == clos_id:
+                return name
+        # A task bound directly through the CAT controller without a group.
+        return self.ROOT
+
+    def effective_ways(self, task: str) -> int:
+        """Number of LLC ways available to a task under the current schemata."""
+        return mask_ways(self.cat.mask_of(task))
+
+    # -- helpers ------------------------------------------------------------
+
+    def _clos_for(self, name: str) -> int:
+        try:
+            return self._groups[name]
+        except KeyError as exc:
+            raise ResctrlError(f"unknown control group {name!r}") from exc
+
+    def apply_allocation(self, allocation: Mapping[str, int], prefix: str = "grp") -> None:
+        """Program a task→mask allocation as a set of control groups.
+
+        One group is created per distinct mask; tasks sharing a mask share the
+        group, mirroring how an OS-level policy would drive resctrl.
+        """
+        self.reset()
+        by_mask: Dict[int, List[str]] = {}
+        for task, mask in allocation.items():
+            by_mask.setdefault(int(mask), []).append(task)
+        for index, (mask, tasks) in enumerate(sorted(by_mask.items())):
+            if mask == self.platform.full_mask and index == 0 and len(by_mask) <= self.platform.n_clos:
+                name = self.ROOT
+            else:
+                name = f"{prefix}{index}"
+                self.mkdir(name)
+            self.write_schemata(name or self.ROOT, f"L3:{self.cache_id}={format_mask(mask, self.platform.llc_ways)}")
+            for task in tasks:
+                self.add_task(name, task)

@@ -1,0 +1,72 @@
+"""Aggregation helpers used by the evaluation harness.
+
+The paper reports per-workload unfairness and STP normalised to the stock
+Linux configuration, and averages reductions across workloads.  These helpers
+keep that arithmetic in one place (geometric means for ratio quantities,
+normalisation, percentage improvements).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "geometric_mean",
+    "normalise",
+    "percent_reduction",
+    "average_percent_reduction",
+    "normalised_series",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for completion times in the paper's methodology)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ReproError("geometric mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ReproError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def normalise(value: float, baseline: float) -> float:
+    """Ratio of ``value`` to ``baseline`` (e.g. unfairness vs stock Linux)."""
+    if baseline <= 0:
+        raise ReproError(f"baseline must be positive, got {baseline}")
+    return value / baseline
+
+
+def percent_reduction(value: float, baseline: float) -> float:
+    """Percentage reduction of ``value`` relative to ``baseline``.
+
+    Positive numbers mean improvement for lower-is-better metrics such as
+    unfairness (the paper's "20.5% reduction in unfairness" figures).
+    """
+    if baseline <= 0:
+        raise ReproError(f"baseline must be positive, got {baseline}")
+    return 100.0 * (baseline - value) / baseline
+
+
+def average_percent_reduction(
+    values: Mapping[str, float], baselines: Mapping[str, float]
+) -> float:
+    """Mean percentage reduction across workloads (keys must match)."""
+    if set(values) != set(baselines):
+        raise ReproError("values and baselines must cover the same workloads")
+    if not values:
+        raise ReproError("cannot average over zero workloads")
+    reductions = [percent_reduction(values[k], baselines[k]) for k in values]
+    return float(np.mean(reductions))
+
+
+def normalised_series(
+    values: Mapping[str, float], baselines: Mapping[str, float]
+) -> Dict[str, float]:
+    """Normalise a per-workload series to a per-workload baseline."""
+    if set(values) != set(baselines):
+        raise ReproError("values and baselines must cover the same workloads")
+    return {key: normalise(values[key], baselines[key]) for key in values}

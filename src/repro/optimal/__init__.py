@@ -1,0 +1,37 @@
+"""Optimal cache-clustering / cache-partitioning solvers (the PBBCache role)."""
+
+from repro.optimal.partitions import (
+    bell_number,
+    count_clustering_solutions,
+    count_partitioning_solutions,
+    count_set_partitions,
+    count_way_compositions,
+    set_partitions,
+    stirling2,
+    way_compositions,
+)
+from repro.optimal.objective import CachedObjective, CandidateScore, ClusterPieces
+from repro.optimal.exhaustive import OptimalResult, optimal_clustering, optimal_partitioning
+from repro.optimal.bnb import branch_and_bound_clustering
+from repro.optimal.local_search import local_search_clustering
+from repro.optimal.parallel import parallel_optimal_clustering
+
+__all__ = [
+    "bell_number",
+    "count_clustering_solutions",
+    "count_partitioning_solutions",
+    "count_set_partitions",
+    "count_way_compositions",
+    "set_partitions",
+    "stirling2",
+    "way_compositions",
+    "CachedObjective",
+    "CandidateScore",
+    "ClusterPieces",
+    "OptimalResult",
+    "optimal_clustering",
+    "optimal_partitioning",
+    "branch_and_bound_clustering",
+    "local_search_clustering",
+    "parallel_optimal_clustering",
+]

@@ -1,0 +1,174 @@
+"""Exhaustive optimal cache-clustering / cache-partitioning search.
+
+This is the reference solver behind the Section 3 analysis (and the
+``Best-Static`` policy of Section 5.1): it walks *every* feasible clustering
+(or strict partitioning) of the workload and returns the one that optimises
+the requested objective — minimal unfairness with system throughput as the
+tie-break, or maximal throughput.
+
+The search space grows like the Bell number, so the exhaustive solver is only
+practical up to roughly nine applications (the paper makes the same point in
+Section 2.2); larger workloads should use :mod:`repro.optimal.bnb` (same
+result, pruned) or :mod:`repro.optimal.local_search` (approximate), and the
+multiprocessing driver in :mod:`repro.optimal.parallel` mirrors PBBCache's
+parallel branch-and-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution
+from repro.errors import SolverError
+from repro.hardware.platform import PlatformSpec
+from repro.optimal.objective import CachedObjective, CandidateScore
+from repro.optimal.partitions import set_partitions, way_compositions
+from repro.simulator.estimator import ClusteringEstimator
+
+__all__ = ["OptimalResult", "optimal_clustering", "optimal_partitioning"]
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Outcome of an optimal-solution search."""
+
+    solution: ClusteringSolution
+    score: CandidateScore
+    candidates_evaluated: int
+    objective: str
+
+    @property
+    def unfairness(self) -> float:
+        return self.score.unfairness
+
+    @property
+    def stp(self) -> float:
+        return self.score.stp
+
+
+def _build_objective(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    objective_fn: Optional[CachedObjective],
+) -> CachedObjective:
+    if objective_fn is not None:
+        return objective_fn
+    return CachedObjective(platform, profiles)
+
+
+def _validate_workload(apps: Sequence[str], profiles: Mapping[str, AppProfile]) -> List[str]:
+    apps = list(apps)
+    if not apps:
+        raise SolverError("the workload must contain at least one application")
+    missing = [a for a in apps if a not in profiles]
+    if missing:
+        raise SolverError(f"no profiles registered for applications {missing}")
+    if len(set(apps)) != len(apps):
+        raise SolverError("application names must be unique")
+    return apps
+
+
+def optimal_clustering(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    apps: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "fairness",
+    max_clusters: Optional[int] = None,
+    objective_fn: Optional[CachedObjective] = None,
+) -> OptimalResult:
+    """Exhaustively search for the optimal cache clustering.
+
+    Parameters
+    ----------
+    platform, profiles:
+        The machine model and per-application profiles.
+    apps:
+        Application names to cluster (defaults to every profiled application).
+    objective:
+        ``"fairness"`` (minimal unfairness, STP tie-break — the paper's
+        setting) or ``"throughput"`` (maximal STP).
+    max_clusters:
+        Optional cap on the number of clusters (defaults to ``min(n, k)``).
+    objective_fn:
+        Pre-built :class:`CachedObjective`, useful to share the cluster cache
+        across several searches over the same workload (Fig. 3 does this).
+    """
+    if objective not in ("fairness", "throughput"):
+        raise SolverError(f"unknown objective {objective!r}")
+    apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
+    k = platform.llc_ways
+    limit = min(len(apps), k)
+    if max_clusters is not None:
+        if max_clusters < 1:
+            raise SolverError("max_clusters must be >= 1")
+        limit = min(limit, max_clusters)
+    scorer = _build_objective(platform, profiles, objective_fn)
+
+    best_score: Optional[CandidateScore] = None
+    best_groups: Optional[List[List[str]]] = None
+    best_ways: Optional[Tuple[int, ...]] = None
+    evaluated = 0
+    for groups in set_partitions(apps, limit):
+        m = len(groups)
+        for ways in way_compositions(k, m):
+            score = scorer.score_candidate(groups, ways)
+            evaluated += 1
+            if best_score is None or score.better_than(best_score, objective):
+                best_score = score
+                best_groups = [list(g) for g in groups]
+                best_ways = ways
+    assert best_score is not None and best_groups is not None and best_ways is not None
+    solution = ClusteringSolution.from_groups(best_groups, list(best_ways), k)
+    return OptimalResult(
+        solution=solution,
+        score=best_score,
+        candidates_evaluated=evaluated,
+        objective=objective,
+    )
+
+
+def optimal_partitioning(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    apps: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "fairness",
+    objective_fn: Optional[CachedObjective] = None,
+) -> OptimalResult:
+    """Exhaustively search for the optimal *strict* cache partitioning.
+
+    Every application gets its own partition; only the way distribution is
+    searched.  Requires ``n <= k`` (otherwise partitioning is infeasible, as
+    Section 2.2 notes).
+    """
+    if objective not in ("fairness", "throughput"):
+        raise SolverError(f"unknown objective {objective!r}")
+    apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
+    k = platform.llc_ways
+    if len(apps) > k:
+        raise SolverError(
+            f"strict partitioning of {len(apps)} applications is infeasible on a "
+            f"{k}-way LLC"
+        )
+    scorer = _build_objective(platform, profiles, objective_fn)
+    groups = [[app] for app in apps]
+    best_score: Optional[CandidateScore] = None
+    best_ways: Optional[Tuple[int, ...]] = None
+    evaluated = 0
+    for ways in way_compositions(k, len(apps)):
+        score = scorer.score_candidate(groups, ways)
+        evaluated += 1
+        if best_score is None or score.better_than(best_score, objective):
+            best_score = score
+            best_ways = ways
+    assert best_score is not None and best_ways is not None
+    solution = ClusteringSolution.from_partitioning(apps, list(best_ways), k)
+    return OptimalResult(
+        solution=solution,
+        score=best_score,
+        candidates_evaluated=evaluated,
+        objective=objective,
+    )

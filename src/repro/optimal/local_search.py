@@ -1,0 +1,201 @@
+"""Approximate optimal clustering for large workloads.
+
+The exact solvers become impractical beyond roughly nine or ten applications
+(the paper quotes >5500M candidate clusterings for 11 applications on a
+20-way LLC).  For the larger Fig. 2 / Fig. 3 configurations we therefore also
+provide a randomised local search that approximates the fairness-optimal
+clustering:
+
+* the search starts from a small set of structured seeds (everything shared,
+  strict partitioning where feasible, and an LFOC-style seed that isolates the
+  highest-miss-rate applications);
+* each step proposes a random move — move one application to another cluster,
+  merge two clusters, split a cluster, or shift a way between clusters — and
+  accepts it if the objective improves (steepest-descent with restarts).
+
+The result carries the same :class:`~repro.optimal.exhaustive.OptimalResult`
+interface as the exact solvers, plus the number of moves explored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution
+from repro.errors import SolverError
+from repro.hardware.platform import PlatformSpec
+from repro.optimal.exhaustive import OptimalResult, _validate_workload
+from repro.optimal.objective import CachedObjective, CandidateScore
+
+__all__ = ["local_search_clustering"]
+
+State = Tuple[Tuple[Tuple[str, ...], ...], Tuple[int, ...]]
+
+
+def _canonical(groups: Sequence[Sequence[str]], ways: Sequence[int]) -> State:
+    order = sorted(range(len(groups)), key=lambda i: sorted(groups[i])[0])
+    return (
+        tuple(tuple(sorted(groups[i])) for i in order),
+        tuple(int(ways[i]) for i in order),
+    )
+
+
+def _seed_states(
+    apps: List[str],
+    profiles: Mapping[str, AppProfile],
+    k: int,
+) -> List[Tuple[List[List[str]], List[int]]]:
+    seeds: List[Tuple[List[List[str]], List[int]]] = []
+    # Everything in one shared cluster.
+    seeds.append(([list(apps)], [k]))
+    # Strict even partitioning (only feasible when n <= k).
+    n = len(apps)
+    if n <= k:
+        ways = [k // n] * n
+        for i in range(k - sum(ways)):
+            ways[i] += 1
+        seeds.append(([[a] for a in apps], ways))
+    # LFOC-style seed: isolate the highest-miss-rate applications in one 1-way
+    # cluster, spread the rest over the remaining ways.
+    by_pressure = sorted(apps, key=lambda a: profiles[a].llcmpkc_at(1.0), reverse=True)
+    aggressors = [a for a in by_pressure if profiles[a].llcmpkc_at(float(k)) >= 10.0]
+    others = [a for a in by_pressure if a not in aggressors]
+    if aggressors and others and k >= 2:
+        remaining_ways = k - 1
+        n_other_clusters = min(len(others), remaining_ways)
+        groups: List[List[str]] = [list(aggressors)]
+        ways = [1]
+        other_groups: List[List[str]] = [[] for _ in range(n_other_clusters)]
+        for index, app in enumerate(others):
+            other_groups[index % n_other_clusters].append(app)
+        other_ways = [remaining_ways // n_other_clusters] * n_other_clusters
+        for i in range(remaining_ways - sum(other_ways)):
+            other_ways[i] += 1
+        groups.extend(other_groups)
+        ways.extend(other_ways)
+        seeds.append((groups, ways))
+    return seeds
+
+
+def local_search_clustering(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    apps: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "fairness",
+    iterations: int = 2000,
+    restarts: int = 3,
+    seed: int = 0,
+    objective_fn: Optional[CachedObjective] = None,
+) -> OptimalResult:
+    """Randomised local search for a near-optimal clustering.
+
+    ``iterations`` proposals are evaluated per restart; the best state over
+    all restarts is returned.  Deterministic for a fixed ``seed``.
+    """
+    if objective not in ("fairness", "throughput"):
+        raise SolverError(f"unknown objective {objective!r}")
+    if iterations < 1 or restarts < 1:
+        raise SolverError("iterations and restarts must be >= 1")
+    apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
+    k = platform.llc_ways
+    scorer = objective_fn or CachedObjective(platform, profiles)
+    rng = np.random.default_rng(seed)
+
+    def score(groups: List[List[str]], ways: List[int]) -> CandidateScore:
+        return scorer.score_candidate(groups, ways)
+
+    def propose(groups: List[List[str]], ways: List[int]) -> Optional[Tuple[List[List[str]], List[int]]]:
+        groups = [list(g) for g in groups]
+        ways = list(ways)
+        move = rng.integers(0, 4)
+        if move == 0 and len(groups) > 1:
+            # Move one application to another cluster.
+            src = int(rng.integers(0, len(groups)))
+            if len(groups[src]) == 1:
+                return None
+            dst = int(rng.integers(0, len(groups)))
+            if dst == src:
+                return None
+            app = groups[src][int(rng.integers(0, len(groups[src])))]
+            groups[src].remove(app)
+            groups[dst].append(app)
+            return groups, ways
+        if move == 1 and len(groups) > 1:
+            # Merge two clusters (their ways add up).
+            a, b = rng.choice(len(groups), size=2, replace=False)
+            a, b = int(min(a, b)), int(max(a, b))
+            groups[a].extend(groups[b])
+            ways[a] += ways[b]
+            del groups[b]
+            del ways[b]
+            return groups, ways
+        if move == 2 and len(groups) < min(len(apps), k):
+            # Split a multi-application, multi-way cluster in two.
+            candidates = [
+                i for i, (g, w) in enumerate(zip(groups, ways)) if len(g) > 1 and w > 1
+            ]
+            if not candidates:
+                return None
+            src = int(rng.choice(candidates))
+            members = groups[src]
+            cut = int(rng.integers(1, len(members)))
+            left, right = members[:cut], members[cut:]
+            ways_right = int(rng.integers(1, ways[src]))
+            groups[src] = left
+            ways[src] = ways[src] - ways_right
+            groups.append(right)
+            ways.append(ways_right)
+            return groups, ways
+        if move == 3 and len(groups) > 1:
+            # Shift one way between two clusters.
+            src_candidates = [i for i, w in enumerate(ways) if w > 1]
+            if not src_candidates:
+                return None
+            src = int(rng.choice(src_candidates))
+            dst = int(rng.integers(0, len(groups)))
+            if dst == src:
+                return None
+            ways[src] -= 1
+            ways[dst] += 1
+            return groups, ways
+        return None
+
+    best_score: Optional[CandidateScore] = None
+    best_state: Optional[Tuple[List[List[str]], List[int]]] = None
+    evaluated = 0
+    seeds = _seed_states(list(apps), scorer.profiles, k)
+    for restart in range(restarts):
+        groups, ways = [
+            [list(g) for g in seeds[restart % len(seeds)][0]],
+            list(seeds[restart % len(seeds)][1]),
+        ]
+        current_score = score(groups, ways)
+        evaluated += 1
+        if best_score is None or current_score.better_than(best_score, objective):
+            best_score = current_score
+            best_state = ([list(g) for g in groups], list(ways))
+        for _ in range(iterations):
+            proposal = propose(groups, ways)
+            if proposal is None:
+                continue
+            new_groups, new_ways = proposal
+            new_score = score(new_groups, new_ways)
+            evaluated += 1
+            if new_score.better_than(current_score, objective):
+                groups, ways = new_groups, new_ways
+                current_score = new_score
+                if best_score is None or new_score.better_than(best_score, objective):
+                    best_score = new_score
+                    best_state = ([list(g) for g in new_groups], list(new_ways))
+    assert best_score is not None and best_state is not None
+    solution = ClusteringSolution.from_groups(best_state[0], best_state[1], k)
+    return OptimalResult(
+        solution=solution,
+        score=best_score,
+        candidates_evaluated=evaluated,
+        objective=objective,
+    )

@@ -1,0 +1,191 @@
+"""Cached objective function for the optimal-solution search.
+
+Walking the clustering search space (Section 3) requires evaluating hundreds
+of thousands of candidate solutions.  Re-running the full contention estimator
+for every candidate would be wasteful because the same (cluster members, way
+count) pairs reappear over and over across candidates: with ``n``
+applications there are only ``2^n × k`` distinct clusters, while the number of
+clusterings grows like the Bell number.
+
+:class:`CachedObjective` therefore evaluates candidates from per-cluster
+building blocks:
+
+* for each distinct ``(frozenset of members, ways)`` pair it runs the
+  occupancy model once and caches each member's cache-sharing slowdown,
+  bandwidth demand and stall fraction;
+* a candidate clustering is then scored by combining the cached pieces and
+  applying the workload-wide bandwidth-contention correction.
+
+The combination step is exact with respect to the full estimator because
+non-overlapping clusters do not interact through cache space — only through
+the bandwidth model, which is applied at the workload level here exactly as
+:class:`~repro.simulator.estimator.ClusteringEstimator` applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution, WayAllocation
+from repro.errors import SolverError
+from repro.hardware.platform import PlatformSpec
+from repro.metrics.fairness import stp, unfairness
+from repro.simulator.bandwidth import BandwidthModel
+from repro.simulator.estimator import _ipc_with_extrapolation
+from repro.simulator.occupancy import OccupancyModel
+
+__all__ = ["ClusterPieces", "CandidateScore", "CachedObjective"]
+
+
+@dataclass(frozen=True)
+class ClusterPieces:
+    """Cached per-member quantities for one (members, ways) cluster."""
+
+    cache_slowdowns: Dict[str, float]
+    bandwidth_gbs: Dict[str, float]
+    stall_fractions: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Score of one candidate clustering."""
+
+    unfairness: float
+    stp: float
+    slowdowns: Dict[str, float]
+
+    def better_than(self, other: "CandidateScore", objective: str) -> bool:
+        """Compare two scores under the given optimisation objective.
+
+        ``fairness``: lower unfairness wins, STP breaks ties (the paper's
+        "optimal (minimal) unfairness value for the maximum throughput
+        attainable").  ``throughput``: higher STP wins, unfairness breaks ties.
+        """
+        if objective == "fairness":
+            if abs(self.unfairness - other.unfairness) > 1e-9:
+                return self.unfairness < other.unfairness
+            return self.stp > other.stp + 1e-12
+        if objective == "throughput":
+            if abs(self.stp - other.stp) > 1e-9:
+                return self.stp > other.stp
+            return self.unfairness < other.unfairness - 1e-12
+        raise SolverError(f"unknown objective {objective!r}")
+
+
+class CachedObjective:
+    """Evaluate candidate clusterings from cached per-cluster pieces."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        profiles: Mapping[str, AppProfile],
+        *,
+        occupancy_model: OccupancyModel | None = None,
+        bandwidth_model: BandwidthModel | None = None,
+    ) -> None:
+        if not profiles:
+            raise SolverError("the objective needs at least one application profile")
+        self.platform = platform
+        self.profiles = dict(profiles)
+        self.occupancy_model = occupancy_model or OccupancyModel()
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+        self._cluster_cache: Dict[Tuple[FrozenSet[str], int], ClusterPieces] = {}
+
+    # -- per-cluster building blocks --------------------------------------------
+
+    def cluster_pieces(self, members: Iterable[str], ways: int) -> ClusterPieces:
+        """Cache-sharing slowdowns and bandwidth terms for one cluster."""
+        key = (frozenset(members), int(ways))
+        cached = self._cluster_cache.get(key)
+        if cached is not None:
+            return cached
+        member_list = sorted(key[0])
+        if not member_list:
+            raise SolverError("a cluster must contain at least one application")
+        if ways < 1:
+            raise SolverError("a cluster must receive at least one way")
+        mask = (1 << ways) - 1
+        allocation = WayAllocation(
+            masks={app: mask for app in member_list}, total_ways=max(ways, 1)
+        )
+        occupancy = self.occupancy_model.solve(allocation, self.profiles)
+        cache_slowdowns: Dict[str, float] = {}
+        bandwidth: Dict[str, float] = {}
+        stalls: Dict[str, float] = {}
+        for app in member_list:
+            profile = self.profiles[app]
+            effective = occupancy.effective_ways[app]
+            ipc = _ipc_with_extrapolation(profile, effective)
+            cache_slowdowns[app] = profile.ipc_alone / max(ipc, 1e-12)
+            eval_ways = max(effective, 0.25)
+            bandwidth[app] = profile.bandwidth_gbs_at(eval_ways, self.platform)
+            stalls[app] = profile.stall_fraction_at(eval_ways, self.platform)
+        pieces = ClusterPieces(
+            cache_slowdowns=cache_slowdowns,
+            bandwidth_gbs=bandwidth,
+            stall_fractions=stalls,
+        )
+        self._cluster_cache[key] = pieces
+        return pieces
+
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct (cluster, ways) pairs evaluated so far."""
+        return len(self._cluster_cache)
+
+    # -- candidate scoring --------------------------------------------------------
+
+    def score_candidate(
+        self, groups: Sequence[Sequence[str]], ways: Sequence[int]
+    ) -> CandidateScore:
+        """Score one clustering candidate given parallel groups/ways sequences."""
+        if len(groups) != len(ways):
+            raise SolverError("groups and ways must have the same length")
+        slowdowns: Dict[str, float] = {}
+        demands: Dict[str, float] = {}
+        stalls: Dict[str, float] = {}
+        for group, way in zip(groups, ways):
+            pieces = self.cluster_pieces(group, way)
+            slowdowns.update(pieces.cache_slowdowns)
+            demands.update(pieces.bandwidth_gbs)
+            stalls.update(pieces.stall_fractions)
+        total_demand = sum(demands.values())
+        if total_demand > self.platform.peak_bw_gbs:
+            overcommit = total_demand / self.platform.peak_bw_gbs
+            for app in slowdowns:
+                factor = 1.0 + self.bandwidth_model.sensitivity * stalls[app] * (
+                    overcommit - 1.0
+                )
+                factor = min(max(factor, 1.0), self.bandwidth_model.max_factor)
+                slowdowns[app] = slowdowns[app] * factor
+        values = list(slowdowns.values())
+        return CandidateScore(
+            unfairness=unfairness(values),
+            stp=stp(values),
+            slowdowns=slowdowns,
+        )
+
+    def score_solution(self, solution: ClusteringSolution) -> CandidateScore:
+        """Score a :class:`ClusteringSolution` (convenience wrapper)."""
+        groups = [list(cluster.apps) for cluster in solution.clusters]
+        ways = [cluster.ways for cluster in solution.clusters]
+        return self.score_candidate(groups, ways)
+
+    # -- bounds used by branch and bound -------------------------------------------
+
+    def best_case_slowdown(self, app: str, max_ways: int) -> float:
+        """Lower bound on the slowdown of ``app``: alone in a cluster of ``max_ways``."""
+        pieces = self.cluster_pieces([app], max_ways)
+        return pieces.cache_slowdowns[app]
+
+    def worst_case_slowdown(self, app: str) -> float:
+        """Upper bound proxy: the slowdown of ``app`` crammed into a single way
+        with the heaviest aggressor in the workload (no bandwidth term)."""
+        worst = 0.0
+        for other in self.profiles:
+            members = [app] if other == app else [app, other]
+            pieces = self.cluster_pieces(members, 1)
+            worst = max(worst, pieces.cache_slowdowns[app])
+        return worst

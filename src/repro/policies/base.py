@@ -1,0 +1,88 @@
+"""Common interface for (static) cache-allocation policies.
+
+A *static* policy looks at offline per-application profiles and decides, once,
+how to distribute the LLC: which applications share which ways.  This is the
+setting of the Section 5.1 study (the clustering algorithms are fed
+offline-collected averages and the resulting partitions stay fixed for the
+whole run).  Dynamic behaviour — reacting to phase changes with online
+counters — is layered on top by :mod:`repro.runtime.scheduler`.
+
+Policies may return either a proper :class:`ClusteringSolution` (disjoint
+clusters) or, for schemes like Dunn whose partitions overlap, a raw
+:class:`WayAllocation`.  ``allocate`` always provides the latter so callers
+(the estimator, the CAT controller) can treat every policy uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional, Union
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution, WayAllocation
+from repro.errors import ClusteringError
+from repro.hardware.platform import PlatformSpec
+
+__all__ = ["ClusteringPolicy", "ClusteringOrAllocation"]
+
+ClusteringOrAllocation = Union[ClusteringSolution, WayAllocation]
+
+
+class ClusteringPolicy(ABC):
+    """Base class for cache-clustering / cache-partitioning policies."""
+
+    #: Short identifier used in reports and figures ("LFOC", "Dunn", ...).
+    name: str = "policy"
+
+    @abstractmethod
+    def decide(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> ClusteringOrAllocation:
+        """Compute the policy's cache distribution for the given workload.
+
+        ``profiles`` maps application instance names to their (offline)
+        profiles; the profiles need not match the platform's way count — the
+        policy is responsible for resampling if it consumes per-way tables.
+        """
+
+    # -- uniform access ---------------------------------------------------------
+
+    def allocate(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> WayAllocation:
+        """Concrete per-application capacity bitmasks for the workload."""
+        decision = self.decide(profiles, platform)
+        if isinstance(decision, ClusteringSolution):
+            return decision.to_allocation()
+        if isinstance(decision, WayAllocation):
+            return decision
+        raise ClusteringError(
+            f"policy {self.name!r} returned an unsupported decision type "
+            f"{type(decision).__name__}"
+        )
+
+    def cluster(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> ClusteringSolution:
+        """The decision as a clustering; raises if the policy only produces
+        overlapping allocations."""
+        decision = self.decide(profiles, platform)
+        if isinstance(decision, ClusteringSolution):
+            return decision
+        raise ClusteringError(
+            f"policy {self.name!r} produces overlapping allocations, not clusterings"
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_workload(
+        profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> None:
+        if not profiles:
+            raise ClusteringError("the workload must contain at least one application")
+        if platform.llc_ways < 1:
+            raise ClusteringError("the platform must expose at least one LLC way")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,210 @@
+"""Dunn: fairness-oriented clustering on ``STALLS_L2_MISS`` (Selfa et al., PACT'17).
+
+Dunn groups applications with the k-means algorithm using a single metric —
+the fraction of core stall cycles caused by L2 (i.e. LLC-bound) misses — and
+gives more cache ways to the clusters with higher stall fractions.  Two
+properties matter for reproducing the paper's comparison:
+
+* the cache partitions Dunn creates may *overlap*: clusters are laid out
+  consecutively (in increasing stall order) with sizes proportional to their
+  stall fraction, and every cluster's mask spills one way into its
+  higher-stall neighbour's region (Section 2.3.2 notes that Dunn "does not
+  strictly constitute a pure cache-clustering approach, since the cache
+  partitions it creates may overlap with each other", which "can create
+  unpredictable interactions between applications that belong to different
+  clusters");
+* relying on the stall fraction alone cannot distinguish a streaming aggressor
+  (high stalls because it always misses) from a highly cache-sensitive program
+  (high stalls because it is being squeezed), so both end up in the same big
+  partitions — the root cause of Dunn's non-uniform behaviour in Fig. 6.
+
+The k-means step is one-dimensional; the number of clusters is chosen by the
+best silhouette score over a small range, as in the original user-level
+implementation, and the whole procedure is deterministic for a given workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.core.types import WayAllocation
+from repro.errors import ClusteringError
+from repro.hardware.cat import mask_from_range
+from repro.hardware.platform import PlatformSpec
+from repro.policies.base import ClusteringPolicy
+
+__all__ = ["DunnPolicy", "kmeans_1d"]
+
+
+def kmeans_1d(
+    values: Sequence[float], k: int, *, iterations: int = 50, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain 1-D k-means.
+
+    Returns ``(labels, centroids)`` with centroids sorted ascending and labels
+    referring to the sorted centroids.  Deterministic: centroids are seeded
+    with evenly spaced quantiles of the data.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ClusteringError("k-means needs a non-empty 1-D value array")
+    if not (1 <= k <= data.size):
+        raise ClusteringError(f"k must lie in [1, {data.size}], got {k}")
+    quantiles = np.linspace(0.0, 1.0, k + 2)[1:-1]
+    centroids = np.quantile(data, quantiles)
+    # Nudge identical seeds apart so that clusters do not collapse immediately.
+    centroids = centroids + np.arange(k) * 1e-9
+    labels = np.zeros(data.size, dtype=int)
+    for _ in range(iterations):
+        distances = np.abs(data[:, None] - centroids[None, :])
+        new_labels = np.argmin(distances, axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = data[new_labels == cluster]
+            if members.size:
+                new_centroids[cluster] = members.mean()
+        if np.array_equal(new_labels, labels) and np.allclose(new_centroids, centroids):
+            break
+        labels = new_labels
+        centroids = new_centroids
+    order = np.argsort(centroids)
+    remap = np.empty_like(order)
+    remap[order] = np.arange(k)
+    return remap[labels], centroids[order]
+
+
+def _silhouette_1d(values: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Mean silhouette coefficient for a 1-D clustering (higher is better)."""
+    if k < 2:
+        return -1.0
+    scores = []
+    for index, value in enumerate(values):
+        own = values[labels == labels[index]]
+        if own.size <= 1:
+            scores.append(0.0)
+            continue
+        a = np.abs(own - value).sum() / (own.size - 1)
+        b = np.inf
+        for other in range(k):
+            if other == labels[index]:
+                continue
+            members = values[labels == other]
+            if members.size:
+                b = min(b, float(np.abs(members - value).mean()))
+        if not np.isfinite(b):
+            scores.append(0.0)
+            continue
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))
+
+
+class DunnPolicy(ClusteringPolicy):
+    """K-means clustering on stall fractions with proportional, overlapping masks."""
+
+    name = "Dunn"
+
+    def __init__(
+        self,
+        max_clusters: int = 4,
+        min_clusters: int = 2,
+        overlap_ways: int = 1,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        max_clusters, min_clusters:
+            Range of k explored by the 1-D k-means (best silhouette wins).
+        overlap_ways:
+            How far each cluster's mask spills into its higher-stall
+            neighbour's region (0 makes the partitions disjoint).
+        """
+        if min_clusters < 1 or max_clusters < min_clusters:
+            raise ClusteringError(
+                f"invalid cluster range [{min_clusters}, {max_clusters}]"
+            )
+        if overlap_ways < 0:
+            raise ClusteringError("overlap_ways must be >= 0")
+        self.max_clusters = max_clusters
+        self.min_clusters = min_clusters
+        self.overlap_ways = overlap_ways
+
+    # -- pieces ------------------------------------------------------------------
+
+    def stall_metric(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> Dict[str, float]:
+        """The ``STALLS_L2_MISS`` fraction Dunn clusters on.
+
+        In the static study each application is observed while sharing the
+        cache with the rest of the workload, so the metric is evaluated at the
+        application's fair share of the LLC.
+        """
+        share = max(platform.llc_ways / max(len(profiles), 1), 1.0)
+        return {
+            name: profile.resampled(platform.llc_ways).stall_fraction_at(share, platform)
+            for name, profile in profiles.items()
+        }
+
+    def _choose_k(self, values: np.ndarray) -> Tuple[int, np.ndarray]:
+        n = values.size
+        if n == 1:
+            return 1, np.zeros(1, dtype=int)
+        best_k, best_labels, best_score = 1, np.zeros(n, dtype=int), -np.inf
+        upper = min(self.max_clusters, n)
+        for k in range(min(self.min_clusters, upper), upper + 1):
+            labels, _ = kmeans_1d(values, k)
+            score = _silhouette_1d(values, labels, k)
+            if score > best_score:
+                best_k, best_labels, best_score = k, labels, score
+        return best_k, best_labels
+
+    # -- decision -----------------------------------------------------------------
+
+    def decide(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> WayAllocation:
+        self._check_workload(profiles, platform)
+        apps = list(profiles)
+        stalls = self.stall_metric(profiles, platform)
+        values = np.array([stalls[a] for a in apps], dtype=float)
+        k, labels = self._choose_k(values)
+
+        # Ways per cluster: proportional to the cluster's mean stall fraction
+        # (more stalls -> more ways), with at least one way each.
+        centroids = np.array(
+            [values[labels == c].mean() if np.any(labels == c) else 0.0 for c in range(k)]
+        )
+        weights = centroids + 1e-6
+        raw = weights / weights.sum() * platform.llc_ways
+        ways = np.maximum(np.floor(raw).astype(int), 1)
+        # Distribute the leftover ways to the highest-stall clusters first.
+        while ways.sum() > platform.llc_ways:
+            ways[int(np.argmax(ways))] -= 1
+        leftovers = platform.llc_ways - int(ways.sum())
+        order = np.argsort(-centroids)
+        for i in range(leftovers):
+            ways[order[i % k]] += 1
+
+        # Lay the clusters out consecutively in increasing stall order, each
+        # with its proportional way count, and let every cluster's mask spill
+        # `overlap_ways` ways into the next (higher-stall) region.
+        sorted_clusters = list(np.argsort(centroids))
+        starts: Dict[int, int] = {}
+        spans: Dict[int, int] = {}
+        cursor = 0
+        for rank, cluster in enumerate(sorted_clusters):
+            width = int(ways[cluster])
+            overlap = self.overlap_ways if rank < len(sorted_clusters) - 1 else 0
+            overlap = min(overlap, platform.llc_ways - (cursor + width))
+            starts[cluster] = cursor
+            spans[cluster] = width + max(overlap, 0)
+            cursor += width
+        masks: Dict[str, int] = {}
+        for app_index, app in enumerate(apps):
+            cluster = int(labels[app_index])
+            masks[app] = mask_from_range(starts[cluster], spans[cluster])
+        return WayAllocation(masks=masks, total_ways=platform.llc_ways)

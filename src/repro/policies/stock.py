@@ -1,0 +1,29 @@
+"""Stock Linux baseline: no cache partitioning at all.
+
+This is the paper's normalisation baseline ("Stock-Linux" in Figs. 6 and 7):
+every application can allocate anywhere in the LLC, so the distribution of
+space is whatever insertion pressure dictates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution
+from repro.hardware.platform import PlatformSpec
+from repro.policies.base import ClusteringPolicy
+
+__all__ = ["StockLinuxPolicy"]
+
+
+class StockLinuxPolicy(ClusteringPolicy):
+    """Single shared cluster spanning the whole LLC."""
+
+    name = "Stock-Linux"
+
+    def decide(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> ClusteringSolution:
+        self._check_workload(profiles, platform)
+        return ClusteringSolution.single_cluster(list(profiles), platform.llc_ways)

@@ -1,0 +1,61 @@
+"""UCP: utility-based strict cache partitioning (Qureshi & Patt, MICRO'06).
+
+UCP gives every application its own partition and sizes the partitions with
+the lookahead algorithm over MPKI tables — the goal is to minimise the total
+miss count, i.e. throughput, not fairness.  The paper uses UCP's lookahead as
+a building block (inside both KPart and LFOC); the standalone policy is
+included as the classic way-partitioning baseline and is exercised by the
+optimal-partitioning analysis (Fig. 3) and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.apps.profile import AppProfile
+from repro.core.lookahead import lookahead
+from repro.core.types import ClusteringSolution
+from repro.errors import ClusteringError
+from repro.hardware.platform import PlatformSpec
+from repro.policies.base import ClusteringPolicy
+
+__all__ = ["UcpPolicy"]
+
+
+class UcpPolicy(ClusteringPolicy):
+    """Strict way-partitioning with lookahead over MPKI tables."""
+
+    name = "UCP"
+
+    def __init__(self, metric: str = "mpki") -> None:
+        """
+        Parameters
+        ----------
+        metric:
+            ``"mpki"`` for the original UCP objective, ``"slowdown"`` for the
+            fairness-flavoured variant LFOC builds on.
+        """
+        if metric not in ("mpki", "slowdown"):
+            raise ClusteringError(f"unknown UCP metric {metric!r}")
+        self.metric = metric
+
+    def decide(
+        self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
+    ) -> ClusteringSolution:
+        self._check_workload(profiles, platform)
+        apps = list(profiles)
+        k = platform.llc_ways
+        if len(apps) > k:
+            raise ClusteringError(
+                f"UCP cannot partition {len(apps)} applications over a {k}-way LLC "
+                "(strict partitioning is infeasible when n > k)"
+            )
+        tables = []
+        for app in apps:
+            resampled = profiles[app].resampled(k)
+            if self.metric == "mpki":
+                tables.append(resampled.mpki_table())
+            else:
+                tables.append(resampled.slowdown_table())
+        ways = lookahead(tables, k, min_ways=1)
+        return ClusteringSolution.from_partitioning(apps, ways, k)

@@ -1,0 +1,33 @@
+"""OS-runtime simulation: online monitoring, sampling mode, dynamic policies."""
+
+from repro.runtime.monitor import AppMonitor, MonitorConfig
+from repro.runtime.sampling import SamplingConfig, SamplingOutcome, SamplingSession
+from repro.runtime.scheduler import (
+    DunnUserLevelDaemon,
+    LfocSchedulerPlugin,
+    PolicyDriver,
+    StaticPolicyDriver,
+    StockLinuxDriver,
+)
+from repro.runtime.engine import EngineConfig, RuntimeEngine, alone_completion_time
+from repro.runtime.results import AppRunStats, RepartitionEvent, RunResult, TracePoint
+
+__all__ = [
+    "AppMonitor",
+    "MonitorConfig",
+    "SamplingConfig",
+    "SamplingOutcome",
+    "SamplingSession",
+    "DunnUserLevelDaemon",
+    "LfocSchedulerPlugin",
+    "PolicyDriver",
+    "StaticPolicyDriver",
+    "StockLinuxDriver",
+    "EngineConfig",
+    "RuntimeEngine",
+    "alone_completion_time",
+    "AppRunStats",
+    "RepartitionEvent",
+    "RunResult",
+    "TracePoint",
+]

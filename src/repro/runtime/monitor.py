@@ -1,0 +1,177 @@
+"""Per-application online monitoring and class-change detection (Section 4.2).
+
+The OS-level LFOC implementation continuously samples hardware counters for
+every application and keeps, per application:
+
+* a **warm-up** countdown — the first few sampling intervals after a task is
+  spawned are ignored so cold-start miss spikes do not pollute classification;
+* a rolling window of the last few LLCMPKC and ``STALLS_L2_MISS`` samples;
+* the current class (initially *unknown*), the slowdown table gathered during
+  the last sampling-mode sweep, and the *critical size* of sensitive
+  applications (the smallest allocation whose slowdown drops below 5 %);
+* the phase-change heuristics that decide when to re-enter the sampling mode:
+
+  - a *light sharing* application is re-sampled when it enters a
+    memory-intensive phase (average LLCMPKC above ``high_threshold`` or
+    average stall fraction above 25 %);
+  - a *streaming* application is re-sampled when its average LLCMPKC falls
+    below ``low_threshold`` (30 % of the high threshold);
+  - a *sensitive* application is re-sampled when it becomes non-memory
+    intensive while its effective occupancy (from CMT) is smaller than its
+    critical size, or when its LLCMPKC stays above the high threshold even
+    with more space than the critical size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.classification import AppClass, ClassificationThresholds
+from repro.errors import SimulationError
+from repro.hardware.pmc import DerivedMetrics
+
+__all__ = ["MonitorConfig", "AppMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables of the online monitoring layer."""
+
+    #: Sampling intervals ignored after the application enters the system.
+    warmup_samples: int = 3
+    #: Length of the rolling window used by the phase-change heuristics
+    #: ("the average LLCMPKC measured over the last five monitoring periods").
+    history_window: int = 5
+    #: Classification thresholds (shared with the offline classifier).
+    thresholds: ClassificationThresholds = field(default_factory=ClassificationThresholds)
+
+    def __post_init__(self) -> None:
+        if self.warmup_samples < 0:
+            raise SimulationError("warmup_samples must be >= 0")
+        if self.history_window < 1:
+            raise SimulationError("history_window must be >= 1")
+
+
+class AppMonitor:
+    """Online monitoring state machine for one application."""
+
+    def __init__(self, name: str, config: Optional[MonitorConfig] = None) -> None:
+        self.name = name
+        self.config = config or MonitorConfig()
+        self.app_class: AppClass = AppClass.UNKNOWN
+        self.warmup_remaining = self.config.warmup_samples
+        self._llcmpkc_history: Deque[float] = deque(maxlen=self.config.history_window)
+        self._stall_history: Deque[float] = deque(maxlen=self.config.history_window)
+        #: Slowdown table (indexed by way count - 1) built from the last
+        #: sampling-mode sweep; only meaningful for sensitive applications.
+        self.slowdown_table: Optional[List[float]] = None
+        #: Critical size in ways (sensitive applications only).
+        self.critical_size: Optional[int] = None
+        self.samples_seen = 0
+        self.class_changes = 0
+        self.sampling_mode_entries = 0
+        #: Set by the scheduler while the application is being swept.
+        self.in_sampling_mode = False
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    @property
+    def warmed_up(self) -> bool:
+        return self.warmup_remaining == 0
+
+    def average_llcmpkc(self) -> float:
+        if not self._llcmpkc_history:
+            return 0.0
+        return float(np.mean(self._llcmpkc_history))
+
+    def average_stall_fraction(self) -> float:
+        if not self._stall_history:
+            return 0.0
+        return float(np.mean(self._stall_history))
+
+    def set_classification(
+        self,
+        app_class: AppClass,
+        slowdown_table: Optional[List[float]] = None,
+        critical_size: Optional[int] = None,
+    ) -> None:
+        """Install the outcome of a sampling-mode sweep."""
+        if app_class is not AppClass.UNKNOWN and app_class != self.app_class:
+            self.class_changes += 1
+        self.app_class = app_class
+        self.slowdown_table = list(slowdown_table) if slowdown_table is not None else None
+        self.critical_size = critical_size
+        self.in_sampling_mode = False
+
+    def reset_for_restart(self) -> None:
+        """Called when the benchmark is restarted.
+
+        The paper restarts programs in place (same PID from the scheduler's
+        point of view), so the classification state is kept; only the rolling
+        histories continue to evolve.
+        """
+        # Intentionally a no-op besides documentation: state survives restarts.
+
+    # -- the heart: one monitoring sample ------------------------------------------
+
+    def observe(self, metrics: DerivedMetrics, effective_ways: float) -> bool:
+        """Ingest one normal-mode sample; returns True when a (re)classification
+        through the sampling mode should be triggered."""
+        self.samples_seen += 1
+        if self.warmup_remaining > 0:
+            # Warm-up samples are dropped entirely (cold-start spikes).
+            self.warmup_remaining -= 1
+            return False
+        self._llcmpkc_history.append(metrics.llcmpkc)
+        self._stall_history.append(metrics.stall_fraction)
+        if self.in_sampling_mode:
+            return False
+        if self.app_class is AppClass.UNKNOWN:
+            return True
+        if len(self._llcmpkc_history) < self.config.history_window:
+            # Not enough history after the last decision to re-evaluate.
+            return False
+        thresholds = self.config.thresholds
+        avg_mpkc = self.average_llcmpkc()
+        avg_stall = self.average_stall_fraction()
+        memory_intensive = (
+            avg_mpkc > thresholds.streaming_llcmpkc
+            or avg_stall > thresholds.stall_fraction_high
+        )
+        if self.app_class is AppClass.LIGHT:
+            return memory_intensive
+        if self.app_class is AppClass.STREAMING:
+            return avg_mpkc < thresholds.low_llcmpkc
+        if self.app_class is AppClass.SENSITIVE:
+            critical = float(self.critical_size) if self.critical_size else 1.0
+            if not memory_intensive and effective_ways < critical:
+                return True
+            if avg_mpkc > thresholds.streaming_llcmpkc and effective_ways > critical:
+                return True
+            return False
+        return False
+
+    def begin_sampling(self) -> None:
+        """Mark the application as undergoing a sampling-mode sweep."""
+        self.in_sampling_mode = True
+        self.sampling_mode_entries += 1
+        # The rolling windows restart so post-sampling decisions use fresh data.
+        self._llcmpkc_history.clear()
+        self._stall_history.clear()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "class": self.app_class.value,
+            "avg_llcmpkc": self.average_llcmpkc(),
+            "avg_stall_fraction": self.average_stall_fraction(),
+            "critical_size": float(self.critical_size or 0),
+            "samples_seen": float(self.samples_seen),
+            "class_changes": float(self.class_changes),
+            "sampling_entries": float(self.sampling_mode_entries),
+        }

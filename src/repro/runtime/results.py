@@ -1,0 +1,127 @@
+"""Result records produced by the runtime engine.
+
+The dynamic study measures the same quantities as the paper (Section 5):
+every application runs a fixed number of instructions and is restarted until
+the longest application has completed a given number of times; per-application
+slowdowns are computed from the geometric mean of the completion times against
+the alone-run completion time, and unfairness / STP follow from them.
+
+Besides the headline metrics the engine also records per-application traces
+(LLCMPKC, effective occupancy, class over time) — these regenerate Fig. 4 and
+support the phase-tracking analysis — and a log of every repartitioning
+decision taken by the policy driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.types import WayAllocation
+from repro.errors import SimulationError
+from repro.metrics.aggregate import geometric_mean
+from repro.metrics.fairness import WorkloadMetrics, compute_metrics
+
+__all__ = ["AppRunStats", "TracePoint", "RepartitionEvent", "RunResult"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sampled point of an application's monitoring trace."""
+
+    time_s: float
+    instructions: float
+    ipc: float
+    llcmpkc: float
+    stall_fraction: float
+    effective_ways: float
+    app_class: str
+
+
+@dataclass(frozen=True)
+class RepartitionEvent:
+    """One allocation decision taken by the policy driver."""
+
+    time_s: float
+    reason: str
+    masks: Dict[str, int]
+
+
+@dataclass
+class AppRunStats:
+    """Per-application bookkeeping accumulated over a run."""
+
+    name: str
+    completion_times: List[float] = field(default_factory=list)
+    alone_time: float = 0.0
+    instructions_retired: float = 0.0
+    samples_taken: int = 0
+    sampling_mode_entries: int = 0
+    class_changes: int = 0
+
+    @property
+    def completions(self) -> int:
+        return len(self.completion_times)
+
+    def mean_completion_time(self) -> float:
+        """Geometric mean completion time (the paper's methodology)."""
+        if not self.completion_times:
+            raise SimulationError(
+                f"application {self.name!r} never completed; cannot compute slowdown"
+            )
+        return geometric_mean(self.completion_times)
+
+    def slowdown(self) -> float:
+        """Slowdown against the alone-run completion time (Eq. 1)."""
+        if self.alone_time <= 0:
+            raise SimulationError(
+                f"application {self.name!r} has no alone-run completion time"
+            )
+        return self.mean_completion_time() / self.alone_time
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of one dynamic run."""
+
+    policy: str
+    workload: str
+    duration_s: float
+    app_stats: Dict[str, AppRunStats]
+    traces: Dict[str, List[TracePoint]] = field(default_factory=dict)
+    repartitions: List[RepartitionEvent] = field(default_factory=list)
+    final_allocation: Optional[WayAllocation] = None
+
+    def slowdowns(self) -> Dict[str, float]:
+        return {name: stats.slowdown() for name, stats in self.app_stats.items()}
+
+    def metrics(self) -> WorkloadMetrics:
+        """Unfairness / STP / ANTT / Jain for the run."""
+        return compute_metrics(self.slowdowns())
+
+    @property
+    def unfairness(self) -> float:
+        return self.metrics().unfairness
+
+    @property
+    def stp(self) -> float:
+        return self.metrics().stp
+
+    @property
+    def n_repartitions(self) -> int:
+        return len(self.repartitions)
+
+    def total_sampling_entries(self) -> int:
+        """How many times any application entered the sampling mode."""
+        return sum(s.sampling_mode_entries for s in self.app_stats.values())
+
+    def summary(self) -> Dict[str, float]:
+        metrics = self.metrics()
+        return {
+            "unfairness": metrics.unfairness,
+            "stp": metrics.stp,
+            "antt": metrics.antt,
+            "duration_s": self.duration_s,
+            "repartitions": float(self.n_repartitions),
+            "sampling_entries": float(self.total_sampling_entries()),
+        }

@@ -1,0 +1,197 @@
+"""LFOC's online sampling mode (Section 4.2).
+
+When an application needs (re)classification, LFOC creates two complementary
+partitions covering the whole LLC: a *sampling partition* reserved for that
+application and a second partition shared by everybody else.  The size of the
+sampling partition is then varied while counters are collected at a finer
+granularity (10 M instructions per step instead of 100 M).
+
+Two deliberate differences from KPart's original sweep keep the overhead low
+(this is one of the paper's contributions):
+
+* the sweep runs **upwards** (the sampling partition grows from one way)
+  rather than downwards, so the sampled application starts from the most
+  conservative allocation instead of squeezing everyone else first;
+* the sweep **stops early** when continuing cannot change the outcome:
+  once the miss rate falls below the low threshold the application will not
+  speed up further (the remaining slowdown entries are extrapolated from the
+  last IPC sample), and once the application shows a flat IPC with a high miss
+  rate it is a streaming program and needs no slowdown table at all.
+
+The :class:`SamplingSession` below encapsulates one sweep: the scheduler asks
+it for the allocation to program at each step, feeds it the counters measured
+during the step, and receives the final classification (class, slowdown table,
+critical size) when the sweep finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.classification import (
+    AppClass,
+    ClassificationThresholds,
+    classify_partial_tables,
+)
+from repro.core.types import WayAllocation
+from repro.errors import SimulationError
+from repro.hardware.cat import mask_from_range
+from repro.hardware.pmc import DerivedMetrics
+
+__all__ = ["SamplingConfig", "SamplingOutcome", "SamplingSession"]
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Tunables of the sampling mode."""
+
+    #: Instructions per sampling step (10 M in the paper, vs 100 M in normal mode).
+    instructions_per_step: float = 10e6
+    #: Relative IPC gain below which an extra way is considered useless.
+    flat_ipc_gain: float = 0.02
+    #: Classification thresholds (shared with the rest of the system).
+    thresholds: ClassificationThresholds = field(default_factory=ClassificationThresholds)
+    #: Largest sampling-partition size explored, as a fraction of the LLC
+    #: (the complementary partition must keep at least one way).
+    max_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_step <= 0:
+            raise SimulationError("instructions_per_step must be positive")
+        if not (0.0 < self.flat_ipc_gain < 1.0):
+            raise SimulationError("flat_ipc_gain must lie in (0, 1)")
+        if not (0.0 < self.max_fraction <= 1.0):
+            raise SimulationError("max_fraction must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SamplingOutcome:
+    """Result of a finished sampling sweep."""
+
+    app: str
+    app_class: AppClass
+    slowdown_table: List[float]
+    critical_size: int
+    ways_visited: Tuple[int, ...]
+    early_stop_reason: str
+
+
+class SamplingSession:
+    """One sampling-mode sweep for one application."""
+
+    def __init__(
+        self,
+        app: str,
+        other_apps: Sequence[str],
+        n_ways: int,
+        config: Optional[SamplingConfig] = None,
+    ) -> None:
+        if n_ways < 2:
+            raise SimulationError("the sampling mode needs an LLC with at least 2 ways")
+        self.app = app
+        self.other_apps = [a for a in other_apps if a != app]
+        self.n_ways = n_ways
+        self.config = config or SamplingConfig()
+        self._ipc_by_ways: Dict[int, float] = {}
+        self._llcmpkc_by_ways: Dict[int, float] = {}
+        self._current_ways = 1
+        self._max_ways = max(int(self.config.max_fraction * (n_ways - 1)), 1)
+        self._finished = False
+        self._early_stop_reason = "completed full sweep"
+
+    # -- allocation for the current step ---------------------------------------------
+
+    @property
+    def current_ways(self) -> int:
+        return self._current_ways
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def current_allocation(self) -> WayAllocation:
+        """Sampling partition for the swept app + complementary partition.
+
+        The sampling partition occupies the low ``current_ways`` ways; every
+        other application shares the remaining ways.
+        """
+        sample_mask = mask_from_range(0, self._current_ways)
+        rest = self.n_ways - self._current_ways
+        other_mask = mask_from_range(self._current_ways, rest) if rest > 0 else sample_mask
+        masks = {self.app: sample_mask}
+        for other in self.other_apps:
+            masks[other] = other_mask
+        return WayAllocation(masks=masks, total_ways=self.n_ways)
+
+    # -- step ingestion ------------------------------------------------------------------
+
+    def record_step(self, metrics: DerivedMetrics) -> None:
+        """Feed the counters measured with the current sampling-partition size.
+
+        Advances the sweep (or finishes it when an early-stop criterion fires).
+        """
+        if self._finished:
+            raise SimulationError(f"sampling of {self.app!r} already finished")
+        ways = self._current_ways
+        self._ipc_by_ways[ways] = metrics.ipc
+        self._llcmpkc_by_ways[ways] = metrics.llcmpkc
+        thresholds = self.config.thresholds
+
+        # Early stop 1: the miss rate dropped below the low threshold — more
+        # space cannot speed the application up noticeably.
+        if metrics.llcmpkc < thresholds.low_llcmpkc:
+            self._finished = True
+            self._early_stop_reason = "miss rate below low threshold"
+            return
+        # Early stop 2: flat IPC with a high miss rate — streaming behaviour.
+        if ways >= 2:
+            previous = self._ipc_by_ways[ways - 1]
+            gain = (metrics.ipc - previous) / max(previous, 1e-12)
+            if gain < self.config.flat_ipc_gain and metrics.llcmpkc >= thresholds.streaming_llcmpkc:
+                self._finished = True
+                self._early_stop_reason = "flat IPC with high miss rate (streaming)"
+                return
+        if ways >= self._max_ways:
+            self._finished = True
+            self._early_stop_reason = "reached the largest sampling partition"
+            return
+        self._current_ways = ways + 1
+
+    # -- outcome ----------------------------------------------------------------------------
+
+    def outcome(self) -> SamplingOutcome:
+        """Classification and slowdown table from the collected samples."""
+        if not self._finished:
+            raise SimulationError(f"sampling of {self.app!r} has not finished yet")
+        if not self._ipc_by_ways:
+            raise SimulationError(f"sampling of {self.app!r} recorded no samples")
+        visited = sorted(self._ipc_by_ways)
+        largest = visited[-1]
+        reference_ipc = self._ipc_by_ways[largest]
+        # Build the slowdown table relative to the largest visited allocation;
+        # unvisited sizes inherit the last sample (the paper's extrapolation).
+        slowdown_by_ways = {
+            w: reference_ipc / max(self._ipc_by_ways[w], 1e-12) for w in visited
+        }
+        table: List[float] = []
+        for w in range(1, self.n_ways + 1):
+            source = w if w in slowdown_by_ways else largest
+            table.append(slowdown_by_ways[source] if w <= largest else 1.0)
+        llcmpkc_by_ways = dict(self._llcmpkc_by_ways)
+        app_class = classify_partial_tables(
+            slowdown_by_ways, llcmpkc_by_ways, self.n_ways, self.config.thresholds
+        )
+        critical = self.n_ways
+        for w in range(1, self.n_ways + 1):
+            if table[w - 1] <= self.config.thresholds.critical_slowdown:
+                critical = w
+                break
+        return SamplingOutcome(
+            app=self.app,
+            app_class=app_class,
+            slowdown_table=table,
+            critical_size=critical,
+            ways_visited=tuple(visited),
+            early_stop_reason=self._early_stop_reason,
+        )

@@ -1,0 +1,333 @@
+"""Dynamic policy drivers: the OS-side glue between counters and CAT.
+
+The runtime engine is policy-agnostic; it periodically invokes a
+:class:`PolicyDriver` and programs whatever allocation the driver returns.
+Three drivers reproduce the paper's Section 5.2 configurations:
+
+* :class:`LfocSchedulerPlugin` — the paper's contribution: per-application
+  monitors (warm-up, rolling windows, phase-change heuristics), one
+  sampling-mode sweep at a time, and Algorithm 1 re-run at every partitioning
+  interval from the online classification;
+* :class:`DunnUserLevelDaemon` — the user-level Dunn policy: it only tracks
+  the ``STALLS_L2_MISS`` fraction of every application and re-runs the k-means
+  clustering each interval;
+* :class:`StaticPolicyDriver` — programs a fixed allocation computed up front
+  by any static policy (used to replay the Section 5.1 study inside the
+  engine, and by the Best-Static comparison).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.core.classification import AppClass
+from repro.core.lfoc import DEFAULT_PARAMS, LfocParams, lfoc_clustering
+from repro.core.types import ClusteringSolution, WayAllocation
+from repro.errors import SimulationError
+from repro.hardware.cat import mask_from_range
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.pmc import DerivedMetrics
+from repro.policies.base import ClusteringPolicy
+from repro.policies.dunn import DunnPolicy, kmeans_1d
+from repro.runtime.monitor import AppMonitor, MonitorConfig
+from repro.runtime.sampling import SamplingConfig, SamplingOutcome, SamplingSession
+
+__all__ = [
+    "PolicyDriver",
+    "StaticPolicyDriver",
+    "StockLinuxDriver",
+    "LfocSchedulerPlugin",
+    "DunnUserLevelDaemon",
+]
+
+
+class PolicyDriver(ABC):
+    """Interface the runtime engine drives."""
+
+    #: Identifier used in result records.
+    name: str = "driver"
+    #: Counter-sampling window (instructions) during normal operation.
+    normal_sample_window: float = 100e6
+    #: Counter-sampling window (instructions) while an app is being swept.
+    sampling_sample_window: float = 10e6
+
+    @abstractmethod
+    def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
+        """Initial allocation, programmed before execution starts."""
+
+    def on_sample(
+        self, app: str, metrics: DerivedMetrics, effective_ways: float, now: float
+    ) -> Optional[WayAllocation]:
+        """Called on every per-application counter sample.
+
+        Returning an allocation reprograms the cache immediately (used by the
+        sampling-mode sweep); returning ``None`` keeps the current one.
+        """
+        return None
+
+    def on_interval(self, now: float) -> Optional[WayAllocation]:
+        """Called at every partitioning interval (500 ms by default)."""
+        return None
+
+    def sample_window(self, app: str) -> float:
+        """Instruction window until the next counter sample of ``app``."""
+        return self.normal_sample_window
+
+    def describe_state(self) -> Dict[str, Dict[str, float]]:
+        """Optional per-application monitoring snapshot (for traces/tests)."""
+        return {}
+
+
+class StaticPolicyDriver(PolicyDriver):
+    """Program a fixed allocation computed by a static policy from offline profiles."""
+
+    def __init__(
+        self, policy: ClusteringPolicy, profiles: Mapping[str, AppProfile]
+    ) -> None:
+        self.policy = policy
+        self.profiles = dict(profiles)
+        self.name = f"static:{policy.name}"
+
+    def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
+        missing = [a for a in apps if a not in self.profiles]
+        if missing:
+            raise SimulationError(f"static driver has no profiles for {missing}")
+        selected = {a: self.profiles[a] for a in apps}
+        return self.policy.allocate(selected, platform)
+
+
+class StockLinuxDriver(PolicyDriver):
+    """No partitioning: everybody shares the whole LLC for the whole run."""
+
+    name = "Stock-Linux"
+
+    def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
+        full = platform.full_mask
+        return WayAllocation(
+            masks={app: full for app in apps}, total_ways=platform.llc_ways
+        )
+
+
+class LfocSchedulerPlugin(PolicyDriver):
+    """The OS-level LFOC implementation (Section 4), as a policy driver."""
+
+    name = "LFOC"
+
+    def __init__(
+        self,
+        params: LfocParams = DEFAULT_PARAMS,
+        monitor_config: Optional[MonitorConfig] = None,
+        sampling_config: Optional[SamplingConfig] = None,
+    ) -> None:
+        self.params = params
+        self.monitor_config = monitor_config or MonitorConfig()
+        self.sampling_config = sampling_config or SamplingConfig()
+        self.monitors: Dict[str, AppMonitor] = {}
+        self._platform: Optional[PlatformSpec] = None
+        self._apps: List[str] = []
+        self._active_sampling: Optional[SamplingSession] = None
+        self._sampling_queue: Deque[str] = deque()
+        self._current_allocation: Optional[WayAllocation] = None
+        self.sampling_outcomes: List[SamplingOutcome] = []
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
+        self._platform = platform
+        self._apps = list(apps)
+        self.monitors = {
+            app: AppMonitor(app, self.monitor_config) for app in self._apps
+        }
+        # Until anything is known every application shares the whole cache.
+        allocation = WayAllocation(
+            masks={app: platform.full_mask for app in self._apps},
+            total_ways=platform.llc_ways,
+        )
+        self._current_allocation = allocation
+        return allocation
+
+    # -- sampling-window selection ------------------------------------------------------
+
+    def sample_window(self, app: str) -> float:
+        if self._active_sampling is not None and self._active_sampling.app == app:
+            return self.sampling_sample_window
+        return self.normal_sample_window
+
+    # -- counter samples -----------------------------------------------------------------
+
+    def on_sample(
+        self, app: str, metrics: DerivedMetrics, effective_ways: float, now: float
+    ) -> Optional[WayAllocation]:
+        monitor = self.monitors[app]
+        session = self._active_sampling
+        if session is not None and session.app == app:
+            session.record_step(metrics)
+            if session.finished:
+                outcome = session.outcome()
+                self.sampling_outcomes.append(outcome)
+                monitor.set_classification(
+                    outcome.app_class,
+                    slowdown_table=outcome.slowdown_table,
+                    critical_size=outcome.critical_size,
+                )
+                self._active_sampling = None
+                # Re-cluster right away with the fresh classification, or start
+                # the next queued sweep.
+                next_allocation = self._maybe_start_next_sampling()
+                if next_allocation is not None:
+                    return next_allocation
+                return self._run_partitioning()
+            return session.current_allocation()
+
+        wants_sampling = monitor.observe(metrics, effective_ways)
+        if wants_sampling and not monitor.in_sampling_mode:
+            monitor.begin_sampling()
+            self._sampling_queue.append(app)
+            return self._maybe_start_next_sampling()
+        return None
+
+    # -- partitioning interval ----------------------------------------------------------------
+
+    def on_interval(self, now: float) -> Optional[WayAllocation]:
+        if self._active_sampling is not None:
+            # Keep the sampling layout in place; the sweep is short (10 M
+            # instruction steps) and reprogramming now would corrupt it.
+            return None
+        allocation = self._maybe_start_next_sampling()
+        if allocation is not None:
+            return allocation
+        return self._run_partitioning()
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _maybe_start_next_sampling(self) -> Optional[WayAllocation]:
+        if self._active_sampling is not None or not self._sampling_queue:
+            return None
+        if self._platform is None:
+            raise SimulationError("driver used before on_start")
+        app = self._sampling_queue.popleft()
+        session = SamplingSession(
+            app, self._apps, self._platform.llc_ways, self.sampling_config
+        )
+        self._active_sampling = session
+        return session.current_allocation()
+
+    def _run_partitioning(self) -> Optional[WayAllocation]:
+        """Re-run Algorithm 1 from the current per-application classification."""
+        if self._platform is None:
+            raise SimulationError("driver used before on_start")
+        streaming: List[str] = []
+        sensitive: List[str] = []
+        light: List[str] = []
+        tables: Dict[str, List[float]] = {}
+        for app in self._apps:
+            monitor = self.monitors[app]
+            if monitor.app_class is AppClass.STREAMING:
+                streaming.append(app)
+            elif monitor.app_class is AppClass.SENSITIVE and monitor.slowdown_table:
+                sensitive.append(app)
+                tables[app] = monitor.slowdown_table
+            else:
+                # Light sharing and still-unknown applications are treated the
+                # same way (they are assumed harmless until proven otherwise).
+                light.append(app)
+        solution = lfoc_clustering(
+            streaming, sensitive, light, self._platform.llc_ways, tables, self.params
+        )
+        allocation = solution.to_allocation()
+        self._current_allocation = allocation
+        return allocation
+
+    def describe_state(self) -> Dict[str, Dict[str, float]]:
+        return {app: monitor.snapshot() for app, monitor in self.monitors.items()}
+
+
+class DunnUserLevelDaemon(PolicyDriver):
+    """User-level Dunn: k-means on measured stall fractions every interval."""
+
+    name = "Dunn"
+
+    def __init__(
+        self,
+        max_clusters: int = 4,
+        min_clusters: int = 2,
+        overlap_ways: int = 1,
+        history_window: int = 5,
+    ) -> None:
+        self._template = DunnPolicy(
+            max_clusters=max_clusters,
+            min_clusters=min_clusters,
+            overlap_ways=overlap_ways,
+        )
+        self.history_window = history_window
+        self._stall_history: Dict[str, Deque[float]] = {}
+        self._platform: Optional[PlatformSpec] = None
+        self._apps: List[str] = []
+
+    def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
+        self._platform = platform
+        self._apps = list(apps)
+        self._stall_history = {
+            app: deque(maxlen=self.history_window) for app in self._apps
+        }
+        return WayAllocation(
+            masks={app: platform.full_mask for app in self._apps},
+            total_ways=platform.llc_ways,
+        )
+
+    def on_sample(
+        self, app: str, metrics: DerivedMetrics, effective_ways: float, now: float
+    ) -> Optional[WayAllocation]:
+        self._stall_history[app].append(metrics.stall_fraction)
+        return None
+
+    def on_interval(self, now: float) -> Optional[WayAllocation]:
+        if self._platform is None:
+            raise SimulationError("driver used before on_start")
+        if any(not history for history in self._stall_history.values()):
+            return None  # not every application has been sampled yet
+        stalls = {
+            app: float(np.mean(history)) for app, history in self._stall_history.items()
+        }
+        return self._allocation_from_stalls(stalls)
+
+    def _allocation_from_stalls(self, stalls: Mapping[str, float]) -> WayAllocation:
+        """Reuse the static Dunn mask construction with measured stall values."""
+        platform = self._platform
+        assert platform is not None
+        apps = list(stalls)
+        values = np.array([stalls[a] for a in apps], dtype=float)
+        k, labels = self._template._choose_k(values)
+        centroids = np.array(
+            [values[labels == c].mean() if np.any(labels == c) else 0.0 for c in range(k)]
+        )
+        weights = centroids + 1e-6
+        raw = weights / weights.sum() * platform.llc_ways
+        ways = np.maximum(np.floor(raw).astype(int), 1)
+        while ways.sum() > platform.llc_ways:
+            ways[int(np.argmax(ways))] -= 1
+        leftovers = platform.llc_ways - int(ways.sum())
+        order = np.argsort(-centroids)
+        for i in range(leftovers):
+            ways[order[i % k]] += 1
+        sorted_clusters = list(np.argsort(centroids))
+        starts: Dict[int, int] = {}
+        spans: Dict[int, int] = {}
+        cursor = 0
+        for rank, cluster in enumerate(sorted_clusters):
+            width = int(ways[cluster])
+            overlap = self._template.overlap_ways if rank < len(sorted_clusters) - 1 else 0
+            overlap = min(overlap, platform.llc_ways - (cursor + width))
+            starts[cluster] = cursor
+            spans[cluster] = width + max(overlap, 0)
+            cursor += width
+        masks = {
+            app: mask_from_range(starts[int(labels[i])], spans[int(labels[i])])
+            for i, app in enumerate(apps)
+        }
+        return WayAllocation(masks=masks, total_ways=platform.llc_ways)

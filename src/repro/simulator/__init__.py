@@ -1,0 +1,22 @@
+"""Contention estimator (the PBBCache role): occupancy, bandwidth, evaluation."""
+
+from repro.simulator.occupancy import OccupancyModel, OccupancyResult
+from repro.simulator.bandwidth import BandwidthModel, BandwidthResult
+from repro.simulator.estimator import ClusterEstimate, ClusteringEstimator
+from repro.simulator.whirlpool import (
+    combined_ipc_curve,
+    combined_miss_curve,
+    whirlpool_distance,
+)
+
+__all__ = [
+    "OccupancyModel",
+    "OccupancyResult",
+    "BandwidthModel",
+    "BandwidthResult",
+    "ClusterEstimate",
+    "ClusteringEstimator",
+    "combined_ipc_curve",
+    "combined_miss_curve",
+    "whirlpool_distance",
+]

@@ -1,0 +1,167 @@
+"""Clustering/partitioning evaluation (the role PBBCache plays in the paper).
+
+Given a platform, per-application profiles and a concrete way allocation, the
+estimator predicts every application's slowdown and the resulting workload
+metrics (unfairness, STP, ...).  It is used in three places:
+
+* by the optimal-solution solvers of :mod:`repro.optimal` as the objective
+  function (Section 3);
+* by the static clustering study (Fig. 6), where the clustering produced by
+  each policy is evaluated under a fixed allocation;
+* by the runtime engine, which needs each application's *current* IPC under
+  the allocation in force to advance simulated execution.
+
+The slowdown of an application combines two effects:
+
+1. **cache sharing** — its effective fractional way count (from
+   :class:`~repro.simulator.occupancy.OccupancyModel`) determines the IPC it
+   can sustain, interpolated from its alone-run curves (with a CPI
+   extrapolation below one way, since several applications crammed into one
+   way each hold less than a way's worth of space);
+2. **memory-bandwidth contention** — the multiplicative factor from
+   :class:`~repro.simulator.bandwidth.BandwidthModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution, WayAllocation
+from repro.errors import SimulationError
+from repro.hardware.platform import PlatformSpec
+from repro.metrics.fairness import WorkloadMetrics, compute_metrics
+from repro.simulator.bandwidth import BandwidthModel, BandwidthResult
+from repro.simulator.occupancy import OccupancyModel, OccupancyResult
+
+__all__ = ["ClusterEstimate", "ClusteringEstimator"]
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Full prediction for one workload under one allocation."""
+
+    allocation: WayAllocation
+    slowdowns: Dict[str, float]
+    ipcs: Dict[str, float]
+    effective_ways: Dict[str, float]
+    bandwidth: BandwidthResult
+    occupancy: OccupancyResult
+    metrics: WorkloadMetrics
+
+    @property
+    def unfairness(self) -> float:
+        return self.metrics.unfairness
+
+    @property
+    def stp(self) -> float:
+        return self.metrics.stp
+
+
+def _ipc_with_extrapolation(profile: AppProfile, effective_ways: float) -> float:
+    """IPC at a fractional allocation, extrapolating below one way.
+
+    The alone-run curves start at one way; when an application effectively
+    holds less than a way (several programs crammed into a small cluster), we
+    extend the curve by continuing the CPI slope between one and two ways —
+    steep for sensitive programs, flat for streaming/light ones — capped at a
+    3x CPI inflation to keep the model bounded.
+    """
+    if effective_ways >= 1.0 or profile.n_ways < 2:
+        return profile.ipc_at(max(effective_ways, 1.0))
+    cpi_1 = 1.0 / profile.ipc_at(1.0)
+    cpi_2 = 1.0 / profile.ipc_at(2.0)
+    slope = max(cpi_1 - cpi_2, 0.0)
+    deficit = 1.0 - max(effective_ways, 0.0)
+    cpi = min(cpi_1 + slope * deficit, 3.0 * cpi_1)
+    return 1.0 / cpi
+
+
+class ClusteringEstimator:
+    """Predict slowdowns and workload metrics for arbitrary way allocations."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        profiles: Mapping[str, AppProfile],
+        *,
+        occupancy_model: Optional[OccupancyModel] = None,
+        bandwidth_model: Optional[BandwidthModel] = None,
+    ) -> None:
+        if not profiles:
+            raise SimulationError("the estimator needs at least one application profile")
+        self.platform = platform
+        self.profiles: Dict[str, AppProfile] = dict(profiles)
+        self.occupancy_model = occupancy_model or OccupancyModel()
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+
+    # -- profile management ----------------------------------------------------
+
+    def add_profile(self, name: str, profile: AppProfile) -> None:
+        """Register (or replace) the profile driving an application instance."""
+        self.profiles[name] = profile
+
+    def apps(self) -> Sequence[str]:
+        return list(self.profiles)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate_allocation(self, allocation: WayAllocation) -> ClusterEstimate:
+        """Evaluate an explicit (possibly overlapping) per-application allocation."""
+        for app in allocation.apps():
+            if app not in self.profiles:
+                raise SimulationError(f"no profile registered for application {app!r}")
+        occupancy = self.occupancy_model.solve(allocation, self.profiles)
+        bandwidth = self.bandwidth_model.solve(
+            occupancy.effective_ways, self.profiles, self.platform
+        )
+        slowdowns: Dict[str, float] = {}
+        ipcs: Dict[str, float] = {}
+        for app in allocation.apps():
+            profile = self.profiles[app]
+            effective = occupancy.effective_ways[app]
+            cache_ipc = _ipc_with_extrapolation(profile, effective)
+            shared_ipc = cache_ipc / bandwidth.slowdown_factors[app]
+            ipcs[app] = shared_ipc
+            slowdowns[app] = profile.ipc_alone / max(shared_ipc, 1e-12)
+        return ClusterEstimate(
+            allocation=allocation,
+            slowdowns=slowdowns,
+            ipcs=ipcs,
+            effective_ways=dict(occupancy.effective_ways),
+            bandwidth=bandwidth,
+            occupancy=occupancy,
+            metrics=compute_metrics(slowdowns),
+        )
+
+    def evaluate(self, solution: ClusteringSolution) -> ClusterEstimate:
+        """Evaluate a (non-overlapping) clustering solution."""
+        missing = [app for app in solution.apps() if app not in self.profiles]
+        if missing:
+            raise SimulationError(f"no profile registered for applications {missing}")
+        return self.evaluate_allocation(solution.to_allocation())
+
+    def evaluate_unpartitioned(self, apps: Optional[Iterable[str]] = None) -> ClusterEstimate:
+        """Evaluate the stock-Linux configuration: everybody shares the LLC."""
+        names = list(apps) if apps is not None else list(self.profiles)
+        if not names:
+            raise SimulationError("cannot evaluate an empty workload")
+        solution = ClusteringSolution.single_cluster(names, self.platform.llc_ways)
+        return self.evaluate(solution)
+
+    # -- convenience -------------------------------------------------------------
+
+    def slowdown_tables(self, apps: Optional[Iterable[str]] = None) -> Dict[str, list]:
+        """Per-application alone-run slowdown tables over 1..llc_ways ways.
+
+        This is the offline-profile input LFOC's lookahead step consumes in
+        the static study (the dynamic runtime builds them online instead).
+        """
+        names = list(apps) if apps is not None else list(self.profiles)
+        tables: Dict[str, list] = {}
+        for app in names:
+            profile = self.profiles[app]
+            resampled = profile.resampled(self.platform.llc_ways)
+            tables[app] = list(resampled.slowdown_table())
+        return tables

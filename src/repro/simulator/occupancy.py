@@ -1,0 +1,148 @@
+"""Intra-cluster LLC space sharing model.
+
+When several applications share a set of cache ways (one cluster — or, for
+Dunn's overlapping masks, any set of ways reachable by more than one
+application), the space each one effectively holds is governed by insertion
+pressure: an application that misses more inserts more lines and therefore
+occupies more of the shared space.  PBBCache (the simulator the paper uses to
+approximate the optimal solution) captures this with a probabilistic model;
+we implement the same idea as a fixed point:
+
+* every application ``i`` spreads its miss pressure uniformly over the ways
+  its mask allows (``pressure_i / |mask_i|`` per way);
+* each way is divided among its sharers proportionally to their per-way
+  pressure;
+* the effective (fractional) way count of an application is the sum of its
+  shares over its ways;
+* pressure depends on the application's current effective space (fewer ways →
+  more misses → more pressure), so the computation iterates to a fixed point.
+
+Applications alone on their ways simply get all of them.  The result feeds the
+slowdown estimation in :mod:`repro.simulator.estimator` and the simulated CMT
+occupancy readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.core.types import WayAllocation
+from repro.errors import SimulationError
+
+__all__ = ["OccupancyModel", "OccupancyResult"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Converged effective way counts (and the pressures that produced them)."""
+
+    effective_ways: Dict[str, float]
+    pressures: Dict[str, float]
+    iterations: int
+    converged: bool
+
+
+class OccupancyModel:
+    """Fixed-point solver for effective per-application LLC occupancy."""
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 50,
+        tolerance: float = 1e-4,
+        damping: float = 0.5,
+        base_pressure: float = 0.05,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        max_iterations:
+            Upper bound on fixed-point iterations.
+        tolerance:
+            Convergence threshold on the largest per-application change of the
+            effective way count between iterations.
+        damping:
+            Fraction of the new iterate blended into the current one (0.5 is a
+            plain average; 1.0 disables damping).
+        base_pressure:
+            Minimum insertion pressure attributed to any application, so that
+            even an application with a zero LLC miss rate retains a sliver of
+            the shared space (its code and occasional data still live there).
+        """
+        if max_iterations < 1:
+            raise SimulationError("max_iterations must be >= 1")
+        if tolerance <= 0:
+            raise SimulationError("tolerance must be positive")
+        if not (0.0 < damping <= 1.0):
+            raise SimulationError("damping must lie in (0, 1]")
+        if base_pressure <= 0:
+            raise SimulationError("base_pressure must be positive")
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.damping = damping
+        self.base_pressure = base_pressure
+
+    def solve(
+        self,
+        allocation: WayAllocation,
+        profiles: Mapping[str, AppProfile],
+    ) -> OccupancyResult:
+        """Compute effective way counts for every application in ``allocation``."""
+        apps = allocation.apps()
+        for app in apps:
+            if app not in profiles:
+                raise SimulationError(f"no profile registered for application {app!r}")
+        n_ways = allocation.total_ways
+
+        # Pre-compute the sharers of each way and each application's way list.
+        app_ways: Dict[str, list] = {}
+        way_sharers: Dict[int, list] = {w: [] for w in range(n_ways)}
+        for app in apps:
+            mask = allocation.mask_of(app)
+            ways = [w for w in range(n_ways) if mask & (1 << w)]
+            app_ways[app] = ways
+            for w in ways:
+                way_sharers[w].append(app)
+
+        # Initial guess: every application owns its whole mask.
+        effective = {app: float(len(app_ways[app])) for app in apps}
+        pressures: Dict[str, float] = {}
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            pressures = {
+                app: self.base_pressure
+                + profiles[app].llcmpkc_at(max(effective[app], 0.25))
+                for app in apps
+            }
+            per_way_pressure = {
+                app: pressures[app] / max(len(app_ways[app]), 1) for app in apps
+            }
+            new_effective: Dict[str, float] = {app: 0.0 for app in apps}
+            for way, sharers in way_sharers.items():
+                if not sharers:
+                    continue
+                total = sum(per_way_pressure[a] for a in sharers)
+                for app in sharers:
+                    new_effective[app] += per_way_pressure[app] / total
+            delta = 0.0
+            for app in apps:
+                blended = (
+                    (1.0 - self.damping) * effective[app]
+                    + self.damping * new_effective[app]
+                )
+                delta = max(delta, abs(blended - effective[app]))
+                effective[app] = blended
+            if delta < self.tolerance:
+                converged = True
+                break
+        return OccupancyResult(
+            effective_ways=dict(effective),
+            pressures=dict(pressures),
+            iterations=iteration,
+            converged=converged,
+        )

@@ -1,0 +1,9 @@
+"""Version information for the LFOC reproduction library."""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER = (
+    "LFOC: A Lightweight Fairness-Oriented Cache Clustering Policy for "
+    "Commodity Multicores (ICPP 2019)"
+)

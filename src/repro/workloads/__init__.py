@@ -1,0 +1,31 @@
+"""Evaluation workloads: random mixes and the S/P suites of Fig. 5."""
+
+from repro.workloads.generator import Workload, instance_name, random_workload
+from repro.workloads.suites import (
+    P_SIZES,
+    S_SIZES,
+    SUITE_SEED,
+    all_workloads,
+    composition_matrix,
+    dynamic_study_workloads,
+    p_workloads,
+    s_workloads,
+    static_study_workloads,
+    workload_by_name,
+)
+
+__all__ = [
+    "Workload",
+    "instance_name",
+    "random_workload",
+    "P_SIZES",
+    "S_SIZES",
+    "SUITE_SEED",
+    "all_workloads",
+    "composition_matrix",
+    "dynamic_study_workloads",
+    "p_workloads",
+    "s_workloads",
+    "static_study_workloads",
+    "workload_by_name",
+]

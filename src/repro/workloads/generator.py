@@ -1,0 +1,166 @@
+"""Multiprogram workload definitions and random generation.
+
+The paper evaluates the policies on randomly generated multiprogram workloads
+of 8, 12 and 16 SPEC CPU applications (Fig. 5).  A :class:`Workload` is simply
+a named multiset of catalogue benchmarks; the same benchmark may appear
+several times (Fig. 5 shows up to two instances), in which case each instance
+gets its own name (``lbm06.0``, ``lbm06.1``) so the rest of the system can
+treat instances independently.
+
+Two constraints guide random generation, mirroring Section 5:
+
+* **S workloads** (used for the static clustering study) only contain
+  benchmarks whose behaviour is stable over the execution — no long-term
+  phases — and always include at least one cache-sensitive and at least one
+  streaming program (otherwise partitioning is a no-op);
+* **P workloads** (used for the dynamic study) additionally include programs
+  with distinct long-term phases (``xz``, ``astar``, ``mcf``, ``xalancbmk``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import (
+    DEFAULT_PHASE_CYCLE_INSTRUCTIONS,
+    benchmark_names,
+    benchmark_spec,
+    benchmarks_by_class,
+    build_phased_profile,
+    build_profile,
+)
+from repro.apps.phases import PhasedProfile
+from repro.apps.profile import AppProfile
+from repro.errors import WorkloadError
+
+__all__ = ["Workload", "random_workload", "instance_name"]
+
+
+def instance_name(benchmark: str, index: int) -> str:
+    """Unique instance id for the ``index``-th copy of ``benchmark`` in a mix."""
+    return f"{benchmark}.{index}"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named multiprogram mix of catalogue benchmarks."""
+
+    name: str
+    benchmarks: Tuple[str, ...]
+    kind: str = "custom"  # "S" (stable), "P" (phased) or "custom"
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise WorkloadError(f"workload {self.name!r} is empty")
+        known = set(benchmark_names())
+        unknown = [b for b in self.benchmarks if b not in known]
+        if unknown:
+            raise WorkloadError(
+                f"workload {self.name!r} references unknown benchmarks {unknown}"
+            )
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+
+    # -- basic queries ------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.benchmarks)
+
+    def instance_names(self) -> List[str]:
+        """Unique per-instance names, in benchmark order."""
+        counters: Dict[str, int] = {}
+        names = []
+        for benchmark in self.benchmarks:
+            index = counters.get(benchmark, 0)
+            counters[benchmark] = index + 1
+            names.append(instance_name(benchmark, index))
+        return names
+
+    def instance_counts(self) -> Dict[str, int]:
+        """Number of instances of each benchmark (the rows of Fig. 5)."""
+        counts: Dict[str, int] = {}
+        for benchmark in self.benchmarks:
+            counts[benchmark] = counts.get(benchmark, 0) + 1
+        return counts
+
+    def has_phased_benchmarks(self) -> bool:
+        return any(benchmark_spec(b).is_phased for b in self.benchmarks)
+
+    # -- profile materialisation ----------------------------------------------------
+
+    def profiles(self, n_ways: int) -> Dict[str, AppProfile]:
+        """Stationary (whole-run average) profiles keyed by instance name."""
+        result: Dict[str, AppProfile] = {}
+        for benchmark, instance in zip(self.benchmarks, self.instance_names()):
+            result[instance] = build_profile(benchmark, n_ways).renamed(instance)
+        return result
+
+    def phased_profiles(
+        self,
+        n_ways: int,
+        phase_cycle_instructions: float = DEFAULT_PHASE_CYCLE_INSTRUCTIONS,
+    ) -> Dict[str, PhasedProfile]:
+        """Phased profiles keyed by instance name (for the runtime engine)."""
+        result: Dict[str, PhasedProfile] = {}
+        for benchmark, instance in zip(self.benchmarks, self.instance_names()):
+            profile = build_phased_profile(
+                benchmark, n_ways, phase_cycle_instructions=phase_cycle_instructions
+            )
+            result[instance] = profile.renamed(instance)
+        return result
+
+
+def random_workload(
+    name: str,
+    size: int,
+    *,
+    kind: str = "S",
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    max_instances: int = 2,
+) -> Workload:
+    """Draw a random workload from the catalogue.
+
+    ``kind="S"`` restricts the draw to benchmarks without long-term phases and
+    guarantees at least one sensitive and one streaming program;
+    ``kind="P"`` additionally guarantees at least two phased programs.
+    """
+    if size < 2:
+        raise WorkloadError("a multiprogram workload needs at least two applications")
+    if kind not in ("S", "P"):
+        raise WorkloadError(f"kind must be 'S' or 'P', got {kind!r}")
+    if max_instances < 1:
+        raise WorkloadError("max_instances must be >= 1")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+
+    by_class = benchmarks_by_class()
+    phased = [b for b in benchmark_names() if benchmark_spec(b).is_phased]
+    stable = [b for b in benchmark_names() if not benchmark_spec(b).is_phased]
+
+    chosen: List[str] = []
+
+    def draw(pool: Sequence[str], count: int) -> None:
+        for _ in range(count):
+            candidates = [
+                b for b in pool if chosen.count(b) < max_instances
+            ]
+            if not candidates:
+                candidates = [b for b in benchmark_names() if chosen.count(b) < max_instances]
+            chosen.append(str(gen.choice(candidates)))
+
+    if kind == "P":
+        draw(phased, min(2, size))
+    # Guarantee class coverage so partitioning has something to do.
+    sensitive_stable = [b for b in by_class["sensitive"] if b in stable or kind == "P"]
+    streaming_stable = [b for b in by_class["streaming"] if b in stable or kind == "P"]
+    if not any(b in by_class["sensitive"] for b in chosen):
+        draw(sensitive_stable if kind == "S" else by_class["sensitive"], 1)
+    if not any(b in by_class["streaming"] for b in chosen):
+        draw(streaming_stable if kind == "S" else by_class["streaming"], 1)
+    pool = stable if kind == "S" else benchmark_names()
+    draw(pool, size - len(chosen))
+    gen.shuffle(chosen)
+    return Workload(name=name, benchmarks=tuple(chosen[:size]), kind=kind)

@@ -1,0 +1,120 @@
+"""The evaluation workload suites: S1–S21 and P1–P15 (Fig. 5).
+
+The paper uses 36 randomly generated multiprogram workloads of 8, 12 and 16
+applications.  The exact compositions (Fig. 5) cannot be re-read from the
+figure reliably, so this module regenerates them with the same structure:
+
+* **S1–S21**: stable-behaviour workloads for the static clustering study
+  (Section 5.1) — seven each of 8, 12 and 16 applications;
+* **P1–P15**: workloads containing phased applications (``xz``, ``astar``,
+  ``mcf``, ``xalancbmk``) for the dynamic study (Section 5.2) — five each of
+  8, 12 and 16 applications.
+
+Everything is deterministic (fixed seed), so every benchmark run sees exactly
+the same mixes, and the Fig. 5 composition matrix can be regenerated at will.
+
+The dynamic study (Fig. 7) evaluates the P workloads together with a subset of
+the S workloads; :func:`dynamic_study_workloads` returns that selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import Workload, random_workload
+
+__all__ = [
+    "SUITE_SEED",
+    "S_SIZES",
+    "P_SIZES",
+    "s_workloads",
+    "p_workloads",
+    "all_workloads",
+    "workload_by_name",
+    "static_study_workloads",
+    "dynamic_study_workloads",
+    "composition_matrix",
+]
+
+#: Seed used to regenerate the evaluation suites deterministically.
+SUITE_SEED = 20190805  # ICPP 2019 started on August 5, 2019.
+
+#: Sizes of the S workloads (seven workloads per size, S1..S21).
+S_SIZES = (8,) * 7 + (12,) * 7 + (16,) * 7
+
+#: Sizes of the P workloads (five workloads per size, P1..P15).
+P_SIZES = (8,) * 5 + (12,) * 5 + (16,) * 5
+
+
+def s_workloads() -> List[Workload]:
+    """The 21 stable-behaviour workloads of the static study."""
+    rng = np.random.default_rng(SUITE_SEED)
+    return [
+        random_workload(f"S{i + 1}", size, kind="S", rng=rng)
+        for i, size in enumerate(S_SIZES)
+    ]
+
+
+def p_workloads() -> List[Workload]:
+    """The 15 phased workloads of the dynamic study."""
+    rng = np.random.default_rng(SUITE_SEED + 1)
+    return [
+        random_workload(f"P{i + 1}", size, kind="P", rng=rng)
+        for i, size in enumerate(P_SIZES)
+    ]
+
+
+def all_workloads() -> List[Workload]:
+    """All 36 evaluation workloads (S first, then P)."""
+    return s_workloads() + p_workloads()
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up one evaluation workload by its name (``S7``, ``P12``...)."""
+    for workload in all_workloads():
+        if workload.name == name:
+            return workload
+    raise WorkloadError(f"unknown evaluation workload {name!r}")
+
+
+def static_study_workloads(max_size: Optional[int] = None) -> List[Workload]:
+    """Workloads of the Fig. 6 static study (all S workloads by default).
+
+    ``max_size`` optionally drops the bigger mixes — the benchmark harness uses
+    this to offer a quick mode.
+    """
+    workloads = s_workloads()
+    if max_size is not None:
+        workloads = [w for w in workloads if w.size <= max_size]
+    return workloads
+
+
+def dynamic_study_workloads() -> List[Workload]:
+    """The Fig. 7 selection: every P workload plus three S workloads per size.
+
+    The paper's Fig. 7 x-axis interleaves P1–P5/S1–S3 (8 apps), P6–P10/S8–S10
+    (12 apps) and P11–P15/S15–S17 (16 apps).
+    """
+    by_name = {w.name: w for w in all_workloads()}
+    names = (
+        [f"P{i}" for i in range(1, 6)]
+        + [f"S{i}" for i in range(1, 4)]
+        + [f"P{i}" for i in range(6, 11)]
+        + [f"S{i}" for i in range(8, 11)]
+        + [f"P{i}" for i in range(11, 16)]
+        + [f"S{i}" for i in range(15, 18)]
+    )
+    return [by_name[name] for name in names]
+
+
+def composition_matrix(workloads: Optional[Sequence[Workload]] = None) -> Dict[str, Dict[str, int]]:
+    """The Fig. 5 matrix: instance counts per (workload, benchmark).
+
+    Returns ``{workload name: {benchmark name: count}}`` with zero-count
+    benchmarks omitted.
+    """
+    selected = list(workloads) if workloads is not None else all_workloads()
+    return {w.name: w.instance_counts() for w in selected}

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_catalog, build_profile
+from repro.hardware import PlatformSpec, skylake_gold_6138, small_test_platform
+from repro.simulator import ClusteringEstimator
+
+
+@pytest.fixture(scope="session")
+def platform() -> PlatformSpec:
+    """The paper's Skylake platform (11-way LLC)."""
+    return skylake_gold_6138()
+
+
+@pytest.fixture(scope="session")
+def small_platform() -> PlatformSpec:
+    """A tiny 4-way platform for quick combinatorial tests."""
+    return small_test_platform(ways=4, cores=4)
+
+
+@pytest.fixture(scope="session")
+def catalog(platform):
+    """Stationary profiles of the whole benchmark catalogue (11 ways)."""
+    return build_catalog(platform.llc_ways)
+
+
+@pytest.fixture(scope="session")
+def mix8(catalog):
+    """A fixed, class-diverse 8-application mix used across tests."""
+    names = [
+        "lbm06",
+        "libquantum06",
+        "xalancbmk06",
+        "soplex06",
+        "omnetpp06",
+        "gamess06",
+        "namd06",
+        "sjeng06",
+    ]
+    return {name: catalog[name] for name in names}
+
+
+@pytest.fixture()
+def estimator(platform, mix8):
+    """Estimator preloaded with the 8-application mix."""
+    return ClusteringEstimator(platform, mix8)
+
+
+@pytest.fixture(scope="session")
+def sensitive_profile(platform):
+    return build_profile("xalancbmk06", platform.llc_ways)
+
+
+@pytest.fixture(scope="session")
+def streaming_profile(platform):
+    return build_profile("lbm06", platform.llc_ways)
+
+
+@pytest.fixture(scope="session")
+def light_profile(platform):
+    return build_profile("gamess06", platform.llc_ways)

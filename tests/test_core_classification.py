@@ -1,0 +1,114 @@
+"""Tests for the Table 1 classifier and the partial-table (online) variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AppClass,
+    ClassificationThresholds,
+    classify_partial_tables,
+    classify_profile,
+    classify_profiles,
+    classify_tables,
+    split_by_class,
+)
+from repro.errors import ProfileError
+
+
+def flat(value, n=11):
+    return [value] * n
+
+
+class TestClassifyTables:
+    def test_streaming_criterion(self):
+        # Flat slowdown, huge miss rate at every size -> streaming.
+        assert classify_tables(flat(1.02), flat(30.0)) is AppClass.STREAMING
+
+    def test_streaming_requires_high_misses(self):
+        assert classify_tables(flat(1.02), flat(2.0)) is AppClass.LIGHT
+
+    def test_streaming_requires_flat_slowdown_everywhere(self):
+        slowdown = [1.10] + flat(1.02, 10)
+        assert classify_tables(slowdown, flat(30.0)) is not AppClass.STREAMING
+
+    def test_sensitive_criterion(self):
+        slowdown = [1.8, 1.4, 1.2, 1.1, 1.05, 1.02, 1.01, 1.0, 1.0, 1.0, 1.0]
+        assert classify_tables(slowdown, flat(5.0)) is AppClass.SENSITIVE
+
+    def test_sensitive_needs_slowdown_beyond_one_way(self):
+        # Slowdown only at one way does not qualify (criterion asks for >= 2 ways).
+        slowdown = [1.30] + flat(1.0, 10)
+        assert classify_tables(slowdown, flat(1.0)) is AppClass.LIGHT
+
+    def test_light_when_nothing_else_matches(self):
+        assert classify_tables(flat(1.01), flat(0.5)) is AppClass.LIGHT
+
+    def test_streaming_threshold_boundaries(self):
+        thresholds = ClassificationThresholds()
+        # Exactly at the limits: slowdown == 1.03 and LLCMPKC == 10 qualifies.
+        assert (
+            classify_tables(flat(thresholds.streaming_slowdown), flat(thresholds.streaming_llcmpkc))
+            is AppClass.STREAMING
+        )
+
+    def test_custom_thresholds(self):
+        strict = ClassificationThresholds(sensitive_slowdown=1.5)
+        slowdown = [1.4, 1.3, 1.1] + flat(1.0, 8)
+        assert classify_tables(slowdown, flat(1.0), strict) is AppClass.LIGHT
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ProfileError):
+            classify_tables([1.0, 1.0], [1.0])
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ProfileError):
+            ClassificationThresholds(streaming_llcmpkc=-1.0)
+        with pytest.raises(ProfileError):
+            ClassificationThresholds(low_llcmpkc_factor=0.0)
+
+    def test_low_threshold_is_fraction_of_high(self):
+        thresholds = ClassificationThresholds()
+        assert thresholds.low_llcmpkc == pytest.approx(3.0)
+
+
+class TestClassifyProfiles:
+    def test_catalogue_fixtures(self, sensitive_profile, streaming_profile, light_profile):
+        assert classify_profile(sensitive_profile) is AppClass.SENSITIVE
+        assert classify_profile(streaming_profile) is AppClass.STREAMING
+        assert classify_profile(light_profile) is AppClass.LIGHT
+
+    def test_classify_profiles_returns_name_map(self, mix8):
+        classes = classify_profiles(mix8.values())
+        assert set(classes) == set(mix8)
+        assert classes["lbm06"] is AppClass.STREAMING
+
+    def test_split_by_class_covers_everything(self, mix8):
+        classes = classify_profiles(mix8.values())
+        groups = split_by_class(classes)
+        total = sum(len(v) for v in groups.values())
+        assert total == len(mix8)
+        assert "xalancbmk06" in groups[AppClass.SENSITIVE]
+
+
+class TestPartialTables:
+    def test_empty_tables_unknown(self):
+        assert classify_partial_tables({}, {}, 11) is AppClass.UNKNOWN
+
+    def test_partial_streaming_detection(self):
+        slowdown = {1: 1.02, 2: 1.01}
+        llcmpkc = {1: 30.0, 2: 29.0}
+        assert classify_partial_tables(slowdown, llcmpkc, 11) is AppClass.STREAMING
+
+    def test_partial_sensitive_detection(self):
+        slowdown = {1: 1.6, 2: 1.3, 3: 1.1, 4: 1.0}
+        llcmpkc = {1: 20.0, 2: 10.0, 3: 4.0, 4: 1.0}
+        assert classify_partial_tables(slowdown, llcmpkc, 11) is AppClass.SENSITIVE
+
+    def test_partial_light_detection(self):
+        slowdown = {1: 1.01}
+        llcmpkc = {1: 0.5}
+        assert classify_partial_tables(slowdown, llcmpkc, 11) is AppClass.LIGHT
+
+    def test_out_of_range_way_counts_rejected(self):
+        with pytest.raises(ProfileError):
+            classify_partial_tables({12: 1.0}, {12: 1.0}, 11)

@@ -1,0 +1,168 @@
+"""Tests for LFOC's clustering algorithm (Algorithm 1), float and kernel paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LfocParams,
+    lfoc_clustering,
+    lfoc_clustering_kernel,
+    table_to_fixed,
+)
+from repro.errors import ClusteringError
+
+
+def sensitive_table(sd1=1.6, n=11):
+    """Monotone declining slowdown table."""
+    return [1.0 + (sd1 - 1.0) * (n - w) / (n - 1) for w in range(1, n + 1)]
+
+
+NWAYS = 11
+
+
+class TestAlgorithmStructure:
+    def test_no_sensitive_apps_single_cluster(self):
+        sol = lfoc_clustering(["st0"], [], ["ls0", "ls1"], NWAYS, {})
+        assert sol.n_clusters == 1
+        assert sol.clusters[0].ways == NWAYS
+        assert sol.covers(["st0", "ls0", "ls1"])
+
+    def test_streaming_confined_to_one_way(self):
+        tables = {"cs0": sensitive_table()}
+        sol = lfoc_clustering(["st0", "st1"], ["cs0"], [], NWAYS, tables)
+        streaming_cluster = sol.cluster_of("st0")
+        assert streaming_cluster.ways == 1
+        assert "st1" in streaming_cluster
+        assert sol.ways_of("cs0") == NWAYS - 1
+
+    def test_two_streaming_ways_for_many_aggressors(self):
+        streaming = [f"st{i}" for i in range(7)]  # > max_streaming_way (5)
+        tables = {"cs0": sensitive_table()}
+        sol = lfoc_clustering(streaming, ["cs0"], [], NWAYS, tables)
+        streaming_clusters = [c for c in sol.clusters if c.label == "streaming"]
+        assert len(streaming_clusters) == 2
+        assert all(c.ways == 1 for c in streaming_clusters)
+        assert sum(c.n_apps for c in streaming_clusters) == 7
+
+    def test_streaming_ways_capped_at_two(self):
+        streaming = [f"st{i}" for i in range(14)]  # would need 3 ways uncapped
+        tables = {"cs0": sensitive_table()}
+        sol = lfoc_clustering(streaming, ["cs0"], [], NWAYS, tables)
+        streaming_clusters = [c for c in sol.clusters if c.label == "streaming"]
+        assert len(streaming_clusters) == 2
+
+    def test_sensitive_apps_get_separate_clusters(self):
+        tables = {"cs0": sensitive_table(1.8), "cs1": sensitive_table(1.2)}
+        sol = lfoc_clustering([], ["cs0", "cs1"], [], NWAYS, tables)
+        assert sol.cluster_of("cs0") != sol.cluster_of("cs1")
+        assert sum(c.ways for c in sol.clusters) == NWAYS
+
+    def test_lookahead_gives_more_ways_to_more_sensitive_app(self):
+        tables = {"needy": sensitive_table(1.9), "mild": sensitive_table(1.1)}
+        sol = lfoc_clustering([], ["needy", "mild"], [], NWAYS, tables)
+        assert sol.ways_of("needy") > sol.ways_of("mild")
+
+    def test_light_apps_fill_streaming_clusters_first(self):
+        tables = {"cs0": sensitive_table()}
+        sol = lfoc_clustering(["st0"], ["cs0"], ["ls0", "ls1"], NWAYS, tables)
+        streaming_cluster = sol.cluster_of("st0")
+        assert "ls0" in streaming_cluster
+        assert "ls1" in streaming_cluster
+
+    def test_light_overflow_goes_round_robin_to_sensitive_clusters(self):
+        light = [f"ls{i}" for i in range(20)]
+        tables = {"cs0": sensitive_table(), "cs1": sensitive_table(1.3)}
+        sol = lfoc_clustering(["st0"], ["cs0", "cs1"], light, NWAYS, tables)
+        assert sol.covers(["st0", "cs0", "cs1"] + light)
+        sensitive_clusters = [c for c in sol.clusters if c.label == "sensitive"]
+        # The overflow is spread, not dumped onto a single cluster.
+        assert all(c.n_apps > 1 for c in sensitive_clusters)
+
+    def test_every_app_is_covered(self):
+        streaming = ["st0", "st1", "st2"]
+        sensitive = ["cs0", "cs1", "cs2"]
+        light = ["ls0", "ls1", "ls2", "ls3"]
+        tables = {a: sensitive_table(1.2 + 0.1 * i) for i, a in enumerate(sensitive)}
+        sol = lfoc_clustering(streaming, sensitive, light, NWAYS, tables)
+        assert sol.covers(streaming + sensitive + light)
+        assert sum(c.ways for c in sol.clusters) == NWAYS
+
+    def test_more_sensitive_apps_than_ways_handled(self):
+        sensitive = [f"cs{i}" for i in range(15)]
+        tables = {a: sensitive_table(1.1 + 0.05 * i) for i, a in enumerate(sensitive)}
+        sol = lfoc_clustering([], sensitive, [], NWAYS, tables)
+        assert sol.covers(sensitive)
+        assert sol.n_clusters <= NWAYS
+
+    def test_missing_slowdown_table_rejected(self):
+        with pytest.raises(ClusteringError):
+            lfoc_clustering([], ["cs0"], [], NWAYS, {})
+
+    def test_short_slowdown_table_rejected(self):
+        with pytest.raises(ClusteringError):
+            lfoc_clustering([], ["cs0"], [], NWAYS, {"cs0": [1.5, 1.0]})
+
+    def test_overlapping_class_sets_rejected(self):
+        tables = {"x": sensitive_table()}
+        with pytest.raises(ClusteringError):
+            lfoc_clustering(["x"], ["x"], [], NWAYS, tables)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ClusteringError):
+            lfoc_clustering([], [], [], NWAYS, {})
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ClusteringError):
+            LfocParams(max_streaming_way=0)
+        with pytest.raises(ClusteringError):
+            LfocParams(max_streaming_ways_total=0)
+
+    def test_custom_streaming_cap(self):
+        params = LfocParams(max_streaming_ways_total=1)
+        streaming = [f"st{i}" for i in range(8)]
+        tables = {"cs0": sensitive_table()}
+        sol = lfoc_clustering(streaming, ["cs0"], [], NWAYS, tables, params)
+        streaming_clusters = [c for c in sol.clusters if c.label == "streaming"]
+        assert len(streaming_clusters) == 1
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_float_and_integer_paths_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n_streaming = int(rng.integers(0, 4))
+        n_sensitive = int(rng.integers(1, 5))
+        n_light = int(rng.integers(0, 6))
+        streaming = [f"st{i}" for i in range(n_streaming)]
+        sensitive = [f"cs{i}" for i in range(n_sensitive)]
+        light = [f"ls{i}" for i in range(n_light)]
+        # Integer (per-mille) tables are the ground truth; the float tables are
+        # their exact real-valued counterparts, so both paths see the same data.
+        tables_int = {}
+        tables_float = {}
+        for app in sensitive:
+            base = sorted(rng.integers(1000, 2200, size=NWAYS), reverse=True)
+            base[-1] = 1000
+            tables_int[app] = [int(v) for v in base]
+            tables_float[app] = [v / 1000.0 for v in base]
+        float_solution = lfoc_clustering(streaming, sensitive, light, NWAYS, tables_float)
+        kernel_solution = lfoc_clustering_kernel(
+            streaming, sensitive, light, NWAYS, tables_int
+        )
+        float_view = {tuple(sorted(c.apps)): c.ways for c in float_solution.clusters}
+        kernel_view = {tuple(sorted(c.apps)): c.ways for c in kernel_solution.clusters}
+        assert float_view == kernel_view
+
+    def test_kernel_rejects_float_tables(self):
+        with pytest.raises(ClusteringError):
+            lfoc_clustering_kernel([], ["cs0"], [], NWAYS, {"cs0": [1.5] * NWAYS})
+
+    def test_kernel_single_cluster_when_no_sensitive(self):
+        sol = lfoc_clustering_kernel(["st0"], [], ["ls0"], NWAYS, {})
+        assert sol.n_clusters == 1
+
+    def test_kernel_table_conversion_helper(self):
+        float_table = sensitive_table()
+        fixed = table_to_fixed(float_table)
+        sol = lfoc_clustering_kernel([], ["cs0"], [], NWAYS, {"cs0": fixed})
+        assert sol.ways_of("cs0") == NWAYS

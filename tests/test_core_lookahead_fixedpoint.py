@@ -1,0 +1,143 @@
+"""Tests for UCP's lookahead allocation and the fixed-point toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SCALE,
+    fixed_div,
+    fixed_mul,
+    fixed_ratio,
+    from_fixed,
+    lookahead,
+    lookahead_int,
+    marginal_utility,
+    slowdown_table_fixed,
+    table_to_fixed,
+    to_fixed,
+)
+from repro.errors import ClusteringError, ReproError
+
+
+def declining(start, step, n=11):
+    """A convex declining cost table."""
+    return [max(start - step * i, 0.1) for i in range(n)]
+
+
+class TestLookahead:
+    def test_allocates_every_way(self):
+        tables = [declining(10, 1), declining(5, 0.5), declining(2, 0.1)]
+        allocation = lookahead(tables, 11)
+        assert sum(allocation) == 11
+        assert all(w >= 1 for w in allocation)
+
+    def test_greedy_prefers_the_steepest_curve(self):
+        steep = declining(20, 2)
+        flat = declining(20, 0.01)
+        allocation = lookahead([steep, flat], 11)
+        assert allocation[0] > allocation[1]
+
+    def test_flat_tables_split_evenly_ish(self):
+        flat = [1.0] * 11
+        allocation = lookahead([flat, flat], 11)
+        assert sum(allocation) == 11
+        assert min(allocation) >= 5
+
+    def test_single_application_gets_everything(self):
+        assert lookahead([declining(5, 0.5)], 11) == [11]
+
+    def test_min_ways_respected(self):
+        tables = [declining(10, 1), [1.0] * 11]
+        allocation = lookahead(tables, 11, min_ways=2)
+        assert min(allocation) >= 2
+
+    def test_infeasible_minimum_rejected(self):
+        with pytest.raises(ClusteringError):
+            lookahead([[1.0] * 4] * 5, 4)
+
+    def test_short_table_rejected(self):
+        with pytest.raises(ClusteringError):
+            lookahead([[1.0, 0.9]], 11)
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ClusteringError):
+            lookahead([], 11)
+
+    def test_marginal_utility_definition(self):
+        table = [10.0, 6.0, 5.0]
+        assert marginal_utility(table, 1, 3) == pytest.approx(2.5)
+        with pytest.raises(ClusteringError):
+            marginal_utility(table, 2, 2)
+
+    def test_non_convex_jump_is_found(self):
+        # No benefit for the second way, large benefit at the third: lookahead
+        # must consider the 2-way jump.
+        table_a = [10.0, 10.0, 1.0, 1.0]
+        table_b = [5.0, 4.5, 4.4, 4.3]
+        allocation = lookahead([table_a, table_b], 4)
+        assert allocation[0] >= 3
+
+
+class TestLookaheadInt:
+    def test_matches_float_version_on_scaled_tables(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            n_apps = int(rng.integers(2, 5))
+            tables_int = [
+                sorted((int(v) for v in rng.integers(1000, 3000, size=11)), reverse=True)
+                for _ in range(n_apps)
+            ]
+            tables_float = [[v / SCALE for v in t] for t in tables_int]
+            assert lookahead_int(tables_int, 11) == lookahead(tables_float, 11)
+
+    def test_allocates_every_way(self):
+        tables = [[3000, 2000, 1500, 1200, 1100, 1050, 1020, 1010, 1005, 1002, 1000]] * 2
+        allocation = lookahead_int(tables, 11)
+        assert sum(allocation) == 11
+
+    def test_rejects_non_integer_costs(self):
+        with pytest.raises(ClusteringError):
+            lookahead_int([[1.5] * 11], 11)
+
+    def test_rejects_infeasible_minimum(self):
+        with pytest.raises(ClusteringError):
+            lookahead_int([[1] * 4] * 5, 4)
+
+
+class TestFixedPoint:
+    def test_round_trip(self):
+        assert from_fixed(to_fixed(1.273)) == pytest.approx(1.273)
+
+    def test_ratio_rounds_to_nearest(self):
+        assert fixed_ratio(1, 3) == 333
+        assert fixed_ratio(2, 3) == 667
+
+    def test_ratio_handles_signs(self):
+        assert fixed_ratio(-1, 2) == -500
+        assert fixed_ratio(1, -2) == -500
+        assert fixed_ratio(-1, -2) == 500
+
+    def test_div_and_mul_are_inverse_ish(self):
+        a, b = to_fixed(1.5), to_fixed(0.75)
+        assert from_fixed(fixed_mul(fixed_div(a, b), b)) == pytest.approx(1.5, abs=2e-3)
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ReproError):
+            fixed_ratio(1, 0)
+        with pytest.raises(ReproError):
+            fixed_div(1, 0)
+
+    def test_table_to_fixed(self):
+        assert table_to_fixed([1.0, 1.2735]) == [1000, 1274]
+
+    def test_slowdown_table_from_ipc_counters(self):
+        # IPC doubles from 1 way to full cache: slowdown at 1 way must be ~2.0.
+        ipc_fixed = [500, 750, 1000]
+        table = slowdown_table_fixed(ipc_fixed)
+        assert table == [2000, 1333, 1000]
+
+    def test_slowdown_table_rejects_non_positive_ipc(self):
+        with pytest.raises(ReproError):
+            slowdown_table_fixed([1000, 0])
+        with pytest.raises(ReproError):
+            slowdown_table_fixed([])

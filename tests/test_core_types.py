@@ -1,0 +1,121 @@
+"""Tests for clustering data structures (Section 2.2 feasibility rules)."""
+
+import pytest
+
+from repro.core import ClusterSpec, ClusteringSolution, WayAllocation
+from repro.errors import ClusteringError
+
+
+class TestClusterSpec:
+    def test_basic_cluster(self):
+        cluster = ClusterSpec(apps=("a", "b"), ways=3)
+        assert cluster.n_apps == 2
+        assert "a" in cluster and "c" not in cluster
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusteringError):
+            ClusterSpec(apps=(), ways=1)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ClusteringError):
+            ClusterSpec(apps=("a", "a"), ways=1)
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ClusteringError):
+            ClusterSpec(apps=("a",), ways=0)
+
+
+class TestClusteringSolution:
+    def test_single_cluster_constructor(self):
+        sol = ClusteringSolution.single_cluster(["a", "b", "c"], 11)
+        assert sol.n_clusters == 1
+        assert sol.clusters[0].ways == 11
+        assert sol.covers(["a", "b", "c"])
+
+    def test_from_partitioning(self):
+        sol = ClusteringSolution.from_partitioning(["a", "b"], [4, 7], 11)
+        assert sol.is_partitioning()
+        assert sol.ways_of("a") == 4
+        assert sol.ways_of("b") == 7
+
+    def test_from_groups_with_labels(self):
+        sol = ClusteringSolution.from_groups(
+            [["a", "b"], ["c"]], [1, 10], 11, labels=["streaming", "sensitive"]
+        )
+        assert sol.clusters[0].label == "streaming"
+        assert not sol.is_partitioning()
+
+    def test_way_sum_must_match_total(self):
+        with pytest.raises(ClusteringError):
+            ClusteringSolution.from_partitioning(["a", "b"], [4, 4], 11)
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(ClusteringError):
+            ClusteringSolution.from_groups([["a"], ["a"]], [5, 6], 11)
+
+    def test_more_clusters_than_ways_rejected(self):
+        with pytest.raises(ClusteringError):
+            ClusteringSolution.from_groups([["a"], ["b"], ["c"]], [1, 1, 0], 2)
+
+    def test_cluster_of_unknown_app_rejected(self):
+        sol = ClusteringSolution.single_cluster(["a"], 4)
+        with pytest.raises(ClusteringError):
+            sol.cluster_of("b")
+
+    def test_apps_preserves_cluster_order(self):
+        sol = ClusteringSolution.from_groups([["b"], ["a", "c"]], [2, 9], 11)
+        assert sol.apps() == ["b", "a", "c"]
+        assert sol.n_apps == 3
+
+    def test_to_allocation_packs_contiguously(self):
+        sol = ClusteringSolution.from_groups([["a"], ["b", "c"]], [2, 9], 11)
+        allocation = sol.to_allocation()
+        assert allocation.mask_of("a") == 0b11
+        assert allocation.mask_of("b") == allocation.mask_of("c") == (0b111111111 << 2)
+        assert not allocation.is_overlapping()
+
+    def test_cluster_sizes(self):
+        sol = ClusteringSolution.from_groups([["a"], ["b"]], [5, 6], 11)
+        assert sol.cluster_sizes() == [5, 6]
+
+    def test_describe_mentions_every_cluster(self):
+        sol = ClusteringSolution.from_groups([["a"], ["b"]], [5, 6], 11)
+        text = sol.describe()
+        assert "a" in text and "b" in text
+        assert "5 way(s)" in text
+
+
+class TestWayAllocation:
+    def test_ways_of_counts_mask_bits(self):
+        alloc = WayAllocation(masks={"a": 0b111, "b": 0b1000}, total_ways=4)
+        assert alloc.ways_of("a") == 3
+        assert alloc.ways_of("b") == 1
+        assert alloc.n_apps == 2
+
+    def test_overlap_detection(self):
+        disjoint = WayAllocation(masks={"a": 0b0011, "b": 0b1100}, total_ways=4)
+        overlapping = WayAllocation(masks={"a": 0b0011, "b": 0b0110}, total_ways=4)
+        assert not disjoint.is_overlapping()
+        assert overlapping.is_overlapping()
+
+    def test_shared_identical_masks_are_not_overlap(self):
+        alloc = WayAllocation(masks={"a": 0b11, "b": 0b11}, total_ways=4)
+        assert not alloc.is_overlapping()
+
+    def test_sharers_of_way(self):
+        alloc = WayAllocation(masks={"a": 0b0011, "b": 0b0110}, total_ways=4)
+        assert sorted(alloc.sharers_of_way(1)) == ["a", "b"]
+        assert alloc.sharers_of_way(3) == []
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ClusteringError):
+            WayAllocation(masks={"a": 0}, total_ways=4)
+
+    def test_mask_beyond_llc_rejected(self):
+        with pytest.raises(ClusteringError):
+            WayAllocation(masks={"a": 0b10000}, total_ways=4)
+
+    def test_unknown_app_rejected(self):
+        alloc = WayAllocation(masks={"a": 0b1}, total_ways=4)
+        with pytest.raises(ClusteringError):
+            alloc.mask_of("b")

@@ -1,0 +1,156 @@
+"""Tests for the simulated Cache Allocation Technology."""
+
+import pytest
+
+from repro.errors import ClosExhaustedError, InvalidMaskError
+from repro.hardware import (
+    CatController,
+    contiguous_layout,
+    format_mask,
+    mask_from_range,
+    mask_is_contiguous,
+    mask_to_ways,
+    mask_ways,
+    parse_mask,
+    small_test_platform,
+    skylake_gold_6138,
+)
+
+
+class TestMaskHelpers:
+    def test_mask_from_range_basic(self):
+        assert mask_from_range(0, 3) == 0b111
+        assert mask_from_range(2, 2) == 0b1100
+
+    def test_mask_from_range_rejects_empty(self):
+        with pytest.raises(InvalidMaskError):
+            mask_from_range(0, 0)
+
+    def test_mask_from_range_rejects_negative_start(self):
+        with pytest.raises(InvalidMaskError):
+            mask_from_range(-1, 2)
+
+    def test_mask_ways_counts_bits(self):
+        assert mask_ways(0b1011) == 3
+        assert mask_ways(0) == 0
+
+    @pytest.mark.parametrize("mask,expected", [(0b111, True), (0b1110, True), (0b1011, False), (0, False), (0b1, True)])
+    def test_mask_is_contiguous(self, mask, expected):
+        assert mask_is_contiguous(mask) is expected
+
+    def test_mask_to_ways_lists_indices(self):
+        assert mask_to_ways(0b1010) == [1, 3]
+
+    def test_format_and_parse_round_trip(self):
+        mask = 0b11111111111
+        text = format_mask(mask, 11)
+        assert parse_mask(text) == mask
+
+    def test_format_mask_width(self):
+        assert format_mask(0x7FF, 11) == "7ff"
+
+    def test_parse_mask_invalid(self):
+        with pytest.raises(InvalidMaskError):
+            parse_mask("not-hex")
+
+
+class TestContiguousLayout:
+    def test_layout_packs_from_way_zero(self):
+        masks = contiguous_layout([2, 3, 1], 11)
+        assert masks == [0b11, 0b11100, 0b100000]
+
+    def test_layout_rejects_overflow(self):
+        with pytest.raises(InvalidMaskError):
+            contiguous_layout([6, 6], 11)
+
+    def test_layout_rejects_zero_way_cluster(self):
+        with pytest.raises(InvalidMaskError):
+            contiguous_layout([0, 4], 11)
+
+
+class TestCatController:
+    def test_default_class_spans_full_cache(self):
+        cat = CatController(skylake_gold_6138())
+        assert cat.get_class(0).mask == (1 << 11) - 1
+
+    def test_create_class_and_bind(self):
+        cat = CatController(skylake_gold_6138())
+        cos = cat.create_class(0b11)
+        cat.bind_task("task-a", cos.clos_id)
+        assert cat.clos_of("task-a") == cos.clos_id
+        assert cat.effective_ways("task-a") == 2
+
+    def test_unbound_tasks_use_default_class(self):
+        cat = CatController(skylake_gold_6138())
+        assert cat.clos_of("stranger") == 0
+        assert cat.effective_ways("stranger") == 11
+
+    def test_validate_mask_rejects_non_contiguous(self):
+        cat = CatController(skylake_gold_6138())
+        with pytest.raises(InvalidMaskError):
+            cat.create_class(0b101)
+
+    def test_validate_mask_rejects_too_wide(self):
+        cat = CatController(small_test_platform(ways=4))
+        with pytest.raises(InvalidMaskError):
+            cat.create_class(0b11111)
+
+    def test_validate_mask_respects_min_width(self):
+        import dataclasses
+
+        plat = dataclasses.replace(small_test_platform(ways=4), min_mask_bits=2)
+        cat = CatController(plat)
+        with pytest.raises(InvalidMaskError):
+            cat.create_class(0b1)
+        cat.create_class(0b11)
+
+    def test_clos_exhaustion(self):
+        plat = small_test_platform(ways=4)
+        cat = CatController(plat)
+        for _ in range(plat.n_clos - 1):
+            cat.create_class(0b1)
+        with pytest.raises(ClosExhaustedError):
+            cat.create_class(0b1)
+
+    def test_remove_class_rebinds_tasks_to_default(self):
+        cat = CatController(skylake_gold_6138())
+        cos = cat.create_class(0b111)
+        cat.bind_task("t", cos.clos_id)
+        cat.remove_class(cos.clos_id)
+        assert cat.clos_of("t") == 0
+
+    def test_default_class_cannot_be_removed(self):
+        cat = CatController(skylake_gold_6138())
+        with pytest.raises(InvalidMaskError):
+            cat.remove_class(0)
+
+    def test_rebind_moves_task_between_classes(self):
+        cat = CatController(skylake_gold_6138())
+        a = cat.create_class(0b1)
+        b = cat.create_class(0b110)
+        cat.bind_task("t", a.clos_id)
+        cat.bind_task("t", b.clos_id)
+        assert cat.clos_of("t") == b.clos_id
+        assert "t" not in cat.get_class(a.clos_id).tasks
+
+    def test_apply_allocation_shares_clos_per_mask(self):
+        cat = CatController(skylake_gold_6138())
+        allocation = {"a": 0b1, "b": 0b1, "c": 0b1110}
+        mapping = cat.apply_allocation(allocation)
+        assert mapping["a"] == mapping["b"]
+        assert mapping["a"] != mapping["c"]
+        assert cat.current_allocation() == allocation
+
+    def test_apply_allocation_resets_previous_state(self):
+        cat = CatController(skylake_gold_6138())
+        cat.apply_allocation({"a": 0b1, "b": 0b110})
+        cat.apply_allocation({"a": 0b11, "b": 0b11})
+        assert cat.mask_of("a") == 0b11
+        assert cat.mask_of("b") == 0b11
+
+    def test_reset_restores_full_default_mask(self):
+        cat = CatController(skylake_gold_6138())
+        cat.apply_allocation({"a": 0b1})
+        cat.reset()
+        assert cat.n_classes == 1
+        assert cat.get_class(0).mask == (1 << 11) - 1

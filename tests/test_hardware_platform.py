@@ -1,0 +1,77 @@
+"""Tests for the platform model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import PlatformSpec, broadwell_like, skylake_gold_6138, small_test_platform
+
+
+class TestPlatformSpec:
+    def test_skylake_matches_paper_geometry(self):
+        plat = skylake_gold_6138()
+        assert plat.llc_ways == 11
+        assert plat.llc_mb == pytest.approx(27.5)
+        assert plat.way_mb == pytest.approx(2.5)
+        assert plat.freq_ghz == pytest.approx(2.0)
+        assert plat.l2_kb == 1024
+        assert plat.l1_kb == 64
+
+    def test_broadwell_preset_has_20_ways(self):
+        assert broadwell_like().llc_ways == 20
+
+    def test_small_platform_configurable(self):
+        plat = small_test_platform(ways=6, cores=2)
+        assert plat.llc_ways == 6
+        assert plat.n_cores == 2
+
+    def test_full_mask_covers_every_way(self):
+        plat = small_test_platform(ways=4)
+        assert plat.full_mask == 0b1111
+
+    def test_cycle_time_round_trip(self):
+        plat = skylake_gold_6138()
+        assert plat.cycles_to_seconds(plat.seconds_to_cycles(1.5)) == pytest.approx(1.5)
+
+    def test_cycles_per_second(self):
+        assert skylake_gold_6138().cycles_per_second == pytest.approx(2e9)
+
+    def test_ways_to_kb(self):
+        plat = skylake_gold_6138()
+        assert plat.ways_to_kb(2) == pytest.approx(2 * 2560)
+
+    def test_with_ways_returns_new_spec(self):
+        plat = skylake_gold_6138()
+        other = plat.with_ways(20)
+        assert other.llc_ways == 20
+        assert plat.llc_ways == 11
+
+    def test_validate_ways_accepts_legal_values(self):
+        plat = skylake_gold_6138()
+        assert plat.validate_ways(1) == 1
+        assert plat.validate_ways(11) == 11
+
+    def test_validate_ways_rejects_out_of_range(self):
+        plat = skylake_gold_6138()
+        with pytest.raises(ConfigurationError):
+            plat.validate_ways(0)
+        with pytest.raises(ConfigurationError):
+            plat.validate_ways(12)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"llc_ways": 0},
+            {"n_cores": 0},
+            {"llc_way_kb": 0},
+            {"freq_ghz": 0.0},
+            {"peak_bw_gbs": -1.0},
+            {"min_mask_bits": 0},
+            {"min_mask_bits": 99},
+            {"n_clos": 0},
+            {"n_rmids": 0},
+            {"mem_latency_cycles": 0},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(**kwargs)

@@ -1,0 +1,112 @@
+"""Tests for the simulated resctrl filesystem."""
+
+import pytest
+
+from repro.errors import ResctrlError
+from repro.hardware import ResctrlFilesystem, skylake_gold_6138, small_test_platform
+
+
+@pytest.fixture()
+def fs():
+    return ResctrlFilesystem(skylake_gold_6138())
+
+
+class TestGroups:
+    def test_root_group_exists(self, fs):
+        assert "" in fs.groups()
+
+    def test_mkdir_creates_group_with_full_mask(self, fs):
+        group = fs.mkdir("grp0")
+        assert group.mask == fs.platform.full_mask
+        assert "grp0" in fs.groups()
+
+    def test_mkdir_duplicate_rejected(self, fs):
+        fs.mkdir("grp0")
+        with pytest.raises(ResctrlError):
+            fs.mkdir("grp0")
+
+    def test_mkdir_invalid_name_rejected(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.mkdir("a/b")
+        with pytest.raises(ResctrlError):
+            fs.mkdir("")
+
+    def test_rmdir_moves_tasks_to_root(self, fs):
+        fs.mkdir("grp0")
+        fs.add_task("grp0", "1234")
+        fs.rmdir("grp0")
+        assert "1234" in fs.tasks("")
+
+    def test_rmdir_root_rejected(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.rmdir("")
+
+    def test_reset_removes_all_groups(self, fs):
+        fs.mkdir("grp0")
+        fs.mkdir("grp1")
+        fs.reset()
+        assert fs.groups() == [""]
+
+
+class TestSchemata:
+    def test_root_schemata_covers_whole_cache(self, fs):
+        assert fs.read_schemata("") == "L3:0=7ff"
+
+    def test_write_and_read_schemata(self, fs):
+        fs.mkdir("grp0")
+        fs.write_schemata("grp0", "L3:0=3")
+        assert fs.read_schemata("grp0") == "L3:0=003"
+
+    def test_write_schemata_rejects_non_l3(self, fs):
+        fs.mkdir("grp0")
+        with pytest.raises(ResctrlError):
+            fs.write_schemata("grp0", "MB:0=50")
+
+    def test_write_schemata_rejects_malformed(self, fs):
+        fs.mkdir("grp0")
+        with pytest.raises(ResctrlError):
+            fs.write_schemata("grp0", "L3:garbage")
+
+    def test_write_schemata_rejects_missing_cache_id(self, fs):
+        fs.mkdir("grp0")
+        with pytest.raises(ResctrlError):
+            fs.write_schemata("grp0", "L3:1=3")
+
+    def test_unknown_group_rejected(self, fs):
+        with pytest.raises(ResctrlError):
+            fs.read_schemata("nope")
+
+
+class TestTasks:
+    def test_add_task_and_effective_ways(self, fs):
+        fs.mkdir("grp0")
+        fs.write_schemata("grp0", "L3:0=7")
+        fs.add_task("grp0", "42")
+        assert fs.effective_ways("42") == 3
+        assert fs.group_of("42") == "grp0"
+
+    def test_info_reflects_platform_limits(self, fs):
+        info = fs.info()
+        assert info.num_closids == fs.platform.n_clos
+        assert info.cbm_mask == "7ff"
+        assert info.min_cbm_bits == 1
+        assert info.as_dict()["cbm_mask"] == "7ff"
+
+    def test_apply_allocation_builds_groups(self, fs):
+        allocation = {"a": 0b1, "b": 0b1, "c": 0b1110}
+        fs.apply_allocation(allocation)
+        assert fs.effective_ways("a") == 1
+        assert fs.effective_ways("b") == 1
+        assert fs.effective_ways("c") == 3
+        assert fs.group_of("a") == fs.group_of("b")
+
+    def test_apply_allocation_twice_is_idempotent(self, fs):
+        fs.apply_allocation({"a": 0b11})
+        fs.apply_allocation({"a": 0b111})
+        assert fs.effective_ways("a") == 3
+
+
+class TestSmallPlatform:
+    def test_schemata_width_follows_way_count(self):
+        fs = ResctrlFilesystem(small_test_platform(ways=4))
+        assert fs.read_schemata("") == "L3:0=f"

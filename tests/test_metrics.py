@@ -1,0 +1,114 @@
+"""Tests for the fairness/throughput metrics and aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    antt,
+    average_percent_reduction,
+    compute_metrics,
+    geometric_mean,
+    jain_index,
+    normalise,
+    normalised_series,
+    percent_reduction,
+    slowdown_from_ipc,
+    slowdown_from_times,
+    stp,
+    unfairness,
+)
+
+
+class TestSlowdown:
+    def test_from_ipc(self):
+        assert slowdown_from_ipc(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_from_times(self):
+        assert slowdown_from_times(30.0, 20.0) == pytest.approx(1.5)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ReproError):
+            slowdown_from_ipc(0.0, 1.0)
+        with pytest.raises(ReproError):
+            slowdown_from_times(1.0, 0.0)
+
+
+class TestUnfairnessAndStp:
+    def test_unfairness_is_max_over_min(self):
+        assert unfairness([1.0, 1.5, 3.0]) == pytest.approx(3.0)
+
+    def test_perfectly_fair_workload(self):
+        assert unfairness([1.3, 1.3, 1.3]) == pytest.approx(1.0)
+
+    def test_stp_is_sum_of_reciprocal_slowdowns(self):
+        assert stp([1.0, 2.0, 4.0]) == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_stp_equals_n_without_slowdown(self):
+        assert stp([1.0] * 8) == pytest.approx(8.0)
+
+    def test_antt_is_mean_slowdown(self):
+        assert antt([1.0, 2.0]) == pytest.approx(1.5)
+
+    def test_jain_index_bounds(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        skewed = jain_index([1.0, 10.0, 10.0, 10.0])
+        assert 0.0 < skewed < 1.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ReproError):
+            unfairness([])
+
+    def test_negative_slowdowns_rejected(self):
+        with pytest.raises(ReproError):
+            stp([1.0, -2.0])
+
+    def test_compute_metrics_bundle(self):
+        metrics = compute_metrics({"a": 1.0, "b": 2.0})
+        assert metrics.unfairness == pytest.approx(2.0)
+        assert metrics.stp == pytest.approx(1.5)
+        assert metrics.worst_app() == "b"
+        assert metrics.n_apps == 2
+        assert set(metrics.as_dict()) >= {"unfairness", "stp", "antt", "jain"}
+
+    def test_compute_metrics_empty_rejected(self):
+        with pytest.raises(ReproError):
+            compute_metrics({})
+
+
+class TestAggregation:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_normalise(self):
+        assert normalise(0.8, 1.0) == pytest.approx(0.8)
+        with pytest.raises(ReproError):
+            normalise(1.0, 0.0)
+
+    def test_percent_reduction(self):
+        assert percent_reduction(0.8, 1.0) == pytest.approx(20.0)
+        assert percent_reduction(1.2, 1.0) == pytest.approx(-20.0)
+
+    def test_average_percent_reduction(self):
+        values = {"w1": 0.9, "w2": 0.7}
+        baselines = {"w1": 1.0, "w2": 1.0}
+        assert average_percent_reduction(values, baselines) == pytest.approx(20.0)
+
+    def test_average_requires_matching_keys(self):
+        with pytest.raises(ReproError):
+            average_percent_reduction({"a": 1.0}, {"b": 1.0})
+
+    def test_normalised_series(self):
+        values = {"w1": 2.0, "w2": 3.0}
+        baselines = {"w1": 4.0, "w2": 6.0}
+        assert normalised_series(values, baselines) == {
+            "w1": pytest.approx(0.5),
+            "w2": pytest.approx(0.5),
+        }

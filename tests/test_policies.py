@@ -1,0 +1,229 @@
+"""Tests for the static cache-allocation policies (LFOC, Dunn, KPart, UCP...)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppClass, ClusteringSolution, WayAllocation, classify_profile
+from repro.errors import ClusteringError
+from repro.policies import (
+    BestStaticPolicy,
+    DunnPolicy,
+    KPartPolicy,
+    LfocKernelPolicy,
+    LfocPolicy,
+    StockLinuxPolicy,
+    UcpPolicy,
+    build_dendrogram,
+    evaluate_level,
+    kmeans_1d,
+)
+from repro.simulator import ClusteringEstimator
+
+
+class TestStockLinux:
+    def test_single_cluster_over_whole_cache(self, platform, mix8):
+        solution = StockLinuxPolicy().cluster(mix8, platform)
+        assert solution.n_clusters == 1
+        assert solution.clusters[0].ways == platform.llc_ways
+
+    def test_allocation_is_full_mask_for_everyone(self, platform, mix8):
+        allocation = StockLinuxPolicy().allocate(mix8, platform)
+        assert all(mask == platform.full_mask for mask in allocation.masks.values())
+
+    def test_empty_workload_rejected(self, platform):
+        with pytest.raises(ClusteringError):
+            StockLinuxPolicy().cluster({}, platform)
+
+
+class TestLfocPolicy:
+    def test_streaming_apps_confined(self, platform, mix8):
+        solution = LfocPolicy().cluster(mix8, platform)
+        for name, profile in mix8.items():
+            if classify_profile(profile) is AppClass.STREAMING:
+                assert solution.ways_of(name) <= 2
+
+    def test_sensitive_apps_get_most_of_the_cache(self, platform, mix8):
+        solution = LfocPolicy().cluster(mix8, platform)
+        sensitive_ways = sum(
+            c.ways for c in solution.clusters if c.label == "sensitive"
+        )
+        assert sensitive_ways >= platform.llc_ways - 2
+
+    def test_covers_whole_workload(self, platform, mix8):
+        assert LfocPolicy().cluster(mix8, platform).covers(mix8)
+
+    def test_improves_fairness_over_stock(self, platform, mix8):
+        estimator = ClusteringEstimator(platform, mix8)
+        stock = estimator.evaluate_unpartitioned()
+        lfoc = estimator.evaluate(LfocPolicy().cluster(mix8, platform))
+        assert lfoc.unfairness < stock.unfairness
+
+    def test_kernel_variant_is_equivalent_shape(self, platform, mix8):
+        float_solution = LfocPolicy().cluster(mix8, platform)
+        kernel_solution = LfocKernelPolicy().cluster(mix8, platform)
+        # Same cluster structure (way counts may differ by rounding of the
+        # fixed-point slowdown tables, but the grouping must agree).
+        float_groups = {tuple(sorted(c.apps)) for c in float_solution.clusters}
+        kernel_groups = {tuple(sorted(c.apps)) for c in kernel_solution.clusters}
+        assert float_groups == kernel_groups
+
+    def test_profiles_resampled_to_platform(self, catalog, platform):
+        # Profiles collected for 20 ways still work on the 11-way platform.
+        profiles = {
+            name: catalog[name].resampled(20)
+            for name in ("lbm06", "xalancbmk06", "gamess06")
+        }
+        solution = LfocPolicy().cluster(profiles, platform)
+        assert sum(c.ways for c in solution.clusters) == platform.llc_ways
+
+    def test_all_light_workload_yields_single_cluster(self, catalog, platform):
+        profiles = {n: catalog[n] for n in ("gamess06", "namd06", "povray06")}
+        solution = LfocPolicy().cluster(profiles, platform)
+        assert solution.n_clusters == 1
+
+
+class TestUcp:
+    def test_strict_partitioning(self, platform, mix8):
+        solution = UcpPolicy().cluster(mix8, platform)
+        assert solution.is_partitioning()
+        assert sum(c.ways for c in solution.clusters) == platform.llc_ways
+
+    def test_rejects_more_apps_than_ways(self, platform, catalog):
+        names = list(catalog)[:12]
+        profiles = {n: catalog[n] for n in names}
+        with pytest.raises(ClusteringError):
+            UcpPolicy().cluster(profiles, platform)
+
+    def test_metric_validation(self):
+        with pytest.raises(ClusteringError):
+            UcpPolicy(metric="energy")
+
+    def test_slowdown_metric_variant(self, platform, mix8):
+        solution = UcpPolicy(metric="slowdown").cluster(mix8, platform)
+        assert solution.is_partitioning()
+
+
+class TestKmeans:
+    def test_separates_two_obvious_groups(self):
+        values = [0.1, 0.12, 0.11, 0.9, 0.88, 0.91]
+        labels, centroids = kmeans_1d(values, 2)
+        assert set(labels[:3]) == {0}
+        assert set(labels[3:]) == {1}
+        assert centroids[0] < centroids[1]
+
+    def test_k_equals_n(self):
+        labels, _ = kmeans_1d([0.1, 0.5, 0.9], 3)
+        assert sorted(labels) == [0, 1, 2]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ClusteringError):
+            kmeans_1d([0.1, 0.2], 3)
+        with pytest.raises(ClusteringError):
+            kmeans_1d([], 1)
+
+    def test_deterministic(self):
+        values = list(np.linspace(0, 1, 20))
+        a = kmeans_1d(values, 3)
+        b = kmeans_1d(values, 3)
+        assert np.array_equal(a[0], b[0])
+
+
+class TestDunn:
+    def test_produces_full_coverage_allocation(self, platform, mix8):
+        allocation = DunnPolicy().allocate(mix8, platform)
+        assert set(allocation.masks) == set(mix8)
+        assert all(mask > 0 for mask in allocation.masks.values())
+
+    def test_high_stall_apps_get_more_ways(self, platform, mix8):
+        policy = DunnPolicy()
+        allocation = policy.allocate(mix8, platform)
+        assert allocation.ways_of("lbm06") >= allocation.ways_of("gamess06")
+
+    def test_stall_metric_orders_classes(self, platform, mix8):
+        stalls = DunnPolicy().stall_metric(mix8, platform)
+        assert stalls["lbm06"] > stalls["gamess06"]
+
+    def test_masks_may_overlap(self, platform, mix8):
+        allocation = DunnPolicy(overlap_ways=1).allocate(mix8, platform)
+        assert isinstance(allocation, WayAllocation)
+        # With zero overlap the masks must be disjoint across clusters.
+        disjoint = DunnPolicy(overlap_ways=0).allocate(mix8, platform)
+        assert not disjoint.is_overlapping()
+
+    def test_cluster_range_validation(self):
+        with pytest.raises(ClusteringError):
+            DunnPolicy(max_clusters=1, min_clusters=2)
+        with pytest.raises(ClusteringError):
+            DunnPolicy(overlap_ways=-1)
+
+    def test_cluster_method_raises_for_overlapping_decision(self, platform, mix8):
+        with pytest.raises(ClusteringError):
+            DunnPolicy().cluster(mix8, platform)
+
+
+class TestKPart:
+    def test_dendrogram_levels_shrink_by_one(self, platform, mix8):
+        levels = build_dendrogram(mix8, platform.llc_ways)
+        assert len(levels) == len(mix8)
+        assert [len(level) for level in levels] == list(range(len(mix8), 0, -1))
+
+    def test_dendrogram_merges_similar_apps_first(self, platform, catalog):
+        profiles = {n: catalog[n] for n in ("lbm06", "lbm17", "xalancbmk06", "gamess06")}
+        levels = build_dendrogram(profiles, platform.llc_ways)
+        first_merge = [g for g in levels[1] if len(g) == 2][0]
+        assert sorted(first_merge) in (["lbm06", "lbm17"], ["gamess06", "lbm06"], ["gamess06", "lbm17"])
+
+    def test_evaluate_level_allocates_every_way(self, platform, mix8):
+        groups = [[name] for name in mix8]
+        ways, speedup = evaluate_level(groups, mix8, platform.llc_ways)
+        assert sum(ways) == platform.llc_ways
+        assert speedup > 0
+
+    def test_evaluate_level_rejects_too_many_clusters(self, platform, catalog):
+        groups = [[name] for name in list(catalog)[:12]]
+        profiles = {name: catalog[name] for name in list(catalog)[:12]}
+        with pytest.raises(ClusteringError):
+            evaluate_level(groups, profiles, platform.llc_ways)
+
+    def test_decision_covers_workload(self, platform, mix8):
+        solution = KPartPolicy().cluster(mix8, platform)
+        assert solution.covers(mix8)
+        assert sum(c.ways for c in solution.clusters) == platform.llc_ways
+
+    def test_handles_more_apps_than_ways(self, platform, catalog):
+        names = list(catalog)[:13]
+        profiles = {n: catalog[n] for n in names}
+        solution = KPartPolicy().cluster(profiles, platform)
+        assert solution.covers(profiles)
+        assert solution.n_clusters <= platform.llc_ways
+
+    def test_max_clusters_cap(self, platform, mix8):
+        solution = KPartPolicy(max_clusters=3).cluster(mix8, platform)
+        assert solution.n_clusters <= 3
+
+    def test_improves_throughput_over_stock(self, platform, mix8):
+        estimator = ClusteringEstimator(platform, mix8)
+        stock = estimator.evaluate_unpartitioned()
+        kpart = estimator.evaluate(KPartPolicy().cluster(mix8, platform))
+        assert kpart.stp >= stock.stp
+
+
+class TestBestStatic:
+    def test_best_static_is_at_least_as_fair_as_lfoc(self, platform, catalog):
+        names = ["lbm06", "xalancbmk06", "soplex06", "gamess06", "namd06", "sjeng06"]
+        profiles = {n: catalog[n] for n in names}
+        estimator = ClusteringEstimator(platform, profiles)
+        best = estimator.evaluate(BestStaticPolicy().cluster(profiles, platform))
+        lfoc = estimator.evaluate(LfocPolicy().cluster(profiles, platform))
+        assert best.unfairness <= lfoc.unfairness + 1e-9
+
+    def test_large_workloads_use_local_search(self, platform, mix8):
+        policy = BestStaticPolicy(exact_limit=4, local_search_iterations=150)
+        solution = policy.cluster(mix8, platform)
+        assert solution.covers(mix8)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ClusteringError):
+            BestStaticPolicy(objective="energy")
+        with pytest.raises(ClusteringError):
+            BestStaticPolicy(exact_limit=0)

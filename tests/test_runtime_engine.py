@@ -1,0 +1,207 @@
+"""Tests for the dynamic policy drivers and the event-driven runtime engine."""
+
+import pytest
+
+from repro.core import AppClass
+from repro.errors import SimulationError
+from repro.hardware import skylake_gold_6138
+from repro.policies import LfocPolicy, StockLinuxPolicy
+from repro.runtime import (
+    DunnUserLevelDaemon,
+    EngineConfig,
+    LfocSchedulerPlugin,
+    RuntimeEngine,
+    StaticPolicyDriver,
+    StockLinuxDriver,
+    alone_completion_time,
+)
+from repro.workloads import Workload
+
+
+FAST = EngineConfig(
+    instructions_per_run=8.0e8,
+    min_completions=2,
+    partition_interval_s=0.05,
+    record_traces=True,
+    max_simulated_seconds=120.0,
+)
+
+#: Faster warm-up / shorter rolling windows so the online machinery converges
+#: within the small instruction budgets used by the unit tests.
+from repro.runtime import MonitorConfig  # noqa: E402
+
+QUICK_MONITOR = MonitorConfig(warmup_samples=2, history_window=3)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return Workload("test-mix", ("lbm06", "xalancbmk06", "soplex06", "gamess06"))
+
+
+@pytest.fixture(scope="module")
+def platform_skylake():
+    return skylake_gold_6138()
+
+
+def run(driver, workload, platform, config=FAST):
+    engine = RuntimeEngine(platform, workload.phased_profiles(platform.llc_ways), driver, config)
+    return engine.run(workload.name)
+
+
+class TestAloneTime:
+    def test_alone_time_matches_ipc(self, platform_skylake, small_workload):
+        phased = small_workload.phased_profiles(platform_skylake.llc_ways)
+        profile = phased["gamess06.0"]
+        expected = 2.0e8 / (
+            profile.segments[0].profile.ipc_alone * platform_skylake.cycles_per_second
+        )
+        assert alone_completion_time(profile, 2.0e8, platform_skylake) == pytest.approx(expected)
+
+    def test_alone_time_spans_phases(self, platform_skylake):
+        workload = Workload("w", ("fotonik3d17",))
+        phased = workload.phased_profiles(platform_skylake.llc_ways)["fotonik3d17.0"]
+        # Crossing several phase cycles still returns a positive finite time.
+        assert alone_completion_time(phased, 5e9, platform_skylake) > 0
+
+    def test_invalid_budget_rejected(self, platform_skylake, small_workload):
+        phased = small_workload.phased_profiles(platform_skylake.llc_ways)
+        with pytest.raises(SimulationError):
+            alone_completion_time(phased["gamess06.0"], 0.0, platform_skylake)
+
+
+class TestEngineConfig:
+    def test_instruction_scale_reported(self):
+        assert EngineConfig(instructions_per_run=1.5e9).instruction_scale == pytest.approx(100.0)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(instructions_per_run=0)
+        with pytest.raises(SimulationError):
+            EngineConfig(min_completions=0)
+        with pytest.raises(SimulationError):
+            EngineConfig(partition_interval_s=0)
+
+
+class TestStockRun:
+    def test_every_app_completes_enough_times(self, platform_skylake, small_workload):
+        result = run(StockLinuxDriver(), small_workload, platform_skylake)
+        for stats in result.app_stats.values():
+            assert stats.completions >= FAST.min_completions
+        assert result.duration_s > 0
+
+    def test_slowdowns_are_at_least_one(self, platform_skylake, small_workload):
+        result = run(StockLinuxDriver(), small_workload, platform_skylake)
+        assert all(s >= 0.99 for s in result.slowdowns().values())
+
+    def test_sensitive_app_suffers_most_under_stock(self, platform_skylake, small_workload):
+        result = run(StockLinuxDriver(), small_workload, platform_skylake)
+        slowdowns = result.slowdowns()
+        assert slowdowns["xalancbmk06.0"] > slowdowns["gamess06.0"]
+
+    def test_stock_never_repartitions_after_start(self, platform_skylake, small_workload):
+        result = run(StockLinuxDriver(), small_workload, platform_skylake)
+        assert result.n_repartitions == 1  # only the initial programming
+
+    def test_traces_recorded(self, platform_skylake, small_workload):
+        result = run(StockLinuxDriver(), small_workload, platform_skylake)
+        assert all(len(points) > 0 for points in result.traces.values())
+
+    def test_summary_fields(self, platform_skylake, small_workload):
+        result = run(StockLinuxDriver(), small_workload, platform_skylake)
+        summary = result.summary()
+        assert set(summary) >= {"unfairness", "stp", "duration_s"}
+
+
+class TestStaticDriver:
+    def test_static_lfoc_improves_over_stock(self, platform_skylake, small_workload):
+        profiles = small_workload.profiles(platform_skylake.llc_ways)
+        stock = run(StockLinuxDriver(), small_workload, platform_skylake)
+        static = run(
+            StaticPolicyDriver(LfocPolicy(), profiles), small_workload, platform_skylake
+        )
+        assert static.unfairness < stock.unfairness
+
+    def test_static_driver_requires_profiles(self, platform_skylake, small_workload):
+        driver = StaticPolicyDriver(StockLinuxPolicy(), {})
+        with pytest.raises(SimulationError):
+            run(driver, small_workload, platform_skylake)
+
+
+class TestLfocDriver:
+    def test_lfoc_classifies_applications_online(self, platform_skylake, small_workload):
+        driver = LfocSchedulerPlugin(monitor_config=QUICK_MONITOR)
+        result = run(driver, small_workload, platform_skylake)
+        classes = {app: m.app_class for app, m in driver.monitors.items()}
+        assert classes["lbm06.0"] is AppClass.STREAMING
+        assert classes["xalancbmk06.0"] is AppClass.SENSITIVE
+        assert result.total_sampling_entries() >= len(small_workload.benchmarks)
+
+    def test_lfoc_improves_fairness_over_stock(self, platform_skylake, small_workload):
+        stock = run(StockLinuxDriver(), small_workload, platform_skylake)
+        lfoc = run(LfocSchedulerPlugin(monitor_config=QUICK_MONITOR), small_workload, platform_skylake)
+        assert lfoc.unfairness < stock.unfairness
+
+    def test_lfoc_repartitions_periodically(self, platform_skylake, small_workload):
+        result = run(LfocSchedulerPlugin(), small_workload, platform_skylake)
+        assert result.n_repartitions > 3
+
+    def test_lfoc_sample_window_shrinks_in_sampling_mode(self):
+        driver = LfocSchedulerPlugin()
+        driver.on_start(["a", "b"], skylake_gold_6138())
+        assert driver.sample_window("a") == driver.normal_sample_window
+        driver._sampling_queue.append("a")
+        driver.monitors["a"].begin_sampling()
+        allocation = driver._maybe_start_next_sampling()
+        assert allocation is not None
+        assert driver.sample_window("a") == driver.sampling_sample_window
+        assert driver.sample_window("b") == driver.normal_sample_window
+
+    def test_phase_change_triggers_resampling(self, platform_skylake):
+        workload = Workload("phased", ("mcf06", "gamess06", "lbm06", "namd06"))
+        config = EngineConfig(
+            instructions_per_run=1.6e9,
+            min_completions=1,
+            partition_interval_s=0.05,
+            record_traces=False,
+            max_simulated_seconds=200.0,
+        )
+        driver = LfocSchedulerPlugin(monitor_config=QUICK_MONITOR)
+        engine = RuntimeEngine(
+            platform_skylake, workload.phased_profiles(platform_skylake.llc_ways), driver, config
+        )
+        result = engine.run(workload.name)
+        # mcf alternates between sensitive and streaming phases, so it must be
+        # re-sampled at least once beyond its initial classification.
+        assert result.app_stats["mcf06.0"].sampling_mode_entries >= 2
+
+
+class TestDunnDriver:
+    def test_dunn_runs_and_repartitions(self, platform_skylake, small_workload):
+        result = run(DunnUserLevelDaemon(), small_workload, platform_skylake)
+        assert result.n_repartitions >= 2
+        assert result.policy == "Dunn"
+
+    def test_dunn_does_not_use_sampling_mode(self, platform_skylake, small_workload):
+        result = run(DunnUserLevelDaemon(), small_workload, platform_skylake)
+        assert result.total_sampling_entries() == 0
+
+
+class TestEngineSafety:
+    def test_runaway_simulation_detected(self, platform_skylake, small_workload):
+        config = EngineConfig(
+            instructions_per_run=1e12,
+            min_completions=3,
+            max_simulated_seconds=0.2,
+        )
+        engine = RuntimeEngine(
+            platform_skylake,
+            small_workload.phased_profiles(platform_skylake.llc_ways),
+            StockLinuxDriver(),
+            config,
+        )
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_empty_workload_rejected(self, platform_skylake):
+        with pytest.raises(SimulationError):
+            RuntimeEngine(platform_skylake, {}, StockLinuxDriver())

@@ -1,0 +1,167 @@
+"""Tests for the online monitor (Section 4.2 heuristics) and the sampling mode."""
+
+import pytest
+
+from repro.core import AppClass, ClassificationThresholds
+from repro.errors import SimulationError
+from repro.hardware.pmc import DerivedMetrics
+from repro.runtime import AppMonitor, MonitorConfig, SamplingConfig, SamplingSession
+
+
+def metrics(ipc=1.0, llcmpkc=1.0, stall=0.05):
+    return DerivedMetrics(
+        ipc=ipc,
+        llcmpkc=llcmpkc,
+        llcmpki=llcmpkc / max(ipc, 1e-9),
+        stall_fraction=stall,
+        instructions=100e6,
+        cycles=100e6 / max(ipc, 1e-9),
+    )
+
+
+class TestAppMonitor:
+    def test_warmup_samples_are_ignored(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=3))
+        for _ in range(3):
+            assert monitor.observe(metrics(llcmpkc=50.0), 11.0) is False
+        assert not monitor.warmed_up or monitor.average_llcmpkc() == 0.0
+
+    def test_unknown_app_requests_sampling_after_warmup(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=1))
+        assert monitor.observe(metrics(), 11.0) is False  # warm-up sample
+        assert monitor.observe(metrics(), 11.0) is True
+
+    def test_light_app_resampled_when_memory_intensive(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.LIGHT)
+        triggered = [monitor.observe(metrics(llcmpkc=30.0, stall=0.6), 5.0) for _ in range(3)]
+        assert triggered[-1] is True
+
+    def test_light_app_not_resampled_when_quiet(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.LIGHT)
+        triggered = [monitor.observe(metrics(llcmpkc=0.5, stall=0.05), 5.0) for _ in range(5)]
+        assert not any(triggered)
+
+    def test_streaming_app_resampled_when_misses_drop(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.STREAMING)
+        triggered = [monitor.observe(metrics(llcmpkc=1.0), 1.0) for _ in range(3)]
+        assert triggered[-1] is True
+
+    def test_streaming_app_stable_when_misses_high(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.STREAMING)
+        triggered = [monitor.observe(metrics(llcmpkc=30.0), 1.0) for _ in range(5)]
+        assert not any(triggered)
+
+    def test_sensitive_app_resampled_when_quiet_below_critical_size(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.SENSITIVE, slowdown_table=[1.2] * 11, critical_size=6)
+        triggered = [
+            monitor.observe(metrics(llcmpkc=0.5, stall=0.05), 2.0) for _ in range(3)
+        ]
+        assert triggered[-1] is True
+
+    def test_sensitive_app_resampled_when_thrashing_above_critical_size(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.SENSITIVE, slowdown_table=[1.2] * 11, critical_size=3)
+        triggered = [
+            monitor.observe(metrics(llcmpkc=25.0, stall=0.8), 8.0) for _ in range(3)
+        ]
+        assert triggered[-1] is True
+
+    def test_sensitive_app_stable_in_expected_regime(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0, history_window=3))
+        monitor.set_classification(AppClass.SENSITIVE, slowdown_table=[1.2] * 11, critical_size=4)
+        triggered = [
+            monitor.observe(metrics(llcmpkc=6.0, stall=0.4), 6.0) for _ in range(5)
+        ]
+        assert not any(triggered)
+
+    def test_no_trigger_while_in_sampling_mode(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0))
+        monitor.begin_sampling()
+        assert monitor.observe(metrics(llcmpkc=50.0), 1.0) is False
+        assert monitor.sampling_mode_entries == 1
+
+    def test_class_changes_counted(self):
+        monitor = AppMonitor("a", MonitorConfig(warmup_samples=0))
+        monitor.set_classification(AppClass.LIGHT)
+        monitor.set_classification(AppClass.STREAMING)
+        monitor.set_classification(AppClass.STREAMING)
+        assert monitor.class_changes == 2
+
+    def test_snapshot_fields(self):
+        monitor = AppMonitor("a")
+        snapshot = monitor.snapshot()
+        assert snapshot["class"] == "unknown"
+        assert "avg_llcmpkc" in snapshot
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SimulationError):
+            MonitorConfig(warmup_samples=-1)
+        with pytest.raises(SimulationError):
+            MonitorConfig(history_window=0)
+
+
+class TestSamplingSession:
+    def test_sampling_partition_grows_upwards(self):
+        session = SamplingSession("a", ["b", "c"], 11)
+        assert session.current_ways == 1
+        allocation = session.current_allocation()
+        assert allocation.mask_of("a") == 0b1
+        assert allocation.mask_of("b") == allocation.mask_of("c")
+        session.record_step(metrics(ipc=0.6, llcmpkc=20.0))
+        assert session.current_ways == 2
+
+    def test_early_stop_on_low_miss_rate(self):
+        session = SamplingSession("a", ["b"], 11)
+        session.record_step(metrics(ipc=1.0, llcmpkc=0.5))
+        assert session.finished
+        outcome = session.outcome()
+        assert outcome.app_class in (AppClass.LIGHT, AppClass.SENSITIVE)
+        assert outcome.ways_visited == (1,)
+
+    def test_streaming_detected_with_few_steps(self):
+        session = SamplingSession("a", ["b"], 11)
+        session.record_step(metrics(ipc=0.5, llcmpkc=30.0))
+        session.record_step(metrics(ipc=0.502, llcmpkc=30.0))
+        assert session.finished
+        assert session.outcome().app_class is AppClass.STREAMING
+        assert len(session.outcome().ways_visited) == 2
+
+    def test_sensitive_full_sweep_builds_slowdown_table(self):
+        session = SamplingSession("a", ["b"], 11)
+        way = 1
+        while not session.finished:
+            ipc = 1.0 - 0.5 / way  # keeps improving: sensitive shape
+            session.record_step(metrics(ipc=ipc, llcmpkc=25.0 / way))
+            way += 1
+        outcome = session.outcome()
+        assert outcome.app_class is AppClass.SENSITIVE
+        table = outcome.slowdown_table
+        assert len(table) == 11
+        assert table[0] > table[-1]
+        assert outcome.critical_size >= 1
+
+    def test_cannot_record_after_finish(self):
+        session = SamplingSession("a", ["b"], 11)
+        session.record_step(metrics(llcmpkc=0.1))
+        with pytest.raises(SimulationError):
+            session.record_step(metrics())
+
+    def test_outcome_requires_finished_sweep(self):
+        session = SamplingSession("a", ["b"], 11)
+        with pytest.raises(SimulationError):
+            session.outcome()
+
+    def test_needs_at_least_two_ways(self):
+        with pytest.raises(SimulationError):
+            SamplingSession("a", ["b"], 1)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SimulationError):
+            SamplingConfig(instructions_per_step=0)
+        with pytest.raises(SimulationError):
+            SamplingConfig(flat_ipc_gain=2.0)

@@ -1,0 +1,199 @@
+"""Tests for the contention estimator (occupancy, bandwidth, evaluation, Whirlpool)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_profile, light_curves, sensitive_curves, AppProfile
+from repro.core import ClusteringSolution, WayAllocation
+from repro.errors import SimulationError
+from repro.hardware import skylake_gold_6138
+from repro.simulator import (
+    BandwidthModel,
+    ClusteringEstimator,
+    OccupancyModel,
+    combined_ipc_curve,
+    combined_miss_curve,
+    whirlpool_distance,
+)
+
+
+class TestOccupancyModel:
+    def test_singleton_cluster_gets_all_its_ways(self, platform, mix8):
+        alloc = ClusteringSolution.from_groups(
+            [["xalancbmk06"], list(set(mix8) - {"xalancbmk06"})], [4, 7], 11
+        ).to_allocation()
+        result = OccupancyModel().solve(alloc, mix8)
+        assert result.effective_ways["xalancbmk06"] == pytest.approx(4.0, abs=1e-6)
+
+    def test_effective_ways_conserved_per_way(self, platform, mix8):
+        alloc = ClusteringSolution.single_cluster(list(mix8), 11).to_allocation()
+        result = OccupancyModel().solve(alloc, mix8)
+        assert sum(result.effective_ways.values()) == pytest.approx(11.0, rel=2e-3)
+
+    def test_streaming_apps_grab_more_shared_space(self, platform, mix8):
+        alloc = ClusteringSolution.single_cluster(list(mix8), 11).to_allocation()
+        result = OccupancyModel().solve(alloc, mix8)
+        assert result.effective_ways["lbm06"] > result.effective_ways["gamess06"]
+
+    def test_converges(self, platform, mix8):
+        alloc = ClusteringSolution.single_cluster(list(mix8), 11).to_allocation()
+        result = OccupancyModel().solve(alloc, mix8)
+        assert result.converged
+        assert result.iterations <= 50
+
+    def test_missing_profile_rejected(self, platform, mix8):
+        alloc = WayAllocation(masks={"ghost": 0b1}, total_ways=11)
+        with pytest.raises(SimulationError):
+            OccupancyModel().solve(alloc, mix8)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SimulationError):
+            OccupancyModel(max_iterations=0)
+        with pytest.raises(SimulationError):
+            OccupancyModel(damping=0.0)
+        with pytest.raises(SimulationError):
+            OccupancyModel(tolerance=-1.0)
+        with pytest.raises(SimulationError):
+            OccupancyModel(base_pressure=0.0)
+
+    def test_overlapping_masks_supported(self, platform, mix8):
+        masks = {name: (1 << 11) - 1 for name in mix8}
+        masks["gamess06"] = 0b11
+        alloc = WayAllocation(masks=masks, total_ways=11)
+        result = OccupancyModel().solve(alloc, mix8)
+        assert sum(result.effective_ways.values()) == pytest.approx(11.0, rel=2e-3)
+
+
+class TestBandwidthModel:
+    def test_no_contention_below_peak(self, platform, light_profile):
+        model = BandwidthModel()
+        result = model.solve({"a": 11.0}, {"a": light_profile}, platform)
+        assert not result.saturated
+        assert result.slowdown_factors["a"] == 1.0
+
+    def test_saturation_slows_memory_bound_apps_most(self, platform, catalog):
+        profiles = {f"lbm{i}": catalog["lbm06"].renamed(f"lbm{i}") for i in range(12)}
+        profiles["light"] = catalog["gamess06"].renamed("light")
+        model = BandwidthModel()
+        result = model.solve({name: 1.0 for name in profiles}, profiles, platform)
+        assert result.saturated
+        assert result.slowdown_factors["lbm0"] > result.slowdown_factors["light"]
+
+    def test_factor_capped(self, platform, catalog):
+        profiles = {f"lbm{i}": catalog["lbm06"].renamed(f"lbm{i}") for i in range(60)}
+        model = BandwidthModel(max_factor=2.0)
+        result = model.solve({name: 0.5 for name in profiles}, profiles, platform)
+        assert max(result.slowdown_factors.values()) <= 2.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthModel(sensitivity=-1.0)
+        with pytest.raises(SimulationError):
+            BandwidthModel(max_factor=0.5)
+
+    def test_overcommit_property(self, platform, streaming_profile):
+        result = BandwidthModel().solve({"a": 1.0}, {"a": streaming_profile}, platform)
+        assert result.overcommit == pytest.approx(
+            result.total_demand_gbs / platform.peak_bw_gbs
+        )
+
+
+class TestClusteringEstimator:
+    def test_unpartitioned_baseline_hurts_sensitive_apps(self, estimator):
+        estimate = estimator.evaluate_unpartitioned()
+        assert estimate.slowdowns["xalancbmk06"] > estimate.slowdowns["gamess06"]
+        assert estimate.unfairness > 1.1
+
+    def test_isolating_aggressors_improves_fairness(self, estimator, mix8):
+        shared = estimator.evaluate_unpartitioned()
+        streaming = ["lbm06", "libquantum06"]
+        others = [name for name in mix8 if name not in streaming]
+        clustering = ClusteringSolution.from_groups([streaming, others], [1, 10], 11)
+        isolated = estimator.evaluate(clustering)
+        assert isolated.unfairness < shared.unfairness
+
+    def test_slowdowns_are_at_least_one(self, estimator, mix8):
+        estimate = estimator.evaluate_unpartitioned()
+        assert all(value >= 1.0 - 1e-9 for value in estimate.slowdowns.values())
+
+    def test_full_private_cache_means_no_cache_slowdown(self, platform, catalog):
+        profiles = {"xalancbmk06": catalog["xalancbmk06"]}
+        estimator = ClusteringEstimator(platform, profiles)
+        estimate = estimator.evaluate_unpartitioned()
+        assert estimate.slowdowns["xalancbmk06"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_more_ways_never_hurt_a_singleton_cluster(self, platform, catalog):
+        profiles = {
+            "xalancbmk06": catalog["xalancbmk06"],
+            "lbm06": catalog["lbm06"],
+        }
+        estimator = ClusteringEstimator(platform, profiles)
+        slow = []
+        for ways in (1, 3, 6, 10):
+            clustering = ClusteringSolution.from_groups(
+                [["xalancbmk06"], ["lbm06"]], [ways, 11 - ways], 11
+            )
+            slow.append(estimator.evaluate(clustering).slowdowns["xalancbmk06"])
+        assert all(b <= a + 1e-9 for a, b in zip(slow, slow[1:]))
+
+    def test_metrics_consistent_with_slowdowns(self, estimator):
+        estimate = estimator.evaluate_unpartitioned()
+        values = list(estimate.slowdowns.values())
+        assert estimate.metrics.unfairness == pytest.approx(max(values) / min(values))
+        assert estimate.metrics.stp == pytest.approx(sum(1.0 / v for v in values))
+
+    def test_evaluate_requires_known_profiles(self, estimator):
+        clustering = ClusteringSolution.single_cluster(["ghost"], 11)
+        with pytest.raises(SimulationError):
+            estimator.evaluate(clustering)
+
+    def test_slowdown_tables_match_profiles(self, estimator, mix8):
+        tables = estimator.slowdown_tables()
+        assert set(tables) == set(mix8)
+        assert tables["xalancbmk06"][0] > tables["xalancbmk06"][-1]
+        assert tables["xalancbmk06"][-1] == pytest.approx(1.0)
+
+    def test_empty_estimator_rejected(self, platform):
+        with pytest.raises(SimulationError):
+            ClusteringEstimator(platform, {})
+
+    def test_overlapping_allocation_evaluation(self, estimator, mix8):
+        masks = {name: (1 << 11) - 1 for name in mix8}
+        masks["xalancbmk06"] = 0b111
+        estimate = estimator.evaluate_allocation(
+            WayAllocation(masks=masks, total_ways=11)
+        )
+        assert estimate.slowdowns["xalancbmk06"] >= 1.0
+
+
+class TestWhirlpool:
+    def test_similar_curves_have_small_distance(self, catalog):
+        lbm = combined_miss_curve([catalog["lbm06"]], 11)
+        lbm17 = combined_miss_curve([catalog["lbm17"]], 11)
+        xalanc = combined_miss_curve([catalog["xalancbmk06"]], 11)
+        assert whirlpool_distance(lbm, lbm17) < whirlpool_distance(lbm, xalanc)
+
+    def test_combined_miss_curve_decreases_with_ways_for_sensitive(self, catalog):
+        curve = combined_miss_curve([catalog["xalancbmk06"], catalog["soplex06"]], 11)
+        assert curve[0] > curve[-1]
+
+    def test_combined_ipc_curve_increases_with_ways(self, catalog):
+        curve = combined_ipc_curve([catalog["xalancbmk06"], catalog["soplex06"]], 11)
+        assert curve[-1] >= curve[0]
+
+    def test_distance_is_symmetric(self, catalog):
+        a = combined_miss_curve([catalog["lbm06"]], 11)
+        b = combined_miss_curve([catalog["omnetpp06"]], 11)
+        assert whirlpool_distance(a, b) == pytest.approx(whirlpool_distance(b, a))
+
+    def test_distance_of_identical_curves_is_zero(self, catalog):
+        a = combined_miss_curve([catalog["lbm06"]], 11)
+        assert whirlpool_distance(a, a) == pytest.approx(0.0)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SimulationError):
+            combined_miss_curve([], 11)
+
+    def test_mismatched_curves_rejected(self):
+        with pytest.raises(SimulationError):
+            whirlpool_distance([1.0, 2.0], [1.0, 2.0, 3.0])

@@ -1,0 +1,124 @@
+"""Tests for workload generation and the S/P evaluation suites."""
+
+import numpy as np
+import pytest
+
+from repro.apps import benchmark_spec, benchmarks_by_class
+from repro.errors import WorkloadError
+from repro.workloads import (
+    Workload,
+    all_workloads,
+    composition_matrix,
+    dynamic_study_workloads,
+    instance_name,
+    p_workloads,
+    random_workload,
+    s_workloads,
+    static_study_workloads,
+    workload_by_name,
+)
+
+
+class TestWorkload:
+    def test_instance_names_are_unique(self):
+        workload = Workload("w", ("lbm06", "lbm06", "gamess06"))
+        names = workload.instance_names()
+        assert len(set(names)) == 3
+        assert names[0] == instance_name("lbm06", 0)
+        assert names[1] == instance_name("lbm06", 1)
+
+    def test_instance_counts(self):
+        workload = Workload("w", ("lbm06", "lbm06", "gamess06"))
+        assert workload.instance_counts() == {"lbm06": 2, "gamess06": 1}
+
+    def test_profiles_keyed_by_instance(self):
+        workload = Workload("w", ("lbm06", "lbm06"))
+        profiles = workload.profiles(11)
+        assert set(profiles) == {"lbm06.0", "lbm06.1"}
+        assert profiles["lbm06.0"].name == "lbm06.0"
+
+    def test_phased_profiles_available(self):
+        workload = Workload("w", ("fotonik3d17", "gamess06"))
+        phased = workload.phased_profiles(11)
+        assert phased["fotonik3d17.0"].is_phased
+        assert not phased["gamess06.0"].is_phased
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", ("not-a-benchmark",))
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload("w", ())
+
+    def test_has_phased_benchmarks(self):
+        assert Workload("w", ("xz17", "gamess06")).has_phased_benchmarks()
+        assert not Workload("w", ("gamess06", "namd06")).has_phased_benchmarks()
+
+
+class TestRandomWorkload:
+    def test_size_and_determinism(self):
+        a = random_workload("a", 8, kind="S", seed=5)
+        b = random_workload("b", 8, kind="S", seed=5)
+        assert a.size == 8
+        assert a.benchmarks == b.benchmarks
+
+    def test_s_workloads_avoid_phased_benchmarks(self):
+        workload = random_workload("s", 12, kind="S", seed=1)
+        assert not workload.has_phased_benchmarks()
+
+    def test_s_workloads_guarantee_class_coverage(self):
+        classes = benchmarks_by_class()
+        for seed in range(5):
+            workload = random_workload("s", 8, kind="S", seed=seed)
+            assert any(b in classes["sensitive"] for b in workload.benchmarks)
+            assert any(b in classes["streaming"] for b in workload.benchmarks)
+
+    def test_p_workloads_include_phased_benchmarks(self):
+        for seed in range(5):
+            workload = random_workload("p", 8, kind="P", seed=seed)
+            assert workload.has_phased_benchmarks()
+
+    def test_max_instances_respected(self):
+        workload = random_workload("w", 16, kind="S", seed=2, max_instances=2)
+        assert max(workload.instance_counts().values()) <= 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_workload("w", 1)
+        with pytest.raises(WorkloadError):
+            random_workload("w", 8, kind="X")
+
+
+class TestSuites:
+    def test_suite_sizes_match_the_paper(self):
+        s = s_workloads()
+        p = p_workloads()
+        assert len(s) == 21
+        assert len(p) == 15
+        assert sorted({w.size for w in s}) == [8, 12, 16]
+        assert sorted({w.size for w in p}) == [8, 12, 16]
+        assert len(all_workloads()) == 36
+
+    def test_suites_are_deterministic(self):
+        assert [w.benchmarks for w in s_workloads()] == [w.benchmarks for w in s_workloads()]
+
+    def test_workload_by_name(self):
+        assert workload_by_name("S1").name == "S1"
+        assert workload_by_name("P15").name == "P15"
+        with pytest.raises(WorkloadError):
+            workload_by_name("Z9")
+
+    def test_static_study_selection(self):
+        assert len(static_study_workloads()) == 21
+        assert all(w.size <= 8 for w in static_study_workloads(max_size=8))
+
+    def test_dynamic_study_selection_matches_fig7(self):
+        names = [w.name for w in dynamic_study_workloads()]
+        assert len(names) == 24
+        assert names[:8] == ["P1", "P2", "P3", "P4", "P5", "S1", "S2", "S3"]
+
+    def test_composition_matrix_covers_all_workloads(self):
+        matrix = composition_matrix()
+        assert set(matrix) == {w.name for w in all_workloads()}
+        assert all(sum(counts.values()) in (8, 12, 16) for counts in matrix.values())
