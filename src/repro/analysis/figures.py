@@ -124,6 +124,7 @@ def fig2_optimal_breakdown(
     platform: Optional[PlatformSpec] = None,
     seed: int = 7,
     exact_limit: int = 8,
+    backend: str = "tabulated",
 ) -> Dict[str, Dict[int, float]]:
     """Cluster-size statistics of the fairness-optimal clustering (Fig. 2).
 
@@ -148,7 +149,9 @@ def fig2_optimal_breakdown(
         workload = random_workload(f"fig2-{index}", workload_size, kind="S", rng=rng)
         profiles = workload.profiles(platform.llc_ways)
         if len(profiles) <= exact_limit:
-            result = branch_and_bound_clustering(platform, profiles, objective="fairness")
+            result = branch_and_bound_clustering(
+                platform, profiles, objective="fairness", backend=backend
+            )
         else:
             result = local_search_clustering(
                 platform, profiles, objective="fairness", seed=seed + index
@@ -182,6 +185,7 @@ def fig3_clustering_vs_partitioning(
     platform: Optional[PlatformSpec] = None,
     seed: int = 11,
     exact_limit: int = 8,
+    backend: str = "tabulated",
 ) -> Dict[int, float]:
     """Average unfairness of optimal partitioning normalised to optimal clustering.
 
@@ -205,22 +209,39 @@ def fig3_clustering_vs_partitioning(
                 f"fig3-{count}-{index}", count, kind="S", rng=rng
             )
             profiles = workload.profiles(platform.llc_ways)
-            shared = CachedObjective(platform, profiles)
-            if count <= exact_limit:
-                clustering = branch_and_bound_clustering(
-                    platform, profiles, objective="fairness", objective_fn=shared
+            if backend == "tabulated" and count <= exact_limit:
+                # One table build serves both searches (the role the shared
+                # CachedObjective plays on the reference path).
+                from repro.optimal import (
+                    TabulatedObjective,
+                    tabulated_branch_and_bound,
+                    tabulated_optimal_partitioning,
+                )
+
+                tables = TabulatedObjective(platform, profiles)
+                clustering = tabulated_branch_and_bound(
+                    platform, profiles, objective="fairness", tables=tables
+                )
+                partitioning = tabulated_optimal_partitioning(
+                    platform, profiles, objective="fairness", tables=tables
                 )
             else:
-                clustering = local_search_clustering(
-                    platform,
-                    profiles,
-                    objective="fairness",
-                    seed=seed + count * 100 + index,
-                    objective_fn=shared,
+                shared = CachedObjective(platform, profiles)
+                if count <= exact_limit:
+                    clustering = branch_and_bound_clustering(
+                        platform, profiles, objective="fairness", objective_fn=shared
+                    )
+                else:
+                    clustering = local_search_clustering(
+                        platform,
+                        profiles,
+                        objective="fairness",
+                        seed=seed + count * 100 + index,
+                        objective_fn=shared,
+                    )
+                partitioning = optimal_partitioning(
+                    platform, profiles, objective="fairness", objective_fn=shared
                 )
-            partitioning = optimal_partitioning(
-                platform, profiles, objective="fairness", objective_fn=shared
-            )
             ratios.append(partitioning.unfairness / clustering.unfairness)
         result[count] = float(np.mean(ratios))
     return result
@@ -291,13 +312,13 @@ class StaticStudyRow:
     normalized_stp: float
 
 
-def default_static_policies() -> List[ClusteringPolicy]:
+def default_static_policies(backend: str = "tabulated") -> List[ClusteringPolicy]:
     """The policy line-up of Fig. 6 (stock Linux is the implicit baseline)."""
     return [
         DunnPolicy(),
         KPartPolicy(),
         LfocPolicy(),
-        BestStaticPolicy(exact_limit=7, local_search_iterations=800),
+        BestStaticPolicy(exact_limit=7, local_search_iterations=800, backend=backend),
     ]
 
 

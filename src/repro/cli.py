@@ -20,6 +20,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import (
+    default_static_policies,
     fig1_curves,
     fig2_optimal_breakdown,
     fig3_clustering_vs_partitioning,
@@ -58,19 +59,29 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig1", help="slowdown and LLCMPKC curves (Fig. 1)")
     sub.add_parser("table1", help="benchmark classification (Table 1)")
 
+    backend_kwargs = dict(
+        choices=("tabulated", "reference"),
+        default="tabulated",
+        help="optimal-solver scoring engine (tabulated batch scoring is the "
+        "fast default; reference is the per-candidate cached objective)",
+    )
+
     fig2 = sub.add_parser("fig2", help="optimal clustering breakdown (Fig. 2)")
     fig2.add_argument("--workloads", type=int, default=8, help="number of random mixes")
     fig2.add_argument("--size", type=int, default=8, help="applications per mix")
+    fig2.add_argument("--backend", **backend_kwargs)
 
     fig3 = sub.add_parser("fig3", help="optimal clustering vs partitioning (Fig. 3)")
     fig3.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7, 8])
     fig3.add_argument("--per-size", type=int, default=3, help="workloads per size")
+    fig3.add_argument("--backend", **backend_kwargs)
 
     sub.add_parser("fig4", help="LLCMPKC phase trace of fotonik3d (Fig. 4)")
     sub.add_parser("fig5", help="workload composition matrix (Fig. 5)")
 
     fig6 = sub.add_parser("fig6", help="static clustering study (Fig. 6)")
     fig6.add_argument("--max-size", type=int, default=None, help="largest workload size")
+    fig6.add_argument("--backend", **backend_kwargs)
 
     fig7 = sub.add_parser("fig7", help="dynamic policy study (Fig. 7)")
     fig7.add_argument("--quick", action="store_true", help="only the 8-app workloads")
@@ -91,9 +102,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "table1":
         print(render_table1(table1_classification()))
     elif args.command == "fig2":
-        print(render_fig2(fig2_optimal_breakdown(args.workloads, args.size)))
+        print(
+            render_fig2(
+                fig2_optimal_breakdown(args.workloads, args.size, backend=args.backend)
+            )
+        )
     elif args.command == "fig3":
-        print(render_fig3(fig3_clustering_vs_partitioning(args.sizes, args.per_size)))
+        print(
+            render_fig3(
+                fig3_clustering_vs_partitioning(
+                    args.sizes, args.per_size, backend=args.backend
+                )
+            )
+        )
     elif args.command == "fig4":
         trace = fig4_fotonik3d_trace()
         rows = [
@@ -109,7 +130,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_table(["workload", "composition"], rows))
     elif args.command == "fig6":
         workloads = static_study_workloads(max_size=args.max_size)
-        rows = fig6_static_study(workloads)
+        rows = fig6_static_study(
+            workloads, policies=default_static_policies(args.backend)
+        )
         print(render_fig6(rows))
         print()
         summary = summarize_static_study(rows)

@@ -70,6 +70,11 @@ def lfoc_clustering_kernel(
     if not sensitive:
         return ClusteringSolution.single_cluster(all_apps, n_ways)
 
+    # Validate and normalize the fixed-point tables in a single up-front pass:
+    # the sorting key, the lookahead call and any other consumer below index
+    # plain lists of ints instead of re-validating (and re-casting) the tables
+    # inside their loops.
+    tables_int: Dict[str, List[int]] = {}
     for app in sensitive:
         if app not in slowdown_tables_fixed:
             raise ClusteringError(f"sensitive application {app!r} has no slowdown table")
@@ -78,10 +83,15 @@ def lfoc_clustering_kernel(
             raise ClusteringError(
                 f"slowdown table of {app!r} must cover all {n_ways} way counts"
             )
-        if any(int(v) != v for v in table):
-            raise ClusteringError(
-                f"slowdown table of {app!r} must contain integers (fixed point)"
-            )
+        values: List[int] = []
+        for value in table:
+            as_int = int(value)
+            if as_int != value:
+                raise ClusteringError(
+                    f"slowdown table of {app!r} must contain integers (fixed point)"
+                )
+            values.append(as_int)
+        tables_int[app] = values
 
     groups: List[List[str]] = []
     ways: List[int] = []
@@ -120,13 +130,15 @@ def lfoc_clustering_kernel(
         )
 
     if len(sensitive) <= ways_for_sensitive:
-        tables = [list(map(int, slowdown_tables_fixed[app])) for app in sensitive]
-        sensitive_ways = lookahead_int(tables, ways_for_sensitive, min_ways=1)
+        tables = [tables_int[app] for app in sensitive]
+        sensitive_ways = lookahead_int(
+            tables, ways_for_sensitive, min_ways=1, normalized=True
+        )
         sensitive_groups = [[app] for app in sensitive]
     else:
         order = sorted(
             sensitive,
-            key=lambda app: max(int(v) for v in slowdown_tables_fixed[app]),
+            key=lambda app: max(tables_int[app]),
             reverse=True,
         )
         sensitive_groups = [[app] for app in order[:ways_for_sensitive]]

@@ -24,13 +24,13 @@ scaling of the float tables (a property exercised by the test suite).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ClusteringError
 
-__all__ = ["lookahead", "lookahead_int", "marginal_utility"]
+__all__ = ["lookahead", "lookahead_int", "marginal_utility", "normalize_int_tables"]
 
 
 def marginal_utility(table: Sequence[float], current: int, target: int) -> float:
@@ -94,21 +94,42 @@ def lookahead(
         )
     allocation = [min_ways] * n_apps
     remaining = n_ways - n_apps * min_ways
+
+    # Per-application cache of the best marginal-utility jump from the current
+    # allocation: (utility, target), with target == -1 when no jump helps.  An
+    # entry stays valid while the application's allocation is unchanged and the
+    # cached target is still reachable with the ways left: the feasible window
+    # only ever shrinks, so a still-reachable cached optimum remains the
+    # optimum of the narrower window.  Only the application that just grew (or
+    # whose cached target fell outside the window) is rescanned, turning the
+    # O(n*k) full scan per granted chunk into an amortised O(n + k).
+    def best_jump(app: int) -> Tuple[float, int]:
+        current = allocation[app]
+        table = arrays[app]
+        base = table[current - 1]
+        best_utility = 0.0
+        best_target = -1
+        for target in range(current + 1, min(n_ways, current + remaining) + 1):
+            utility = (base - table[target - 1]) / (target - current)
+            if utility > best_utility + 1e-15:
+                best_utility = utility
+                best_target = target
+        return best_utility, best_target
+
+    jumps: List[Tuple[float, int]] = [best_jump(app) for app in range(n_apps)]
     while remaining > 0:
         best_app = -1
         best_target = -1
         best_utility = 0.0
         for app in range(n_apps):
-            current = allocation[app]
-            max_target = min(n_ways, current + remaining)
-            for target in range(current + 1, max_target + 1):
-                utility = (arrays[app][current - 1] - arrays[app][target - 1]) / (
-                    target - current
-                )
-                if utility > best_utility + 1e-15:
-                    best_utility = utility
-                    best_app = app
-                    best_target = target
+            utility, target = jumps[app]
+            if target > allocation[app] + remaining:
+                jumps[app] = best_jump(app)
+                utility, target = jumps[app]
+            if target >= 0 and utility > best_utility + 1e-15:
+                best_utility = utility
+                best_app = app
+                best_target = target
         if best_app < 0:
             # No application benefits from more space: hand the leftovers to the
             # application that is currently worst off (highest cost), breaking
@@ -121,30 +142,60 @@ def lookahead(
         granted = best_target - allocation[best_app]
         allocation[best_app] = best_target
         remaining -= granted
+        jumps[best_app] = best_jump(best_app)
     return allocation
+
+
+def normalize_int_tables(
+    tables: Sequence[Sequence[int]], n_ways: int
+) -> List[List[int]]:
+    """Validate integer cost tables once and normalize them to lists of ints.
+
+    A single up-front pass replaces the repeated ``any(int(v) != v ...)``
+    full-table scans (and the per-access ``int()`` casts) that used to run on
+    every call into the kernel-style code path: after normalization the hot
+    loops can index the tables directly.
+    """
+    if not tables:
+        raise ClusteringError("lookahead needs at least one utility table")
+    normalized: List[List[int]] = []
+    for index, table in enumerate(tables):
+        if len(table) < n_ways:
+            raise ClusteringError(
+                f"table {index} must provide a value for every way count up to {n_ways}"
+            )
+        values: List[int] = []
+        for value in table:
+            as_int = int(value)
+            if as_int != value:
+                raise ClusteringError(f"table {index} contains non-integer costs")
+            values.append(as_int)
+        normalized.append(values)
+    return normalized
 
 
 def lookahead_int(
     tables: Sequence[Sequence[int]],
     n_ways: int,
     min_ways: int = 1,
+    *,
+    normalized: bool = False,
 ) -> List[int]:
     """Integer-only lookahead (kernel-style: no floating point).
 
     ``tables`` hold integer costs (e.g. slowdowns scaled by 1000).  Marginal
     utilities are compared with cross-multiplication so no division result is
-    ever truncated.
+    ever truncated.  Pass ``normalized=True`` when the tables already went
+    through :func:`normalize_int_tables` (lists of ints of sufficient length)
+    to skip the redundant validation pass.
     """
     n_apps = len(tables)
-    if n_apps == 0:
-        raise ClusteringError("lookahead needs at least one utility table")
-    for index, table in enumerate(tables):
-        if len(table) < n_ways:
-            raise ClusteringError(
-                f"table {index} must provide a value for every way count up to {n_ways}"
-            )
-        if any(int(v) != v for v in table):
-            raise ClusteringError(f"table {index} contains non-integer costs")
+    if normalized:
+        if not tables:
+            raise ClusteringError("lookahead needs at least one utility table")
+        int_tables = list(tables)
+    else:
+        int_tables = normalize_int_tables(tables, n_ways)
     if min_ways < 1:
         raise ClusteringError("min_ways must be >= 1")
     if n_apps * min_ways > n_ways:
@@ -154,27 +205,44 @@ def lookahead_int(
         )
     allocation = [min_ways] * n_apps
     remaining = n_ways - n_apps * min_ways
+
+    # Same incremental scheme as :func:`lookahead`, with the utility kept as a
+    # rational (num, den) pair compared by cross-multiplication
+    # (num_a * den_b > num_b * den_a) so no division is ever truncated.
+    def best_jump(app: int) -> Tuple[int, int, int]:
+        current = allocation[app]
+        table = int_tables[app]
+        base = table[current - 1]
+        best_num = 0
+        best_den = 1
+        best_target = -1
+        for target in range(current + 1, min(n_ways, current + remaining) + 1):
+            num = base - table[target - 1]
+            den = target - current
+            if num * best_den > best_num * den:
+                best_num = num
+                best_den = den
+                best_target = target
+        return best_num, best_den, best_target
+
+    jumps: List[Tuple[int, int, int]] = [best_jump(app) for app in range(n_apps)]
     while remaining > 0:
         best_app = -1
         best_target = -1
-        # Utility is a rational number num/den; track it as a pair and compare
-        # with cross-multiplication (num_a * den_b > num_b * den_a).
         best_num = 0
         best_den = 1
         for app in range(n_apps):
-            current = allocation[app]
-            max_target = min(n_ways, current + remaining)
-            table = tables[app]
-            for target in range(current + 1, max_target + 1):
-                num = int(table[current - 1]) - int(table[target - 1])
-                den = target - current
-                if num * best_den > best_num * den:
-                    best_num = num
-                    best_den = den
-                    best_app = app
-                    best_target = target
+            num, den, target = jumps[app]
+            if target > allocation[app] + remaining:
+                jumps[app] = best_jump(app)
+                num, den, target = jumps[app]
+            if target >= 0 and num * best_den > best_num * den:
+                best_num = num
+                best_den = den
+                best_app = app
+                best_target = target
         if best_app < 0 or best_num <= 0:
-            costs = [int(tables[app][allocation[app] - 1]) for app in range(n_apps)]
+            costs = [int_tables[app][allocation[app] - 1] for app in range(n_apps)]
             best_app = max(
                 range(n_apps), key=lambda a: (costs[a], -allocation[a], -a)
             )
@@ -182,4 +250,5 @@ def lookahead_int(
         granted = best_target - allocation[best_app]
         allocation[best_app] = best_target
         remaining -= granted
+        jumps[best_app] = best_jump(best_app)
     return allocation

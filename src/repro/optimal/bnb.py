@@ -38,7 +38,10 @@ __all__ = ["branch_and_bound_clustering"]
 
 
 def _bandwidth_factor_upper_bound(
-    scorer: CachedObjective, apps: Sequence[str]
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    bandwidth_model,
+    apps: Sequence[str],
 ) -> float:
     """Workload-wide upper bound on the bandwidth slowdown factor.
 
@@ -47,16 +50,15 @@ def _bandwidth_factor_upper_bound(
     so the over-commit — and therefore the correction factor — computed in
     that configuration bounds every reachable configuration.
     """
-    platform = scorer.platform
     total = 0.0
     for app in apps:
-        profile = scorer.profiles[app]
+        profile = profiles[app]
         total += profile.bandwidth_gbs_at(0.25, platform)
     if total <= platform.peak_bw_gbs:
         return 1.0
     overcommit = total / platform.peak_bw_gbs
-    factor = 1.0 + scorer.bandwidth_model.sensitivity * (overcommit - 1.0)
-    return min(max(factor, 1.0), scorer.bandwidth_model.max_factor)
+    factor = 1.0 + bandwidth_model.sensitivity * (overcommit - 1.0)
+    return min(max(factor, 1.0), bandwidth_model.max_factor)
 
 
 def branch_and_bound_clustering(
@@ -67,15 +69,37 @@ def branch_and_bound_clustering(
     objective: str = "fairness",
     max_clusters: Optional[int] = None,
     objective_fn: Optional[CachedObjective] = None,
+    backend: str = "reference",
 ) -> OptimalResult:
     """Exact optimal clustering with partition- and composition-level pruning.
 
     Returns the same solution as
     :func:`repro.optimal.exhaustive.optimal_clustering` (verified by tests)
-    while typically scoring far fewer candidates.
+    while typically scoring far fewer candidates.  With
+    ``backend="tabulated"`` both bound levels and the leaf scoring read the
+    dense tables of :mod:`repro.optimal.tabulated` instead of the per-cluster
+    cache (same optimum, faster still).
     """
     if objective not in ("fairness", "throughput"):
         raise SolverError(f"unknown objective {objective!r}")
+    if backend == "tabulated":
+        if objective_fn is not None:
+            raise SolverError(
+                "objective_fn (a CachedObjective) cannot drive the tabulated "
+                "backend; call tabulated_branch_and_bound with shared tables "
+                "instead"
+            )
+        from repro.optimal.tabulated import tabulated_branch_and_bound
+
+        return tabulated_branch_and_bound(
+            platform,
+            profiles,
+            apps,
+            objective=objective,
+            max_clusters=max_clusters,
+        )
+    if backend != "reference":
+        raise SolverError(f"unknown solver backend {backend!r}")
     apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
     k = platform.llc_ways
     limit = min(len(apps), k)
@@ -85,7 +109,13 @@ def branch_and_bound_clustering(
         limit = min(limit, max_clusters)
     scorer = objective_fn or CachedObjective(platform, profiles)
     prune = objective == "fairness"
-    bw_factor_ub = _bandwidth_factor_upper_bound(scorer, apps) if prune else 1.0
+    bw_factor_ub = (
+        _bandwidth_factor_upper_bound(
+            scorer.platform, scorer.profiles, scorer.bandwidth_model, apps
+        )
+        if prune
+        else 1.0
+    )
 
     best_score: Optional[CandidateScore] = None
     best_groups: Optional[List[List[str]]] = None

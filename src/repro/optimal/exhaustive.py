@@ -78,6 +78,7 @@ def optimal_clustering(
     objective: str = "fairness",
     max_clusters: Optional[int] = None,
     objective_fn: Optional[CachedObjective] = None,
+    backend: str = "reference",
 ) -> OptimalResult:
     """Exhaustively search for the optimal cache clustering.
 
@@ -95,9 +96,32 @@ def optimal_clustering(
     objective_fn:
         Pre-built :class:`CachedObjective`, useful to share the cluster cache
         across several searches over the same workload (Fig. 3 does this).
+    backend:
+        ``"reference"`` scores candidates one at a time through
+        :class:`CachedObjective`; ``"tabulated"`` batch-scores them over the
+        dense tables of :mod:`repro.optimal.tabulated` (same optimum, much
+        faster for non-trivial workloads).
     """
     if objective not in ("fairness", "throughput"):
         raise SolverError(f"unknown objective {objective!r}")
+    if backend == "tabulated":
+        if objective_fn is not None:
+            raise SolverError(
+                "objective_fn (a CachedObjective) cannot drive the tabulated "
+                "backend; call tabulated_optimal_clustering with shared tables "
+                "instead"
+            )
+        from repro.optimal.tabulated import tabulated_optimal_clustering
+
+        return tabulated_optimal_clustering(
+            platform,
+            profiles,
+            apps,
+            objective=objective,
+            max_clusters=max_clusters,
+        )
+    if backend != "reference":
+        raise SolverError(f"unknown solver backend {backend!r}")
     apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
     k = platform.llc_ways
     limit = min(len(apps), k)
@@ -137,6 +161,7 @@ def optimal_partitioning(
     *,
     objective: str = "fairness",
     objective_fn: Optional[CachedObjective] = None,
+    backend: str = "reference",
 ) -> OptimalResult:
     """Exhaustively search for the optimal *strict* cache partitioning.
 
@@ -146,6 +171,20 @@ def optimal_partitioning(
     """
     if objective not in ("fairness", "throughput"):
         raise SolverError(f"unknown objective {objective!r}")
+    if backend == "tabulated":
+        if objective_fn is not None:
+            raise SolverError(
+                "objective_fn (a CachedObjective) cannot drive the tabulated "
+                "backend; call tabulated_optimal_partitioning with shared "
+                "tables instead"
+            )
+        from repro.optimal.tabulated import tabulated_optimal_partitioning
+
+        return tabulated_optimal_partitioning(
+            platform, profiles, apps, objective=objective
+        )
+    if backend != "reference":
+        raise SolverError(f"unknown solver backend {backend!r}")
     apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
     k = platform.llc_ways
     if len(apps) > k:

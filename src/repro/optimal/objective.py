@@ -46,6 +46,11 @@ class ClusterPieces:
     cache_slowdowns: Dict[str, float]
     bandwidth_gbs: Dict[str, float]
     stall_fractions: Dict[str, float]
+    #: Sum of ``bandwidth_gbs`` accumulated in sorted member order.  Candidate
+    #: scoring adds these per-cluster totals together (instead of re-summing
+    #: the flat per-application demands) so the tabulated backend can combine
+    #: the same partial sums and reproduce the reference scores bit for bit.
+    demand_total_gbs: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -122,10 +127,14 @@ class CachedObjective:
             eval_ways = max(effective, 0.25)
             bandwidth[app] = profile.bandwidth_gbs_at(eval_ways, self.platform)
             stalls[app] = profile.stall_fraction_at(eval_ways, self.platform)
+        demand_total = 0.0
+        for app in member_list:
+            demand_total += bandwidth[app]
         pieces = ClusterPieces(
             cache_slowdowns=cache_slowdowns,
             bandwidth_gbs=bandwidth,
             stall_fractions=stalls,
+            demand_total_gbs=demand_total,
         )
         self._cluster_cache[key] = pieces
         return pieces
@@ -144,14 +153,13 @@ class CachedObjective:
         if len(groups) != len(ways):
             raise SolverError("groups and ways must have the same length")
         slowdowns: Dict[str, float] = {}
-        demands: Dict[str, float] = {}
         stalls: Dict[str, float] = {}
+        total_demand = 0.0
         for group, way in zip(groups, ways):
             pieces = self.cluster_pieces(group, way)
             slowdowns.update(pieces.cache_slowdowns)
-            demands.update(pieces.bandwidth_gbs)
             stalls.update(pieces.stall_fractions)
-        total_demand = sum(demands.values())
+            total_demand += pieces.demand_total_gbs
         if total_demand > self.platform.peak_bw_gbs:
             overcommit = total_demand / self.platform.peak_bw_gbs
             for app in slowdowns:

@@ -2,15 +2,23 @@
 
 PBBCache — the simulator the paper uses to approximate the optimal solution —
 runs a *parallel* branch-and-bound.  This module provides the equivalent for
-our solvers: the space of set partitions is sharded by the cluster index of
-the first application's restricted-growth prefix and each shard is explored in
-a separate worker process; the best candidate across shards wins.
+our solvers: the space of set partitions is sharded by partition index and
+each shard is explored in a separate worker process; the best candidate across
+shards wins.
+
+Two backends are available.  The default ``"tabulated"`` backend builds the
+dense scoring tables of :mod:`repro.optimal.tabulated` **once** in the parent
+and ships them to every worker through the pool initializer, so workers start
+batch-scoring immediately instead of re-solving the occupancy model for every
+(cluster, ways) pair in their shard.  The ``"reference"`` backend preserves
+the original behaviour: each worker builds its own
+:class:`~repro.optimal.objective.CachedObjective` and scores candidates one at
+a time.
 
 Because worker processes cannot share the incumbent bound cheaply, each worker
-runs the (exact) branch-and-bound within its shard only; the merge step then
-applies the global objective comparison.  The result is identical to the
-sequential solvers, and the speed-up comes from the embarrassingly parallel
-shard structure.
+exhaustively scores its shard only; the merge step then applies the global
+objective comparison.  The result is identical to the sequential solvers, and
+the speed-up comes from the embarrassingly parallel shard structure.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ __all__ = ["parallel_optimal_clustering"]
 
 
 def _shard_worker(args: Tuple) -> Tuple[Optional[dict], int]:
-    """Explore one shard of the partition space; returns (best candidate, count)."""
+    """Explore one shard with the reference scorer; returns (best, count)."""
     (platform, profiles, apps, objective, limit, shard_index, n_shards) = args
     scorer = CachedObjective(platform, profiles)
     k = platform.llc_ways
@@ -63,6 +71,51 @@ def _shard_worker(args: Tuple) -> Tuple[Optional[dict], int]:
     )
 
 
+# The shared tables live in a module-level slot populated once per worker
+# process by the pool initializer (spawned workers inherit nothing, so the
+# tables travel through initargs exactly once instead of once per task).
+_WORKER_TABLES = None
+
+
+def _init_tabulated_worker(tables) -> None:
+    global _WORKER_TABLES
+    _WORKER_TABLES = tables
+
+
+def _tabulated_shard_worker(args: Tuple) -> Tuple[Optional[dict], int]:
+    """Explore one shard by batch-scoring over the shared dense tables."""
+    from repro.optimal.tabulated import _compositions_array, _scan_partition
+
+    (apps, objective, limit, shard_index, n_shards) = args
+    tables = _WORKER_TABLES
+    if tables is None:
+        raise SolverError("tabulated worker started without shared tables")
+    k = tables.n_ways
+    incumbent = None
+    evaluated = 0
+    for partition_index, groups in enumerate(set_partitions(apps, limit)):
+        if partition_index % n_shards != shard_index:
+            continue
+        comps = _compositions_array(k, len(groups))
+        incumbent = _scan_partition(tables, groups, comps, incumbent, objective)
+        evaluated += len(comps)
+    if incumbent is None:
+        return None, evaluated
+    # Re-score the shard winner through the reference path so the merge step
+    # compares (and the caller receives) bit-identical reference scores.
+    score = tables.exact_score(incumbent.groups, list(incumbent.ways))
+    return (
+        {
+            "groups": incumbent.groups,
+            "ways": list(incumbent.ways),
+            "unfairness": score.unfairness,
+            "stp": score.stp,
+            "slowdowns": score.slowdowns,
+        },
+        evaluated,
+    )
+
+
 def parallel_optimal_clustering(
     platform: PlatformSpec,
     profiles: Mapping[str, AppProfile],
@@ -71,15 +124,21 @@ def parallel_optimal_clustering(
     objective: str = "fairness",
     max_clusters: Optional[int] = None,
     n_workers: Optional[int] = None,
+    backend: str = "tabulated",
 ) -> OptimalResult:
     """Exhaustive optimal clustering, sharded over worker processes.
 
     Produces the same optimum as the sequential exhaustive solver.  With
     ``n_workers=1`` the search runs in-process (useful for tests and for
-    platforms where spawning processes is undesirable).
+    platforms where spawning processes is undesirable).  ``backend`` selects
+    the per-worker scoring engine: ``"tabulated"`` (default) ships dense
+    tables built once in the parent, ``"reference"`` rebuilds the cached
+    objective per worker as the original implementation did.
     """
     if objective not in ("fairness", "throughput"):
         raise SolverError(f"unknown objective {objective!r}")
+    if backend not in ("tabulated", "reference"):
+        raise SolverError(f"unknown solver backend {backend!r}")
     apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
     k = platform.llc_ways
     limit = min(len(apps), k)
@@ -93,16 +152,47 @@ def parallel_optimal_clustering(
         raise SolverError("n_workers must be >= 1")
     profiles = dict(profiles)
 
-    shard_args = [
-        (platform, profiles, list(apps), objective, limit, shard, n_workers)
-        for shard in range(n_workers)
-    ]
-    if n_workers == 1:
-        results = [_shard_worker(shard_args[0])]
+    if backend == "tabulated":
+        from repro.optimal.tabulated import MAX_TABULATED_APPS, TabulatedObjective
+
+        if len(apps) > MAX_TABULATED_APPS:
+            # Dense tables would not fit; fall back to the per-worker cached
+            # objective rather than failing a search that used to run.
+            backend = "reference"
+
+    if backend == "tabulated":
+        from repro.optimal.tabulated import TabulatedObjective
+
+        tables = TabulatedObjective(platform, profiles, apps)
+        shard_args = [
+            (list(apps), objective, limit, shard, n_workers)
+            for shard in range(n_workers)
+        ]
+        if n_workers == 1:
+            _init_tabulated_worker(tables)
+            try:
+                results = [_tabulated_shard_worker(shard_args[0])]
+            finally:
+                _init_tabulated_worker(None)
+        else:
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(
+                processes=n_workers,
+                initializer=_init_tabulated_worker,
+                initargs=(tables,),
+            ) as pool:
+                results = pool.map(_tabulated_shard_worker, shard_args)
     else:
-        ctx = mp.get_context("spawn")
-        with ctx.Pool(processes=n_workers) as pool:
-            results = pool.map(_shard_worker, shard_args)
+        shard_args = [
+            (platform, profiles, list(apps), objective, limit, shard, n_workers)
+            for shard in range(n_workers)
+        ]
+        if n_workers == 1:
+            results = [_shard_worker(shard_args[0])]
+        else:
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(processes=n_workers) as pool:
+                results = pool.map(_shard_worker, shard_args)
 
     best: Optional[dict] = None
     best_score: Optional[CandidateScore] = None

@@ -70,7 +70,11 @@ def set_partitions(
 
     Partitions are generated via restricted-growth strings, so each distinct
     grouping appears exactly once (group order is canonical: groups are listed
-    by their smallest member's position).
+    by their smallest member's position).  The generator is iterative — the
+    lexicographic successor of each growth string is computed in place — so
+    enumeration never touches Python's recursion limit even for large
+    workloads, and the yield order matches the classic recursive formulation
+    (which :mod:`repro.optimal.parallel` relies on for sharding).
     """
     items = list(items)
     n = len(items)
@@ -79,33 +83,54 @@ def set_partitions(
     if max_parts < 1:
         raise SolverError("max_parts must be >= 1")
 
-    def recurse(index: int, groups: List[List[str]]) -> Iterator[List[List[str]]]:
-        if index == n:
-            yield [list(group) for group in groups]
-            return
-        item = items[index]
-        for group in groups:
-            group.append(item)
-            yield from recurse(index + 1, groups)
-            group.pop()
-        if len(groups) < max_parts:
-            groups.append([item])
-            yield from recurse(index + 1, groups)
-            groups.pop()
+    def generate() -> Iterator[List[List[str]]]:
+        # codes[i] is the group index of items[i]; prefix_max[i] the largest
+        # code among codes[0..i].  Valid strings satisfy
+        # codes[i] <= min(prefix_max[i-1] + 1, max_parts - 1).
+        codes = [0] * n
+        prefix_max = [0] * n
+        cap = max_parts - 1
+        while True:
+            groups: List[List[str]] = [[] for _ in range(prefix_max[n - 1] + 1)]
+            for index, code in enumerate(codes):
+                groups[code].append(items[index])
+            yield groups
+            # Advance to the lexicographic successor.
+            pivot = n - 1
+            while pivot > 0 and codes[pivot] >= min(prefix_max[pivot - 1] + 1, cap):
+                pivot -= 1
+            if pivot == 0:
+                return
+            codes[pivot] += 1
+            prefix_max[pivot] = max(prefix_max[pivot - 1], codes[pivot])
+            for index in range(pivot + 1, n):
+                codes[index] = 0
+                prefix_max[index] = prefix_max[pivot]
 
-    return recurse(0, [])
+    return generate()
 
 
 @lru_cache(maxsize=4096)
 def stirling2(n: int, m: int) -> int:
-    """Stirling number of the second kind: partitions of ``n`` items into ``m`` groups."""
+    """Stirling number of the second kind: partitions of ``n`` items into ``m`` groups.
+
+    Computed iteratively (row by row of the recurrence
+    ``S(n, m) = m*S(n-1, m) + S(n-1, m-1)``) so large arguments cannot blow
+    the recursion limit.
+    """
     if n < 0 or m < 0:
         raise SolverError("stirling2 arguments must be non-negative")
     if n == 0 and m == 0:
         return 1
     if n == 0 or m == 0 or m > n:
         return 0
-    return m * stirling2(n - 1, m) + stirling2(n - 1, m - 1)
+    # row holds S(i, 0..m) for the current i.
+    row = [1] + [0] * m
+    for i in range(1, n + 1):
+        for j in range(min(i, m), 0, -1):
+            row[j] = j * row[j] + row[j - 1]
+        row[0] = 0
+    return row[m]
 
 
 def count_set_partitions(n_items: int, max_parts: int) -> int:

@@ -1,0 +1,648 @@
+"""Tabulated batch-scoring engine for the optimal-solution search.
+
+:class:`~repro.optimal.objective.CachedObjective` already avoids re-running
+the contention estimator per candidate by caching per-cluster pieces, but it
+still pays Python-level dict merges and hash lookups for *every* candidate —
+and the candidate count grows like the Bell number (Section 2.2 quotes ~9M
+clusterings for 8 applications on 20 ways).  This module removes the
+per-candidate Python work entirely:
+
+* every reachable cluster is encoded as an integer **bitmask** over the
+  (sorted) application list;
+* the occupancy model is solved **once per (cluster mask, ways) pair** — for
+  all masks of a given way count simultaneously, as one NumPy fixed point —
+  and the results are tabulated into dense matrices of per-member cache
+  slowdowns, bandwidth demands and stall fractions;
+* a whole batch of ``(partition, way composition)`` candidates is then scored
+  with array arithmetic: per-app slowdowns are gathered row sums, the
+  bandwidth over-commit correction is a row-wise multiplicative factor,
+  unfairness is ``max/min`` of each slowdown row and STP the row sum of
+  reciprocals.
+
+The engine is *exact* with respect to the reference implementation: the
+vectorized occupancy solve and the batch combination replicate the reference
+arithmetic operation for operation (same association order for every running
+sum), candidates are visited in the same enumeration order with the same
+comparison tolerances, and the winning candidate is re-scored through a plain
+:class:`CachedObjective` so the reported :class:`CandidateScore` is
+bit-identical to what the reference backend returns.  The test suite asserts
+this equivalence on seeded workloads for both objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.profile import AppProfile
+from repro.core.types import ClusteringSolution
+from repro.errors import SolverError
+from repro.hardware.platform import PlatformSpec
+from repro.optimal.objective import CachedObjective, CandidateScore
+from repro.optimal.partitions import set_partitions, way_compositions
+from repro.simulator.bandwidth import BandwidthModel
+from repro.simulator.occupancy import OccupancyModel
+
+__all__ = [
+    "TabulatedObjective",
+    "tabulated_optimal_clustering",
+    "tabulated_optimal_partitioning",
+    "tabulated_branch_and_bound",
+]
+
+#: Dense tables hold 2^n masks; beyond this the table itself would dwarf any
+#: realistic search (the exhaustive solvers stop being practical near 9 apps).
+MAX_TABULATED_APPS = 14
+
+#: Candidates scored per vectorized call (bounds the gather matrices).
+BATCH_ROWS = 8192
+
+#: Slack of the vectorized incumbent pre-filter over the 1e-9 comparison
+#: tolerance of :meth:`CandidateScore.better_than`.  Only candidates whose
+#: primary metric lands within this slack of the running optimum are re-scanned
+#: sequentially, which keeps the Python-level work per batch near zero while
+#: preserving the reference's first-wins tie semantics (a mismatch would need
+#: a >1000-deep chain of 1e-9 ties).
+_SCAN_SLACK = 1e-6
+
+
+@lru_cache(maxsize=None)
+def _compositions_array(total_ways: int, n_parts: int) -> np.ndarray:
+    """All way compositions as a read-only (count, n_parts) int array.
+
+    Row order matches :func:`way_compositions`, which the candidate-order
+    equivalence with the reference solvers relies on.
+    """
+    arr = np.asarray(list(way_compositions(total_ways, n_parts)), dtype=np.int64)
+    arr.setflags(write=False)
+    return arr
+
+
+def _better(u_a: float, s_a: float, u_b: float, s_b: float, objective: str) -> bool:
+    """Scalar replica of :meth:`CandidateScore.better_than` (same tolerances)."""
+    if objective == "fairness":
+        if abs(u_a - u_b) > 1e-9:
+            return u_a < u_b
+        return s_a > s_b + 1e-12
+    if objective == "throughput":
+        if abs(s_a - s_b) > 1e-9:
+            return s_a > s_b
+        return u_a < u_b - 1e-12
+    raise SolverError(f"unknown objective {objective!r}")
+
+
+@dataclass
+class _Incumbent:
+    """Running best candidate during a tabulated search."""
+
+    unfairness: float
+    stp: float
+    groups: List[List[str]]
+    ways: Tuple[int, ...]
+
+
+class TabulatedObjective:
+    """Dense per-(cluster mask, ways) tables plus vectorized batch scoring.
+
+    Parameters mirror :class:`CachedObjective`; the table is built eagerly for
+    the given applications (all ``2^n - 1`` member masks times the platform's
+    way counts), after which scoring a candidate batch involves no Python-level
+    per-candidate work.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        profiles: Mapping[str, AppProfile],
+        apps: Optional[Sequence[str]] = None,
+        *,
+        occupancy_model: OccupancyModel | None = None,
+        bandwidth_model: BandwidthModel | None = None,
+        cluster_masks: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not profiles:
+            raise SolverError("the objective needs at least one application profile")
+        names = list(apps) if apps is not None else list(profiles)
+        if not names:
+            raise SolverError("the workload must contain at least one application")
+        missing = [a for a in names if a not in profiles]
+        if missing:
+            raise SolverError(f"no profiles registered for applications {missing}")
+        if len(set(names)) != len(names):
+            raise SolverError("application names must be unique")
+        if len(names) > MAX_TABULATED_APPS:
+            raise SolverError(
+                f"the tabulated backend holds dense tables for 2^n clusters and "
+                f"supports at most {MAX_TABULATED_APPS} applications, got "
+                f"{len(names)}; use the reference backend or the local search"
+            )
+        self.platform = platform
+        self.profiles: Dict[str, AppProfile] = {name: profiles[name] for name in names}
+        self.occupancy_model = occupancy_model or OccupancyModel()
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+        # Table columns follow sorted names: the reference evaluates cluster
+        # members in sorted order, so accumulating columns left to right
+        # reproduces its running sums exactly.
+        self.app_order: List[str] = sorted(names)
+        self.app_index: Dict[str, int] = {a: j for j, a in enumerate(self.app_order)}
+        self.n_apps = len(self.app_order)
+        self.n_ways = platform.llc_ways
+        self._reference: Optional[CachedObjective] = None
+        # Optionally restrict the occupancy solves to a subset of cluster
+        # masks (e.g. the n singletons for strict partitioning) — the dense
+        # arrays keep their full shape, but unsolved rows are never computed
+        # and may not be indexed.
+        self._mask_solved = np.zeros(1 << self.n_apps, dtype=bool)
+        if cluster_masks is None:
+            self._mask_solved[1:] = True
+        else:
+            for mask in cluster_masks:
+                if not 0 < mask < (1 << self.n_apps):
+                    raise SolverError(f"cluster mask {mask:#x} is out of range")
+                self._mask_solved[mask] = True
+        self._build_tables()
+
+    # -- reference delegate -------------------------------------------------------
+
+    @property
+    def reference(self) -> CachedObjective:
+        """Lazily-built reference objective used for exact winner re-scoring."""
+        if self._reference is None:
+            self._reference = CachedObjective(
+                self.platform,
+                self.profiles,
+                occupancy_model=self.occupancy_model,
+                bandwidth_model=self.bandwidth_model,
+            )
+        return self._reference
+
+    def exact_score(self, groups: Sequence[Sequence[str]], ways: Sequence[int]) -> CandidateScore:
+        """Score one candidate through the reference path (bit-identical)."""
+        return self.reference.score_candidate(groups, ways)
+
+    # -- table construction -------------------------------------------------------
+
+    def _llcmpkc_interp(self, profile: AppProfile, ways: np.ndarray) -> np.ndarray:
+        """Vector replica of ``profile.llcmpkc_at`` (after the 0.25 floor)."""
+        axis = np.arange(1, profile.n_ways + 1, dtype=float)
+        clipped = np.clip(ways, 1.0, float(profile.n_ways))
+        return np.interp(clipped, axis, profile.curves.llcmpkc)
+
+    def _ipc_interp(self, profile: AppProfile, ways: np.ndarray) -> np.ndarray:
+        axis = np.arange(1, profile.n_ways + 1, dtype=float)
+        clipped = np.clip(ways, 1.0, float(profile.n_ways))
+        return np.interp(clipped, axis, profile.curves.ipc)
+
+    def _ipc_with_extrapolation(self, profile: AppProfile, effective: np.ndarray) -> np.ndarray:
+        """Vector replica of :func:`repro.simulator.estimator._ipc_with_extrapolation`."""
+        interp = self._ipc_interp(profile, effective)
+        if profile.n_ways < 2:
+            return interp
+        cpi_1 = 1.0 / profile.ipc_at(1.0)
+        cpi_2 = 1.0 / profile.ipc_at(2.0)
+        slope = max(cpi_1 - cpi_2, 0.0)
+        deficit = 1.0 - np.maximum(effective, 0.0)
+        cpi = np.minimum(cpi_1 + slope * deficit, 3.0 * cpi_1)
+        return np.where(effective >= 1.0, interp, 1.0 / cpi)
+
+    def _solve_occupancy_all_masks(self, ways: int, member: np.ndarray) -> np.ndarray:
+        """Solve the shared-mask occupancy fixed point for every cluster mask.
+
+        Replicates :meth:`OccupancyModel.solve` operation for operation for the
+        special case the solvers need — every cluster member shares the full
+        ``ways``-bit capacity mask — but for all ``2^n`` member masks at once.
+        Per-mask convergence is tracked so each row performs exactly the
+        iterations (and the damped updates) the reference performs for it.
+        """
+        model = self.occupancy_model
+        n_masks, n_apps = member.shape
+        effective = np.where(member, float(ways), 0.0)
+        active = self._mask_solved.copy()
+        for _ in range(model.max_iterations):
+            rows = np.nonzero(active)[0]
+            if rows.size == 0:
+                break
+            eff = effective[rows]
+            memb = member[rows]
+            pressure = np.empty_like(eff)
+            for j, app in enumerate(self.app_order):
+                profile = self.profiles[app]
+                pressure[:, j] = model.base_pressure + self._llcmpkc_interp(
+                    profile, np.maximum(eff[:, j], 0.25)
+                )
+            per_way = pressure / ways
+            total = np.zeros(rows.size, dtype=float)
+            for j in range(n_apps):
+                total = total + np.where(memb[:, j], per_way[:, j], 0.0)
+            share = per_way / total[:, None]
+            new_effective = np.zeros_like(share)
+            for _ in range(ways):
+                new_effective = new_effective + share
+            blended = (1.0 - model.damping) * eff + model.damping * new_effective
+            delta = np.where(memb, np.abs(blended - eff), 0.0).max(axis=1)
+            effective[rows] = np.where(memb, blended, 0.0)
+            active[rows] = delta >= model.tolerance
+        return effective
+
+    def _build_tables(self) -> None:
+        n, k = self.n_apps, self.n_ways
+        n_masks = 1 << n
+        mask_values = np.arange(n_masks, dtype=np.int64)
+        member = ((mask_values[:, None] >> np.arange(n)) & 1).astype(bool)
+        rows_total = n_masks * k
+        slowdown = np.zeros((rows_total, n), dtype=float)
+        stall = np.zeros((rows_total, n), dtype=float)
+        demand_total = np.zeros(rows_total, dtype=float)
+        row_max = np.zeros(rows_total, dtype=float)
+        row_min = np.zeros(rows_total, dtype=float)
+        platform = self.platform
+        for ways in range(1, k + 1):
+            effective = self._solve_occupancy_all_masks(ways, member)
+            rows = mask_values * k + (ways - 1)
+            slow_w = np.zeros((n_masks, n), dtype=float)
+            stall_w = np.zeros((n_masks, n), dtype=float)
+            total_w = np.zeros(n_masks, dtype=float)
+            for j, app in enumerate(self.app_order):
+                profile = self.profiles[app]
+                eff = effective[:, j]
+                ipc = self._ipc_with_extrapolation(profile, eff)
+                slow_col = profile.ipc_alone / np.maximum(ipc, 1e-12)
+                eval_ways = np.maximum(eff, 0.25)
+                mpkc = self._llcmpkc_interp(profile, eval_ways)
+                bw_col = (
+                    mpkc
+                    / 1000.0
+                    * platform.cycles_per_second
+                    * profile.bytes_per_miss
+                    / 1e9
+                )
+                pressure = mpkc * platform.mem_latency_cycles / 1000.0
+                stall_col = np.minimum(0.95, pressure / (1.0 + pressure))
+                in_cluster = member[:, j]
+                slow_w[:, j] = np.where(in_cluster, slow_col, 0.0)
+                stall_w[:, j] = np.where(in_cluster, stall_col, 0.0)
+                total_w = total_w + np.where(in_cluster, bw_col, 0.0)
+            slowdown[rows] = slow_w
+            stall[rows] = stall_w
+            demand_total[rows] = total_w
+            masked = np.where(member, slow_w, -np.inf)
+            row_max[rows] = masked.max(axis=1)
+            row_min[rows] = np.where(member, slow_w, np.inf).min(axis=1)
+        self._slowdown_rows = slowdown
+        self._stall_rows = stall
+        self._demand_rows = demand_total
+        self._row_max = row_max
+        self._row_min = row_min
+
+    # -- lookups ------------------------------------------------------------------
+
+    def group_mask(self, group: Sequence[str]) -> int:
+        """Bitmask of a cluster's members over the table's application order."""
+        mask = 0
+        for app in group:
+            try:
+                mask |= 1 << self.app_index[app]
+            except KeyError:
+                raise SolverError(f"application {app!r} is not tabulated") from None
+        return mask
+
+    def entry(self, mask: int, ways: int) -> int:
+        """Dense-table row of one (cluster mask, ways) pair."""
+        if not 1 <= ways <= self.n_ways:
+            raise SolverError(f"ways must lie in [1, {self.n_ways}], got {ways}")
+        if not self._mask_solved[mask]:
+            raise SolverError(
+                f"cluster mask {mask:#x} was excluded from the table build"
+            )
+        return mask * self.n_ways + (ways - 1)
+
+    def cluster_max_slowdown(self, mask: int, ways: int) -> float:
+        """Largest member cache slowdown of one cluster (branch-and-bound bound)."""
+        return float(self._row_max[self.entry(mask, ways)])
+
+    def cluster_min_slowdown(self, mask: int, ways: int) -> float:
+        """Smallest member cache slowdown of one cluster (branch-and-bound bound)."""
+        return float(self._row_min[self.entry(mask, ways)])
+
+    # -- batch scoring ------------------------------------------------------------
+
+    def score_entries(self, entries: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Score a batch of candidates given as table-row index matrices.
+
+        ``entries[i, j]`` is the dense-table row of candidate ``i``'s ``j``-th
+        cluster; the clusters of one candidate must be disjoint and cover every
+        tabulated application.  Returns per-candidate ``(unfairness, stp)``
+        arrays whose unfairness values are bit-identical to the reference
+        scorer (STP matches to summation order).
+        """
+        entries = np.asarray(entries)
+        slow = self._slowdown_rows[entries].sum(axis=1)
+        total = np.zeros(entries.shape[0], dtype=float)
+        for j in range(entries.shape[1]):
+            total = total + self._demand_rows[entries[:, j]]
+        over = total > self.platform.peak_bw_gbs
+        if np.any(over):
+            stalls = self._stall_rows[entries].sum(axis=1)
+            overcommit = total / self.platform.peak_bw_gbs
+            factor = 1.0 + self.bandwidth_model.sensitivity * stalls * (
+                overcommit[:, None] - 1.0
+            )
+            factor = np.minimum(np.maximum(factor, 1.0), self.bandwidth_model.max_factor)
+            slow = np.where(over[:, None], slow * factor, slow)
+        unfairness = slow.max(axis=1) / slow.min(axis=1)
+        stp = (1.0 / slow).sum(axis=1)
+        return unfairness, stp
+
+    def score_candidate_fast(
+        self, groups: Sequence[Sequence[str]], ways: Sequence[int]
+    ) -> Tuple[float, float]:
+        """(unfairness, stp) of a single candidate via the tables."""
+        if len(groups) != len(ways):
+            raise SolverError("groups and ways must have the same length")
+        entries = np.asarray(
+            [[self.entry(self.group_mask(g), w) for g, w in zip(groups, ways)]],
+            dtype=np.intp,
+        )
+        unfairness, stp = self.score_entries(entries)
+        return float(unfairness[0]), float(stp[0])
+
+
+def _scan_batch(
+    unfairness: np.ndarray,
+    stp: np.ndarray,
+    groups: Sequence[Sequence[str]],
+    comps: np.ndarray,
+    incumbent: Optional[_Incumbent],
+    objective: str,
+) -> Optional[_Incumbent]:
+    """Fold one scored batch into the running best candidate.
+
+    Reproduces the reference's sequential scan (first-wins under
+    :meth:`CandidateScore.better_than`) but only visits candidates whose
+    primary metric lands within :data:`_SCAN_SLACK` of the running optimum —
+    everything else provably cannot win.
+    """
+    if objective == "fairness":
+        seed = incumbent.unfairness if incumbent is not None else np.inf
+        shifted = np.concatenate(([seed], unfairness[:-1]))
+        prefix = np.minimum.accumulate(shifted)
+        contenders = np.nonzero(unfairness <= prefix + _SCAN_SLACK)[0]
+    else:
+        seed = incumbent.stp if incumbent is not None else -np.inf
+        shifted = np.concatenate(([seed], stp[:-1]))
+        prefix = np.maximum.accumulate(shifted)
+        contenders = np.nonzero(stp >= prefix - _SCAN_SLACK)[0]
+    for i in contenders:
+        u, s = float(unfairness[i]), float(stp[i])
+        if incumbent is None or _better(
+            u, s, incumbent.unfairness, incumbent.stp, objective
+        ):
+            incumbent = _Incumbent(
+                unfairness=u,
+                stp=s,
+                groups=[list(group) for group in groups],
+                ways=tuple(int(w) for w in comps[i]),
+            )
+    return incumbent
+
+
+def _scan_partition(
+    tables: TabulatedObjective,
+    groups: Sequence[Sequence[str]],
+    comps: np.ndarray,
+    incumbent: Optional[_Incumbent],
+    objective: str,
+) -> Optional[_Incumbent]:
+    """Batch-score every way composition of one partition and fold the best."""
+    # entry(mask, 1) is the first row of a mask's block; it also validates
+    # that the mask was part of the table build.
+    base = np.asarray(
+        [tables.entry(tables.group_mask(group), 1) for group in groups],
+        dtype=np.int64,
+    )
+    for start in range(0, len(comps), BATCH_ROWS):
+        chunk = comps[start : start + BATCH_ROWS]
+        entries = base[None, :] + (chunk - 1)
+        unfairness, stp = tables.score_entries(entries)
+        incumbent = _scan_batch(unfairness, stp, groups, chunk, incumbent, objective)
+    return incumbent
+
+
+def _finalize(
+    tables: TabulatedObjective,
+    incumbent: Optional[_Incumbent],
+    evaluated: int,
+    objective: str,
+):
+    from repro.optimal.exhaustive import OptimalResult
+
+    if incumbent is None:
+        raise SolverError("the tabulated search found no feasible candidate")
+    score = tables.exact_score(incumbent.groups, list(incumbent.ways))
+    solution = ClusteringSolution.from_groups(
+        incumbent.groups, list(incumbent.ways), tables.n_ways
+    )
+    return OptimalResult(
+        solution=solution,
+        score=score,
+        candidates_evaluated=evaluated,
+        objective=objective,
+    )
+
+
+def tabulated_optimal_clustering(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    apps: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "fairness",
+    max_clusters: Optional[int] = None,
+    tables: Optional[TabulatedObjective] = None,
+):
+    """Exhaustive optimal clustering over precomputed dense tables.
+
+    Returns the same :class:`OptimalResult` as
+    :func:`repro.optimal.exhaustive.optimal_clustering` — same candidate
+    enumeration order, same comparison tolerances, and a final exact re-score
+    of the winner — while evaluating candidates in vectorized batches.
+    """
+    from repro.optimal.exhaustive import _validate_workload
+
+    if objective not in ("fairness", "throughput"):
+        raise SolverError(f"unknown objective {objective!r}")
+    apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
+    k = platform.llc_ways
+    limit = min(len(apps), k)
+    if max_clusters is not None:
+        if max_clusters < 1:
+            raise SolverError("max_clusters must be >= 1")
+        limit = min(limit, max_clusters)
+    tables = tables or TabulatedObjective(platform, profiles, apps)
+    incumbent: Optional[_Incumbent] = None
+    evaluated = 0
+    for groups in set_partitions(apps, limit):
+        comps = _compositions_array(k, len(groups))
+        incumbent = _scan_partition(tables, groups, comps, incumbent, objective)
+        evaluated += len(comps)
+    return _finalize(tables, incumbent, evaluated, objective)
+
+
+def tabulated_branch_and_bound(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    apps: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "fairness",
+    max_clusters: Optional[int] = None,
+    tables: Optional[TabulatedObjective] = None,
+):
+    """Branch-and-bound clustering with bounds read from the dense tables.
+
+    Same pruning structure (and the same optimum) as
+    :func:`repro.optimal.bnb.branch_and_bound_clustering`, but both bound
+    levels become O(1) table lookups instead of occupancy-model solves: the
+    partition-level bound reads the per-row max/min member slowdowns and the
+    composition-level bound reads the same scalars while ways are assigned
+    cluster by cluster.
+    """
+    from repro.optimal.bnb import _bandwidth_factor_upper_bound
+    from repro.optimal.exhaustive import _validate_workload
+
+    if objective not in ("fairness", "throughput"):
+        raise SolverError(f"unknown objective {objective!r}")
+    apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
+    k = platform.llc_ways
+    limit = min(len(apps), k)
+    if max_clusters is not None:
+        if max_clusters < 1:
+            raise SolverError("max_clusters must be >= 1")
+        limit = min(limit, max_clusters)
+    tables = tables or TabulatedObjective(platform, profiles, apps)
+    prune = objective == "fairness"
+    bw_factor_ub = (
+        _bandwidth_factor_upper_bound(
+            platform, tables.profiles, tables.bandwidth_model, apps
+        )
+        if prune
+        else 1.0
+    )
+
+    incumbent: Optional[_Incumbent] = None
+    evaluated = 0
+    for groups in set_partitions(apps, limit):
+        m = len(groups)
+        masks = [tables.group_mask(group) for group in groups]
+        generous = max(k - (m - 1), 1)
+        if prune and incumbent is not None:
+            max_slowdown_lb = 0.0
+            min_slowdown_ub = float("inf")
+            for mask in masks:
+                max_slowdown_lb = max(
+                    max_slowdown_lb, tables.cluster_max_slowdown(mask, generous)
+                )
+                min_slowdown_ub = min(
+                    min_slowdown_ub,
+                    tables.cluster_min_slowdown(mask, 1) * bw_factor_ub,
+                )
+            if max_slowdown_lb / min_slowdown_ub >= incumbent.unfairness - 1e-12:
+                continue
+        else:
+            min_slowdown_ub = float("inf")
+            if prune:
+                for mask in masks:
+                    min_slowdown_ub = min(
+                        min_slowdown_ub,
+                        tables.cluster_min_slowdown(mask, 1) * bw_factor_ub,
+                    )
+
+        def assign(
+            index: int, remaining: int, ways_prefix: Tuple[int, ...], partial_max: float
+        ) -> None:
+            nonlocal incumbent, evaluated
+            if index == m:
+                if remaining != 0:  # pragma: no cover - construction prevents this
+                    return
+                entries = np.asarray(
+                    [
+                        [
+                            mask * k + (ways - 1)
+                            for mask, ways in zip(masks, ways_prefix)
+                        ]
+                    ],
+                    dtype=np.int64,
+                )
+                unfairness, stp = tables.score_entries(entries)
+                u, s = float(unfairness[0]), float(stp[0])
+                evaluated += 1
+                if incumbent is None or _better(
+                    u, s, incumbent.unfairness, incumbent.stp, objective
+                ):
+                    incumbent = _Incumbent(
+                        unfairness=u,
+                        stp=s,
+                        groups=[list(group) for group in groups],
+                        ways=ways_prefix,
+                    )
+                return
+            clusters_left = m - index
+            max_here = remaining - (clusters_left - 1)
+            for ways_here in range(1, max_here + 1):
+                new_partial_max = max(
+                    partial_max, tables.cluster_max_slowdown(masks[index], ways_here)
+                )
+                if (
+                    prune
+                    and incumbent is not None
+                    and new_partial_max / min_slowdown_ub
+                    >= incumbent.unfairness - 1e-12
+                ):
+                    # Fewer ways only raise the bound, but *more* ways may still
+                    # help, so keep scanning upwards.
+                    continue
+                assign(
+                    index + 1,
+                    remaining - ways_here,
+                    ways_prefix + (ways_here,),
+                    new_partial_max,
+                )
+
+        assign(0, k, (), 0.0)
+    return _finalize(tables, incumbent, evaluated, objective)
+
+
+def tabulated_optimal_partitioning(
+    platform: PlatformSpec,
+    profiles: Mapping[str, AppProfile],
+    apps: Optional[Sequence[str]] = None,
+    *,
+    objective: str = "fairness",
+    tables: Optional[TabulatedObjective] = None,
+):
+    """Strict-partitioning counterpart of :func:`tabulated_optimal_clustering`."""
+    from repro.optimal.exhaustive import _validate_workload
+
+    if objective not in ("fairness", "throughput"):
+        raise SolverError(f"unknown objective {objective!r}")
+    apps = _validate_workload(apps if apps is not None else list(profiles), profiles)
+    k = platform.llc_ways
+    if len(apps) > k:
+        raise SolverError(
+            f"strict partitioning of {len(apps)} applications is infeasible on a "
+            f"{k}-way LLC"
+        )
+    if tables is None:
+        # Strict partitioning only ever scores singleton clusters, so restrict
+        # the table build to the n singleton masks instead of all 2^n.
+        tables = TabulatedObjective(
+            platform,
+            profiles,
+            apps,
+            cluster_masks=[1 << j for j in range(len(apps))],
+        )
+    groups = [[app] for app in apps]
+    comps = _compositions_array(k, len(apps))
+    incumbent = _scan_partition(tables, groups, comps, None, objective)
+    return _finalize(tables, incumbent, len(comps), objective)

@@ -33,6 +33,7 @@ class BestStaticPolicy(ClusteringPolicy):
         exact_limit: int = 7,
         local_search_iterations: int = 1500,
         seed: int = 0,
+        backend: str = "tabulated",
     ) -> None:
         """
         Parameters
@@ -44,15 +45,23 @@ class BestStaticPolicy(ClusteringPolicy):
             workloads fall back to the randomised local search.
         local_search_iterations, seed:
             Local-search budget and RNG seed for the fallback path.
+        backend:
+            Scoring engine for the exact search: ``"tabulated"`` (default)
+            batch-scores over the dense tables of
+            :mod:`repro.optimal.tabulated`, ``"reference"`` keeps the original
+            per-candidate cached objective.  Both return the same optimum.
         """
         if objective not in ("fairness", "throughput"):
             raise ClusteringError(f"unknown objective {objective!r}")
         if exact_limit < 1:
             raise ClusteringError("exact_limit must be >= 1")
+        if backend not in ("tabulated", "reference"):
+            raise ClusteringError(f"unknown solver backend {backend!r}")
         self.objective = objective
         self.exact_limit = exact_limit
         self.local_search_iterations = local_search_iterations
         self.seed = seed
+        self.backend = backend
 
     def decide(
         self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
@@ -64,7 +73,7 @@ class BestStaticPolicy(ClusteringPolicy):
         }
         if len(resampled) <= self.exact_limit:
             result = branch_and_bound_clustering(
-                platform, resampled, objective=self.objective
+                platform, resampled, objective=self.objective, backend=self.backend
             )
         else:
             result = local_search_clustering(
