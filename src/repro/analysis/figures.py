@@ -13,7 +13,7 @@ instruction budgets) so the benchmark harness can run a quick default and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,13 +39,16 @@ from repro.policies import (
     StockLinuxPolicy,
 )
 from repro.runtime import (
+    BatchRunner,
     DunnUserLevelDaemon,
     EngineConfig,
     LfocSchedulerPlugin,
     PolicyDriver,
+    RunSpec,
     RuntimeEngine,
     StockLinuxDriver,
 )
+from repro.runtime.batch import pool_map
 from repro.simulator import ClusteringEstimator
 from repro.workloads import (
     Workload,
@@ -322,52 +325,62 @@ def default_static_policies(backend: str = "tabulated") -> List[ClusteringPolicy
     ]
 
 
+def _static_study_worker(context: tuple, workload: Workload) -> List[StaticStudyRow]:
+    """One Fig. 6 column: every policy evaluated on one workload."""
+    platform, policies = context
+    profiles = workload.profiles(platform.llc_ways)
+    estimator = ClusteringEstimator(platform, profiles)
+    baseline = estimator.evaluate_unpartitioned(list(profiles))
+    rows = [
+        StaticStudyRow(
+            workload=workload.name,
+            size=workload.size,
+            policy="Stock-Linux",
+            unfairness=baseline.unfairness,
+            stp=baseline.stp,
+            normalized_unfairness=1.0,
+            normalized_stp=1.0,
+        )
+    ]
+    for policy in policies:
+        estimate = estimator.evaluate_allocation(policy.allocate(profiles, platform))
+        rows.append(
+            StaticStudyRow(
+                workload=workload.name,
+                size=workload.size,
+                policy=policy.name,
+                unfairness=estimate.unfairness,
+                stp=estimate.stp,
+                normalized_unfairness=normalise(
+                    estimate.unfairness, baseline.unfairness
+                ),
+                normalized_stp=normalise(estimate.stp, baseline.stp),
+            )
+        )
+    return rows
+
+
 def fig6_static_study(
     workloads: Optional[Sequence[Workload]] = None,
     policies: Optional[Sequence[ClusteringPolicy]] = None,
     platform: Optional[PlatformSpec] = None,
+    *,
+    jobs: Optional[int] = 1,
 ) -> List[StaticStudyRow]:
     """Normalised unfairness and STP of the static clustering algorithms.
 
     Evaluates every policy's clustering with the contention estimator and
     normalises against the unpartitioned (stock Linux) configuration, exactly
-    as Fig. 6 does.  Defaults to all 21 S workloads.
+    as Fig. 6 does.  Defaults to all 21 S workloads.  ``jobs`` shards the
+    workloads across a process pool (results are independent of it).
     """
     platform = platform or skylake_gold_6138()
     workloads = list(workloads) if workloads is not None else s_workloads()
     policies = list(policies) if policies is not None else default_static_policies()
-    rows: List[StaticStudyRow] = []
-    for workload in workloads:
-        profiles = workload.profiles(platform.llc_ways)
-        estimator = ClusteringEstimator(platform, profiles)
-        baseline = estimator.evaluate_unpartitioned(list(profiles))
-        rows.append(
-            StaticStudyRow(
-                workload=workload.name,
-                size=workload.size,
-                policy="Stock-Linux",
-                unfairness=baseline.unfairness,
-                stp=baseline.stp,
-                normalized_unfairness=1.0,
-                normalized_stp=1.0,
-            )
-        )
-        for policy in policies:
-            estimate = estimator.evaluate_allocation(policy.allocate(profiles, platform))
-            rows.append(
-                StaticStudyRow(
-                    workload=workload.name,
-                    size=workload.size,
-                    policy=policy.name,
-                    unfairness=estimate.unfairness,
-                    stp=estimate.stp,
-                    normalized_unfairness=normalise(
-                        estimate.unfairness, baseline.unfairness
-                    ),
-                    normalized_stp=normalise(estimate.stp, baseline.stp),
-                )
-            )
-    return rows
+    per_workload = pool_map(
+        _static_study_worker, workloads, (platform, policies), jobs=jobs
+    )
+    return [row for rows in per_workload for row in rows]
 
 
 # ---------------------------------------------------------------------------
@@ -400,26 +413,43 @@ def fig7_dynamic_study(
     engine_config: Optional[EngineConfig] = None,
     platform: Optional[PlatformSpec] = None,
     drivers: Optional[Mapping[str, "type"]] = None,
+    *,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = 1,
 ) -> List[DynamicStudyRow]:
     """Normalised unfairness and STP of the dynamic policies (Fig. 7).
 
     Runs every workload under stock Linux, Dunn and LFOC in the runtime engine
     and normalises against the stock run.  Defaults to the paper's Fig. 7
-    workload selection and a scaled-down instruction budget.
+    workload selection and a scaled-down instruction budget.  The batch of
+    (workload, driver) runs executes through the
+    :class:`~repro.runtime.batch.BatchRunner`: ``jobs`` selects the process
+    count (results are independent of it) and ``backend`` overrides the engine
+    evaluation backend (``incremental``/``reference``, both bit-identical).
     """
     platform = platform or skylake_gold_6138()
     workloads = list(workloads) if workloads is not None else dynamic_study_workloads()
     engine_config = engine_config or EngineConfig(
         instructions_per_run=1.0e9, min_completions=2, record_traces=False
     )
+    if backend is not None and backend != engine_config.backend:
+        engine_config = replace(engine_config, backend=backend)
     driver_classes = dict(drivers) if drivers is not None else default_dynamic_drivers()
-    rows: List[DynamicStudyRow] = []
+
+    specs: List[RunSpec] = []
     for workload in workloads:
-        phased = workload.phased_profiles(platform.llc_ways)
-        baseline_engine = RuntimeEngine(
-            platform, phased, StockLinuxDriver(), engine_config
+        specs.append(
+            RunSpec(workload=workload, driver_cls=StockLinuxDriver, label="Stock-Linux")
         )
-        baseline = baseline_engine.run(workload.name)
+        for name, driver_cls in driver_classes.items():
+            specs.append(RunSpec(workload=workload, driver_cls=driver_cls, label=name))
+    results = BatchRunner(platform, jobs=jobs, config=engine_config).run(specs)
+
+    rows: List[DynamicStudyRow] = []
+    per_workload = 1 + len(driver_classes)
+    for w_index, workload in enumerate(workloads):
+        block = results[w_index * per_workload : (w_index + 1) * per_workload]
+        baseline = block[0]
         base_metrics = baseline.metrics()
         rows.append(
             DynamicStudyRow(
@@ -434,14 +464,8 @@ def fig7_dynamic_study(
                 sampling_entries=0,
             )
         )
-        for name, driver_cls in driver_classes.items():
-            engine = RuntimeEngine(
-                platform,
-                workload.phased_profiles(platform.llc_ways),
-                driver_cls(),
-                engine_config,
-            )
-            result = engine.run(workload.name)
+        for offset, name in enumerate(driver_classes, start=1):
+            result = block[offset]
             metrics = result.metrics()
             rows.append(
                 DynamicStudyRow(

@@ -29,7 +29,7 @@ from repro.apps.curves import CurveSet
 from repro.errors import ProfileError
 from repro.hardware.platform import PlatformSpec
 
-__all__ = ["AppProfile", "CACHE_LINE_BYTES"]
+__all__ = ["AppProfile", "FastProfileView", "CACHE_LINE_BYTES"]
 
 #: Bytes transferred from DRAM per LLC miss (one cache line).
 CACHE_LINE_BYTES = 64
@@ -195,6 +195,22 @@ class AppProfile:
             metadata=dict(self.metadata),
         )
 
+    # -- identity --------------------------------------------------------------
+
+    def value_fingerprint(self) -> tuple:
+        """Hashable fingerprint of everything the contention models read.
+
+        Two profiles with equal fingerprints are arithmetically
+        interchangeable inside the estimator (the name only labels results),
+        which is what lets the incremental evaluation layer share cached
+        tables across runs that rebuild their profile objects from scratch.
+        """
+        return (
+            self.curves.ipc.tobytes(),
+            self.curves.llcmpkc.tobytes(),
+            float(self.bytes_per_miss),
+        )
+
     # -- convenience ----------------------------------------------------------
 
     def describe(self) -> Dict[str, float]:
@@ -207,3 +223,51 @@ class AppProfile:
             "llcmpkc_at_1": float(self.curves.llcmpkc[0]),
             "llcmpkc_full": float(self.curves.llcmpkc[-1]),
         }
+
+
+class FastProfileView:
+    """Allocation-free scalar curve evaluator, bit-identical to :class:`AppProfile`.
+
+    ``AppProfile``'s fractional-way accessors go through :func:`numpy.interp`,
+    which costs microseconds per call in array setup — painful inside the
+    occupancy fixed point, which interpolates per application per iteration.
+    This view caches the curves as plain lists and evaluates the same linear
+    interpolation with pure float arithmetic.  Because the way axis is the
+    uniform unit-step grid ``1..n_ways``, the slope division is by exactly
+    1.0 and the formula reproduces ``np.interp`` bit for bit (asserted by the
+    test suite over dense random grids); the derived quantities replicate the
+    ``AppProfile`` method bodies operation for operation.
+    """
+
+    __slots__ = ("ipc", "llcmpkc", "n_ways", "ipc_alone", "bytes_per_miss")
+
+    def __init__(self, profile: AppProfile) -> None:
+        self.ipc = profile.curves.ipc.tolist()
+        self.llcmpkc = profile.curves.llcmpkc.tolist()
+        self.n_ways = profile.n_ways
+        self.ipc_alone = profile.ipc_alone
+        self.bytes_per_miss = profile.bytes_per_miss
+
+    def _interp(self, table: list, ways: float) -> float:
+        if ways <= 0:
+            raise ProfileError(f"cannot evaluate a profile at {ways} ways")
+        n = self.n_ways
+        clipped = min(max(ways, 1.0), float(n))
+        if clipped >= n:
+            return table[-1]
+        j = int(clipped - 1.0)
+        return (table[j + 1] - table[j]) * (clipped - (j + 1.0)) + table[j]
+
+    def ipc_at(self, ways: float) -> float:
+        return self._interp(self.ipc, ways)
+
+    def llcmpkc_at(self, ways: float) -> float:
+        return self._interp(self.llcmpkc, ways)
+
+    def stall_fraction_at(self, ways: float, platform: PlatformSpec) -> float:
+        pressure = self.llcmpkc_at(ways) * platform.mem_latency_cycles / 1000.0
+        return min(0.95, pressure / (1.0 + pressure))
+
+    def bandwidth_gbs_at(self, ways: float, platform: PlatformSpec) -> float:
+        misses_per_cycle = self.llcmpkc_at(ways) / 1000.0
+        return misses_per_cycle * platform.cycles_per_second * self.bytes_per_miss / 1e9

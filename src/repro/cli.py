@@ -79,15 +79,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig4", help="LLCMPKC phase trace of fotonik3d (Fig. 4)")
     sub.add_parser("fig5", help="workload composition matrix (Fig. 5)")
 
+    jobs_kwargs = dict(
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the run batch (0 = all available CPUs; "
+        "results are independent of this knob)",
+    )
+
     fig6 = sub.add_parser("fig6", help="static clustering study (Fig. 6)")
     fig6.add_argument("--max-size", type=int, default=None, help="largest workload size")
     fig6.add_argument("--backend", **backend_kwargs)
+    fig6.add_argument("--jobs", **jobs_kwargs)
 
     fig7 = sub.add_parser("fig7", help="dynamic policy study (Fig. 7)")
     fig7.add_argument("--quick", action="store_true", help="only the 8-app workloads")
     fig7.add_argument(
         "--instructions", type=float, default=1.0e9, help="instructions per completion"
     )
+    fig7.add_argument(
+        "--backend",
+        choices=("incremental", "reference"),
+        default="incremental",
+        help="runtime-engine evaluation backend (incremental = cached tables "
+        "and vectorized state, the fast default; reference = the original "
+        "per-event estimator; results are bit-identical)",
+    )
+    fig7.add_argument("--jobs", **jobs_kwargs)
 
     table2 = sub.add_parser("table2", help="algorithm execution cost (Table 2)")
     table2.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7, 8, 9, 10, 11])
@@ -131,7 +149,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "fig6":
         workloads = static_study_workloads(max_size=args.max_size)
         rows = fig6_static_study(
-            workloads, policies=default_static_policies(args.backend)
+            workloads,
+            policies=default_static_policies(args.backend),
+            jobs=args.jobs or None,
         )
         print(render_fig6(rows))
         print()
@@ -150,9 +170,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.quick:
             workloads = [w for w in workloads if w.size <= 8]
         config = EngineConfig(
-            instructions_per_run=args.instructions, min_completions=2, record_traces=False
+            instructions_per_run=args.instructions,
+            min_completions=2,
+            record_traces=False,
+            backend=args.backend,
         )
-        rows = fig7_dynamic_study(workloads, engine_config=config)
+        rows = fig7_dynamic_study(workloads, engine_config=config, jobs=args.jobs or None)
         print(render_fig7(rows))
         print()
         summary = summarize_dynamic_study(rows)

@@ -20,7 +20,29 @@ __all__ = [
     "percent_reduction",
     "average_percent_reduction",
     "normalised_series",
+    "short_mean",
 ]
+
+
+def short_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of a short sequence, bit-identical to ``np.mean``.
+
+    NumPy's reduction is sequential below eight elements (it switches to an
+    unrolled pairwise scheme from eight onwards), so for the short rolling
+    windows the online monitors keep, a plain Python loop produces the same
+    bits at a fraction of the array-conversion cost.  Longer inputs fall back
+    to ``np.mean`` itself.  The equivalence is pinned by the test suite.
+    """
+    values = list(values)
+    n = len(values)
+    if n == 0:
+        raise ReproError("mean of an empty sequence")
+    if n < 8:
+        total = 0.0
+        for value in values:
+            total += value
+        return total / n
+    return float(np.mean(values))
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -48,6 +48,9 @@ from repro.simulator.occupancy import OccupancyModel
 
 __all__ = [
     "TabulatedObjective",
+    "llcmpkc_interp",
+    "ipc_interp",
+    "ipc_with_extrapolation",
     "tabulated_optimal_clustering",
     "tabulated_optimal_partitioning",
     "tabulated_branch_and_bound",
@@ -92,6 +95,38 @@ def _better(u_a: float, s_a: float, u_b: float, s_b: float, objective: str) -> b
             return s_a > s_b
         return u_a < u_b - 1e-12
     raise SolverError(f"unknown objective {objective!r}")
+
+
+def llcmpkc_interp(profile: AppProfile, ways: np.ndarray) -> np.ndarray:
+    """Vector replica of ``profile.llcmpkc_at`` (after the caller's floor).
+
+    Shared between the dense solver tables below and the incremental runtime
+    evaluation layer's tests; results are bit-identical to the scalar
+    ``AppProfile`` accessor evaluated element-wise.
+    """
+    axis = np.arange(1, profile.n_ways + 1, dtype=float)
+    clipped = np.clip(ways, 1.0, float(profile.n_ways))
+    return np.interp(clipped, axis, profile.curves.llcmpkc)
+
+
+def ipc_interp(profile: AppProfile, ways: np.ndarray) -> np.ndarray:
+    """Vector replica of ``profile.ipc_at``."""
+    axis = np.arange(1, profile.n_ways + 1, dtype=float)
+    clipped = np.clip(ways, 1.0, float(profile.n_ways))
+    return np.interp(clipped, axis, profile.curves.ipc)
+
+
+def ipc_with_extrapolation(profile: AppProfile, effective: np.ndarray) -> np.ndarray:
+    """Vector replica of :func:`repro.simulator.estimator._ipc_with_extrapolation`."""
+    interp = ipc_interp(profile, effective)
+    if profile.n_ways < 2:
+        return interp
+    cpi_1 = 1.0 / profile.ipc_at(1.0)
+    cpi_2 = 1.0 / profile.ipc_at(2.0)
+    slope = max(cpi_1 - cpi_2, 0.0)
+    deficit = 1.0 - np.maximum(effective, 0.0)
+    cpi = np.minimum(cpi_1 + slope * deficit, 3.0 * cpi_1)
+    return np.where(effective >= 1.0, interp, 1.0 / cpi)
 
 
 @dataclass
@@ -187,26 +222,14 @@ class TabulatedObjective:
 
     def _llcmpkc_interp(self, profile: AppProfile, ways: np.ndarray) -> np.ndarray:
         """Vector replica of ``profile.llcmpkc_at`` (after the 0.25 floor)."""
-        axis = np.arange(1, profile.n_ways + 1, dtype=float)
-        clipped = np.clip(ways, 1.0, float(profile.n_ways))
-        return np.interp(clipped, axis, profile.curves.llcmpkc)
+        return llcmpkc_interp(profile, ways)
 
     def _ipc_interp(self, profile: AppProfile, ways: np.ndarray) -> np.ndarray:
-        axis = np.arange(1, profile.n_ways + 1, dtype=float)
-        clipped = np.clip(ways, 1.0, float(profile.n_ways))
-        return np.interp(clipped, axis, profile.curves.ipc)
+        return ipc_interp(profile, ways)
 
     def _ipc_with_extrapolation(self, profile: AppProfile, effective: np.ndarray) -> np.ndarray:
         """Vector replica of :func:`repro.simulator.estimator._ipc_with_extrapolation`."""
-        interp = self._ipc_interp(profile, effective)
-        if profile.n_ways < 2:
-            return interp
-        cpi_1 = 1.0 / profile.ipc_at(1.0)
-        cpi_2 = 1.0 / profile.ipc_at(2.0)
-        slope = max(cpi_1 - cpi_2, 0.0)
-        deficit = 1.0 - np.maximum(effective, 0.0)
-        cpi = np.minimum(cpi_1 + slope * deficit, 3.0 * cpi_1)
-        return np.where(effective >= 1.0, interp, 1.0 / cpi)
+        return ipc_with_extrapolation(profile, effective)
 
     def _solve_occupancy_all_masks(self, ways: int, member: np.ndarray) -> np.ndarray:
         """Solve the shared-mask occupancy fixed point for every cluster mask.

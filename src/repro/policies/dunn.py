@@ -149,7 +149,17 @@ class DunnPolicy(ClusteringPolicy):
             for name, profile in profiles.items()
         }
 
-    def _choose_k(self, values: np.ndarray) -> Tuple[int, np.ndarray]:
+    def choose_k(self, values: np.ndarray) -> Tuple[int, np.ndarray]:
+        """Pick the cluster count (and labels) for a 1-D stall-metric array.
+
+        Runs the 1-D k-means for every k in the policy's configured range and
+        keeps the clustering with the best silhouette score, as the original
+        user-level Dunn daemon does.  Returns ``(k, labels)`` with labels
+        referring to centroids sorted ascending.  This is public API: the
+        runtime :class:`~repro.runtime.scheduler.DunnUserLevelDaemon` re-uses
+        it on *measured* stall fractions every partitioning interval.
+        """
+        values = np.asarray(values, dtype=float)
         n = values.size
         if n == 1:
             return 1, np.zeros(1, dtype=int)
@@ -162,6 +172,10 @@ class DunnPolicy(ClusteringPolicy):
                 best_k, best_labels, best_score = k, labels, score
         return best_k, best_labels
 
+    def _choose_k(self, values: np.ndarray) -> Tuple[int, np.ndarray]:
+        # Backwards-compatible alias kept for callers of the old private name.
+        return self.choose_k(values)
+
     # -- decision -----------------------------------------------------------------
 
     def decide(
@@ -171,7 +185,7 @@ class DunnPolicy(ClusteringPolicy):
         apps = list(profiles)
         stalls = self.stall_metric(profiles, platform)
         values = np.array([stalls[a] for a in apps], dtype=float)
-        k, labels = self._choose_k(values)
+        k, labels = self.choose_k(values)
 
         # Ways per cluster: proportional to the cluster's mean stall fraction
         # (more stalls -> more ways), with at least one way each.

@@ -11,8 +11,11 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.engine import EngineConfig, RuntimeEngine, alone_completion_time
 from repro.runtime.results import AppRunStats, RepartitionEvent, RunResult, TracePoint
+from repro.runtime.batch import BatchRunner, RunSpec
 
 __all__ = [
+    "BatchRunner",
+    "RunSpec",
     "AppMonitor",
     "MonitorConfig",
     "SamplingConfig",

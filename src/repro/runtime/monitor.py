@@ -28,11 +28,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
-import numpy as np
-
 from repro.core.classification import AppClass, ClassificationThresholds
 from repro.errors import SimulationError
 from repro.hardware.pmc import DerivedMetrics
+from repro.metrics.aggregate import short_mean
 
 __all__ = ["MonitorConfig", "AppMonitor"]
 
@@ -86,12 +85,12 @@ class AppMonitor:
     def average_llcmpkc(self) -> float:
         if not self._llcmpkc_history:
             return 0.0
-        return float(np.mean(self._llcmpkc_history))
+        return short_mean(self._llcmpkc_history)
 
     def average_stall_fraction(self) -> float:
         if not self._stall_history:
             return 0.0
-        return float(np.mean(self._stall_history))
+        return short_mean(self._stall_history)
 
     def set_classification(
         self,

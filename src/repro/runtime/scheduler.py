@@ -32,6 +32,7 @@ from repro.errors import SimulationError
 from repro.hardware.cat import mask_from_range
 from repro.hardware.platform import PlatformSpec
 from repro.hardware.pmc import DerivedMetrics
+from repro.metrics.aggregate import short_mean
 from repro.policies.base import ClusteringPolicy
 from repro.policies.dunn import DunnPolicy, kmeans_1d
 from repro.runtime.monitor import AppMonitor, MonitorConfig
@@ -292,7 +293,7 @@ class DunnUserLevelDaemon(PolicyDriver):
         if any(not history for history in self._stall_history.values()):
             return None  # not every application has been sampled yet
         stalls = {
-            app: float(np.mean(history)) for app, history in self._stall_history.items()
+            app: short_mean(history) for app, history in self._stall_history.items()
         }
         return self._allocation_from_stalls(stalls)
 
@@ -302,7 +303,7 @@ class DunnUserLevelDaemon(PolicyDriver):
         assert platform is not None
         apps = list(stalls)
         values = np.array([stalls[a] for a in apps], dtype=float)
-        k, labels = self._template._choose_k(values)
+        k, labels = self._template.choose_k(values)
         centroids = np.array(
             [values[labels == c].mean() if np.any(labels == c) else 0.0 for c in range(k)]
         )

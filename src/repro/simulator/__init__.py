@@ -1,8 +1,18 @@
 """Contention estimator (the PBBCache role): occupancy, bandwidth, evaluation."""
 
-from repro.simulator.occupancy import OccupancyModel, OccupancyResult
+from repro.simulator.occupancy import (
+    OccupancyModel,
+    OccupancyResult,
+    OccupancyTrajectoryCache,
+)
 from repro.simulator.bandwidth import BandwidthModel, BandwidthResult
-from repro.simulator.estimator import ClusterEstimate, ClusteringEstimator
+from repro.simulator.estimator import (
+    ClusterEstimate,
+    ClusteringEstimator,
+    EvaluationTables,
+    ProfileSnapshot,
+    allocation_token,
+)
 from repro.simulator.whirlpool import (
     combined_ipc_curve,
     combined_miss_curve,
@@ -12,10 +22,14 @@ from repro.simulator.whirlpool import (
 __all__ = [
     "OccupancyModel",
     "OccupancyResult",
+    "OccupancyTrajectoryCache",
     "BandwidthModel",
     "BandwidthResult",
     "ClusterEstimate",
     "ClusteringEstimator",
+    "EvaluationTables",
+    "ProfileSnapshot",
+    "allocation_token",
     "combined_ipc_curve",
     "combined_miss_curve",
     "whirlpool_distance",

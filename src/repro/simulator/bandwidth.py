@@ -83,6 +83,21 @@ class BandwidthModel:
             eval_ways = max(float(ways), 0.25)
             demand[app] = profile.bandwidth_gbs_at(eval_ways, platform)
             stall_fraction[app] = profile.stall_fraction_at(eval_ways, platform)
+        return self.solve_from_demand(demand, stall_fraction, platform)
+
+    def solve_from_demand(
+        self,
+        demand: Dict[str, float],
+        stall_fraction: Mapping[str, float],
+        platform: PlatformSpec,
+    ) -> BandwidthResult:
+        """Contention core: turn per-application demand/stall data into factors.
+
+        Split out of :meth:`solve` so callers that obtain the per-application
+        demands through a different (but numerically identical) route — the
+        incremental evaluation layer of :mod:`repro.simulator.estimator` —
+        share the exact over-commit arithmetic.
+        """
         total = float(sum(demand.values()))
         factors: Dict[str, float] = {}
         if total <= platform.peak_bw_gbs or total == 0.0:

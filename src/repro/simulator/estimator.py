@@ -25,17 +25,28 @@ The slowdown of an application combines two effects:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.apps.profile import AppProfile
+from repro.apps.phases import PhasedProfile
+from repro.apps.profile import AppProfile, FastProfileView
 from repro.core.types import ClusteringSolution, WayAllocation
 from repro.errors import SimulationError
 from repro.hardware.platform import PlatformSpec
 from repro.metrics.fairness import WorkloadMetrics, compute_metrics
 from repro.simulator.bandwidth import BandwidthModel, BandwidthResult
-from repro.simulator.occupancy import OccupancyModel, OccupancyResult
+from repro.simulator.occupancy import (
+    OccupancyModel,
+    OccupancyResult,
+    OccupancyTrajectoryCache,
+)
 
-__all__ = ["ClusterEstimate", "ClusteringEstimator"]
+__all__ = [
+    "ClusterEstimate",
+    "ClusteringEstimator",
+    "EvaluationTables",
+    "ProfileSnapshot",
+    "allocation_token",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +70,46 @@ class ClusterEstimate:
         return self.metrics.stp
 
 
+def allocation_token(allocation: WayAllocation) -> tuple:
+    """Hashable identity of an allocation for the evaluation cache.
+
+    Keeps the mask *insertion order*: the reference estimator iterates
+    applications in ``allocation.apps()`` order and floating-point
+    accumulation depends on it, so two allocations that differ only in
+    ordering must not share a cache entry.
+    """
+    return (tuple(allocation.masks.items()), allocation.total_ways)
+
+
+class ProfileSnapshot:
+    """Immutable per-application phase-profile table for one workload run.
+
+    The runtime engine re-registers every application's *current* phase
+    profile with the estimator on each rate recomputation; the reference
+    implementation materialises a fresh ``renamed()`` copy every time, which
+    defeats any caching by identity.  The snapshot performs that renaming
+    exactly once per (application, phase) up front, so the profile driving an
+    application in a given phase is one stable object for the whole run.
+    """
+
+    def __init__(self, phased_profiles: Mapping[str, PhasedProfile]) -> None:
+        if not phased_profiles:
+            raise SimulationError("a profile snapshot needs at least one application")
+        self.apps: Tuple[str, ...] = tuple(phased_profiles)
+        self.phase_profiles: Dict[str, Tuple[AppProfile, ...]] = {
+            name: tuple(segment.profile.renamed(name) for segment in prof.segments)
+            for name, prof in phased_profiles.items()
+        }
+
+    def profile_for(self, app: str, phase_index: int) -> AppProfile:
+        """The (pre-renamed) profile of ``app`` while in phase ``phase_index``."""
+        return self.phase_profiles[app][phase_index]
+
+    def initial_profiles(self) -> Dict[str, AppProfile]:
+        """Phase-0 profile of every application (engine start-up state)."""
+        return {name: phases[0] for name, phases in self.phase_profiles.items()}
+
+
 def _ipc_with_extrapolation(profile: AppProfile, effective_ways: float) -> float:
     """IPC at a fractional allocation, extrapolating below one way.
 
@@ -78,6 +129,175 @@ def _ipc_with_extrapolation(profile: AppProfile, effective_ways: float) -> float
     return 1.0 / cpi
 
 
+def _ipc_with_extrapolation_fast(view: FastProfileView, effective_ways: float) -> float:
+    """:func:`_ipc_with_extrapolation` over a :class:`FastProfileView` (exact)."""
+    if effective_ways >= 1.0 or view.n_ways < 2:
+        return view.ipc_at(max(effective_ways, 1.0))
+    cpi_1 = 1.0 / view.ipc_at(1.0)
+    cpi_2 = 1.0 / view.ipc_at(2.0)
+    slope = max(cpi_1 - cpi_2, 0.0)
+    deficit = 1.0 - max(effective_ways, 0.0)
+    cpi = min(cpi_1 + slope * deficit, 3.0 * cpi_1)
+    return 1.0 / cpi
+
+
+class EvaluationTables:
+    """Shared, incrementally-grown evaluation tables for repeated estimates.
+
+    This is the dense table cache behind the estimator's ``incremental``
+    backend and the runtime engine's default evaluation path.  It extends the
+    table-once-score-many idea of :mod:`repro.optimal.tabulated` from the
+    static solvers to arbitrary (possibly overlapping) runtime allocations:
+
+    * a **token registry** fingerprints profiles by curve values, so
+      identical profiles — across phases, policy drivers, engine runs, even
+      freshly rebuilt workloads — share all derived tables;
+    * an :class:`~repro.simulator.occupancy.OccupancyTrajectoryCache` stores
+      the exact fixed-point trajectory of every mask-sharing component ever
+      solved;
+    * a full-estimate cache keyed by ``(allocation, profile tokens)`` makes a
+      repeated :meth:`evaluate` call a single dictionary lookup.
+
+    Every cached value is produced by arithmetic that replicates the
+    reference models operation for operation, so results are bit-identical
+    to :meth:`ClusteringEstimator.evaluate_allocation` with the default
+    ``reference`` backend (the equivalence is pinned by the test suite).
+    Instances are cheap to create, safe to share across runs of the same
+    platform/model configuration, and picklable-by-construction callers
+    (e.g. :class:`~repro.runtime.batch.BatchRunner`) ship one per worker.
+    """
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        *,
+        occupancy_model: Optional[OccupancyModel] = None,
+        bandwidth_model: Optional[BandwidthModel] = None,
+    ) -> None:
+        self.platform = platform
+        self.occupancy_model = occupancy_model or OccupancyModel()
+        self.bandwidth_model = bandwidth_model or BandwidthModel()
+        self.occupancy_cache = OccupancyTrajectoryCache(self.occupancy_model)
+        self._estimates: Dict[tuple, ClusterEstimate] = {}
+        # Token registry: id -> token with strong references (so ids cannot be
+        # recycled), plus a value-fingerprint table for cross-object sharing.
+        self._token_by_id: Dict[int, int] = {}
+        self._token_refs: List[AppProfile] = []
+        self._token_by_value: Dict[tuple, int] = {}
+        self._views: Dict[int, FastProfileView] = {}
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def params_signature(self) -> tuple:
+        """Model/platform parameters a compatible sharer must match."""
+        occ = self.occupancy_model
+        bw = self.bandwidth_model
+        return (
+            self.platform,
+            (occ.max_iterations, occ.tolerance, occ.damping, occ.base_pressure),
+            (bw.sensitivity, bw.max_factor),
+        )
+
+    def token_for(self, profile: AppProfile) -> int:
+        """Value-fingerprint token of a profile (stable across copies)."""
+        token = self._token_by_id.get(id(profile))
+        if token is None:
+            fingerprint = profile.value_fingerprint()
+            token = self._token_by_value.get(fingerprint)
+            if token is None:
+                token = len(self._token_by_value)
+                self._token_by_value[fingerprint] = token
+                self._views[token] = FastProfileView(profile)
+            self._token_by_id[id(profile)] = token
+            self._token_refs.append(profile)
+        return token
+
+    def view_for(self, profile: AppProfile) -> FastProfileView:
+        """The shared :class:`FastProfileView` evaluating ``profile``'s curves."""
+        return self._views[self.token_for(profile)]
+
+    def cache_sizes(self) -> Dict[str, int]:
+        """Entry counts per table (introspection for tests and benchmarks)."""
+        return {
+            "estimates": len(self._estimates),
+            "components": len(self.occupancy_cache),
+            "profiles": len(self._token_by_value),
+        }
+
+    def clear(self) -> None:
+        self._estimates.clear()
+        self.occupancy_cache.clear()
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(
+        self,
+        allocation: WayAllocation,
+        profiles: Mapping[str, AppProfile],
+        alloc_token: Optional[tuple] = None,
+    ) -> ClusterEstimate:
+        """Cached, bit-identical equivalent of the reference evaluation."""
+        for app in allocation.apps():
+            if app not in profiles:
+                raise SimulationError(f"no profile registered for application {app!r}")
+        apps = allocation.apps()
+        tokens = tuple(self.token_for(profiles[app]) for app in apps)
+        if alloc_token is None:
+            alloc_token = allocation_token(allocation)
+        key = (alloc_token, tokens)
+        estimate = self._estimates.get(key)
+        if estimate is None:
+            estimate = self._compute(allocation, apps, tokens, alloc_token)
+            self._estimates[key] = estimate
+        return estimate
+
+    def _compute(
+        self,
+        allocation: WayAllocation,
+        apps: Sequence[str],
+        tokens: Tuple[int, ...],
+        alloc_token: tuple,
+    ) -> ClusterEstimate:
+        token_map = dict(zip(apps, tokens))
+        views = {app: self._views[token_map[app]] for app in apps}
+        occupancy = self.occupancy_cache.solve(
+            allocation, token_map, views, alloc_token=alloc_token
+        )
+        platform = self.platform
+        # Same per-app demand arithmetic as BandwidthModel.solve, evaluated
+        # through the fast views, then the shared contention core.  Scalar on
+        # purpose: at a dozen applications the inlined float arithmetic beats
+        # an equivalent NumPy ufunc chain (measured).
+        demand: Dict[str, float] = {}
+        stall_fraction: Dict[str, float] = {}
+        for app in occupancy.effective_ways:
+            view = views[app]
+            eval_ways = max(float(occupancy.effective_ways[app]), 0.25)
+            demand[app] = view.bandwidth_gbs_at(eval_ways, platform)
+            stall_fraction[app] = view.stall_fraction_at(eval_ways, platform)
+        bandwidth = self.bandwidth_model.solve_from_demand(
+            demand, stall_fraction, platform
+        )
+        slowdowns: Dict[str, float] = {}
+        ipcs: Dict[str, float] = {}
+        for app in apps:
+            view = views[app]
+            effective = occupancy.effective_ways[app]
+            cache_ipc = _ipc_with_extrapolation_fast(view, effective)
+            shared_ipc = cache_ipc / bandwidth.slowdown_factors[app]
+            ipcs[app] = shared_ipc
+            slowdowns[app] = view.ipc_alone / max(shared_ipc, 1e-12)
+        return ClusterEstimate(
+            allocation=allocation,
+            slowdowns=slowdowns,
+            ipcs=ipcs,
+            effective_ways=dict(occupancy.effective_ways),
+            bandwidth=bandwidth,
+            occupancy=occupancy,
+            metrics=compute_metrics(slowdowns),
+        )
+
+
 class ClusteringEstimator:
     """Predict slowdowns and workload metrics for arbitrary way allocations."""
 
@@ -88,13 +308,57 @@ class ClusteringEstimator:
         *,
         occupancy_model: Optional[OccupancyModel] = None,
         bandwidth_model: Optional[BandwidthModel] = None,
+        backend: str = "reference",
+        tables: Optional[EvaluationTables] = None,
     ) -> None:
+        """
+        Parameters
+        ----------
+        backend:
+            ``"reference"`` (default) recomputes every evaluation through the
+            original dict-based models; ``"incremental"`` answers repeated
+            evaluations from shared :class:`EvaluationTables` — bit-identical
+            results, amortised cost.
+        tables:
+            Optional pre-existing tables to share (``incremental`` only).
+            Must have been built for the same platform and model parameters.
+        """
         if not profiles:
             raise SimulationError("the estimator needs at least one application profile")
+        if backend not in ("reference", "incremental"):
+            raise SimulationError(f"unknown estimator backend {backend!r}")
         self.platform = platform
         self.profiles: Dict[str, AppProfile] = dict(profiles)
         self.occupancy_model = occupancy_model or OccupancyModel()
         self.bandwidth_model = bandwidth_model or BandwidthModel()
+        self.backend = backend
+        self.tables: Optional[EvaluationTables] = None
+        if backend == "incremental":
+            if tables is None:
+                tables = EvaluationTables(
+                    platform,
+                    occupancy_model=self.occupancy_model,
+                    bandwidth_model=self.bandwidth_model,
+                )
+            else:
+                expected = (
+                    platform,
+                    (
+                        self.occupancy_model.max_iterations,
+                        self.occupancy_model.tolerance,
+                        self.occupancy_model.damping,
+                        self.occupancy_model.base_pressure,
+                    ),
+                    (self.bandwidth_model.sensitivity, self.bandwidth_model.max_factor),
+                )
+                if tables.params_signature() != expected:
+                    raise SimulationError(
+                        "shared evaluation tables were built for different "
+                        "platform or model parameters"
+                    )
+            self.tables = tables
+        elif tables is not None:
+            raise SimulationError("tables are only used by the incremental backend")
 
     # -- profile management ----------------------------------------------------
 
@@ -108,7 +372,14 @@ class ClusteringEstimator:
     # -- evaluation --------------------------------------------------------------
 
     def evaluate_allocation(self, allocation: WayAllocation) -> ClusterEstimate:
-        """Evaluate an explicit (possibly overlapping) per-application allocation."""
+        """Evaluate an explicit (possibly overlapping) per-application allocation.
+
+        With the ``incremental`` backend this is a table lookup (computing and
+        caching the entry on first sight); the returned estimate is
+        bit-identical to the ``reference`` computation either way.
+        """
+        if self.tables is not None:
+            return self.tables.evaluate(allocation, self.profiles)
         for app in allocation.apps():
             if app not in self.profiles:
                 raise SimulationError(f"no profile registered for application {app!r}")

@@ -25,15 +25,13 @@ occupancy readings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.apps.profile import AppProfile
+from repro.apps.profile import AppProfile, FastProfileView
 from repro.core.types import WayAllocation
 from repro.errors import SimulationError
 
-__all__ = ["OccupancyModel", "OccupancyResult"]
+__all__ = ["OccupancyModel", "OccupancyResult", "OccupancyTrajectoryCache"]
 
 
 @dataclass(frozen=True)
@@ -143,6 +141,307 @@ class OccupancyModel:
         return OccupancyResult(
             effective_ways=dict(effective),
             pressures=dict(pressures),
+            iterations=iteration,
+            converged=converged,
+        )
+
+
+class _ComponentTrajectory:
+    """Exact damped fixed-point trajectory of one mask-sharing component.
+
+    Applications partition into *components* — the connected groups of the
+    "shares a way with" relation.  Inside :meth:`OccupancyModel.solve` the
+    per-application updates of one component never read state from another
+    component; the only global coupling is the *stop condition* (the largest
+    change across all applications).  A component's value sequence is
+    therefore a pure function of its members' curves and relative masks, and
+    can be cached and replayed: iteration ``n`` of the global solve equals
+    iteration ``n`` of each component's private trajectory.
+
+    The trajectory replicates the reference arithmetic operation for
+    operation: per-way pressure totals accumulate over members in workload
+    order, effective ways accumulate over a member's ways in ascending order,
+    and the damped blend matches term for term.  Once an iteration changes
+    nothing (``delta == 0.0``, e.g. immediately for applications alone on
+    their mask), every later iteration provably repeats it, so the trajectory
+    is frozen instead of extended.
+    """
+
+    __slots__ = (
+        "curves",
+        "way_lists",
+        "mask_sizes",
+        "way_sharers",
+        "uniform_ways",
+        "eff",
+        "pressures",
+        "deltas",
+        "fixed_at",
+    )
+
+    def __init__(
+        self, views: Sequence[FastProfileView], way_lists: Sequence[Sequence[int]]
+    ) -> None:
+        self.curves = [(view.llcmpkc, view.n_ways) for view in views]
+        self.way_lists = [list(ways) for ways in way_lists]
+        self.mask_sizes = [max(len(ways), 1) for ways in self.way_lists]
+        n_rel_ways = 1 + max(max(ways) for ways in self.way_lists)
+        sharers: List[List[int]] = [[] for _ in range(n_rel_ways)]
+        for member, ways in enumerate(self.way_lists):
+            for way in ways:
+                sharers[way].append(member)
+        self.way_sharers = sharers
+        # "Uniform" components — every member holds every way, the shape of
+        # every proper cluster — admit a cheaper step: all ways carry the same
+        # pressure total, so the per-way shares are computed once and the
+        # reference's way-by-way accumulation degenerates to repeated adds of
+        # the same addend (kept as adds; collapsing them to one multiply
+        # would round differently).
+        all_members = list(range(len(self.way_lists)))
+        self.uniform_ways = (
+            n_rel_ways if all(s == all_members for s in sharers) else 0
+        )
+        # Iteration 0 is the initial guess: every member owns its whole mask.
+        self.eff: List[Tuple[float, ...]] = [
+            tuple(float(len(ways)) for ways in self.way_lists)
+        ]
+        self.pressures: List[Tuple[float, ...]] = [()]
+        self.deltas: List[float] = [0.0]
+        self.fixed_at: int = 0  # 0 = not fixed yet; else first repeating iteration
+
+    def ensure(self, n: int, model: "OccupancyModel") -> None:
+        """Extend the trajectory so iteration ``n`` is available.
+
+        The step stays pure Python on purpose: components hold a handful of
+        members and a dozen ways, where inlined float arithmetic runs ~2-5x
+        faster than an equivalent chain of NumPy ufunc calls (measured up to
+        16 members).
+        """
+        while len(self.eff) <= n and not self.fixed_at:
+            self._step(model)
+
+    def _accumulate(self, per_way: Sequence[float]) -> List[float]:
+        """The reference's way-by-way share accumulation (ordered, exact)."""
+        new = [0.0] * len(per_way)
+        if self.uniform_ways:
+            total = 0
+            for p in per_way:
+                total = total + p
+            for i, p in enumerate(per_way):
+                share = p / total
+                acc = 0.0
+                for _ in range(self.uniform_ways):
+                    acc += share
+                new[i] = acc
+        else:
+            for sharers in self.way_sharers:
+                total = 0
+                for i in sharers:
+                    total = total + per_way[i]
+                for i in sharers:
+                    new[i] += per_way[i] / total
+        return new
+
+    def _step(self, model: "OccupancyModel") -> None:
+        prev = self.eff[-1]
+        base = model.base_pressure
+        damping = model.damping
+        retained = 1.0 - damping
+        # Inlined replica of FastProfileView.llcmpkc_at(max(eff, 0.25)).
+        pressures_list = []
+        for (table, n), value in zip(self.curves, prev):
+            if value < 1.0:  # max(value, 0.25) then the >= 1.0 clip
+                value = 1.0
+            if value >= n:
+                interp = table[-1]
+            else:
+                j = int(value - 1.0)
+                interp = (table[j + 1] - table[j]) * (value - (j + 1.0)) + table[j]
+            pressures_list.append(base + interp)
+        pressures = tuple(pressures_list)
+        per_way = [p / size for p, size in zip(pressures, self.mask_sizes)]
+        new = self._accumulate(per_way)
+        delta = 0.0
+        blended = []
+        for prev_i, new_i in zip(prev, new):
+            value = retained * prev_i + damping * new_i
+            spread = abs(value - prev_i)
+            if spread > delta:
+                delta = spread
+            blended.append(value)
+        self._record(tuple(blended), pressures, delta)
+
+    def _record(self, eff: Tuple[float, ...], pressures: Tuple[float, ...], delta: float) -> None:
+        self.eff.append(eff)
+        self.pressures.append(pressures)
+        self.deltas.append(delta)
+        if delta == 0.0:
+            self.fixed_at = len(self.eff) - 1
+
+    def _index(self, n: int) -> int:
+        if self.fixed_at and n >= self.fixed_at:
+            return self.fixed_at
+        return n
+
+    def delta(self, n: int) -> float:
+        return self.deltas[self._index(n)]
+
+    def effective(self, n: int) -> Tuple[float, ...]:
+        return self.eff[self._index(n)]
+
+    def pressure(self, n: int) -> Tuple[float, ...]:
+        return self.pressures[self._index(n)]
+
+
+class OccupancyTrajectoryCache:
+    """Component-level trajectory cache producing bit-identical solves.
+
+    :meth:`solve` decomposes an allocation into mask-sharing components,
+    replays (or lazily extends) each component's cached trajectory, applies
+    the reference's global stop condition, and reassembles an
+    :class:`OccupancyResult` equal — bit for bit, including the iteration
+    count, convergence flag and last-iteration pressures — to what
+    :meth:`OccupancyModel.solve` computes from scratch.  Components are keyed
+    by their members' curve fingerprints and rank-compressed relative masks,
+    so the same cluster reappearing at a different cache offset, in a
+    different allocation, or in a rebuilt run reuses the stored iterations.
+    """
+
+    def __init__(self, model: OccupancyModel) -> None:
+        self.model = model
+        self._trajectories: Dict[tuple, _ComponentTrajectory] = {}
+        self._decompositions: Dict[tuple, List[Tuple[List[str], List[List[int]]]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def clear(self) -> None:
+        self._trajectories.clear()
+        self._decompositions.clear()
+
+    def _decompose(
+        self, allocation: WayAllocation, alloc_token: tuple
+    ) -> List[Tuple[List[str], List[List[int]]]]:
+        """Mask-sharing components of an allocation: (members, relative ways).
+
+        Pure mask structure (independent of the profiles in force), so the
+        decomposition is cached per allocation token and reused across phase
+        changes and runs.
+        """
+        cached = self._decompositions.get(alloc_token)
+        if cached is not None:
+            return cached
+        apps = allocation.apps()
+        masks = [allocation.mask_of(app) for app in apps]
+        app_ways: Dict[str, List[int]] = {
+            app: [w for w in range(allocation.total_ways) if mask & (1 << w)]
+            for app, mask in zip(apps, masks)
+        }
+
+        # Union-find over the *distinct* masks (apps sharing a mask are
+        # trivially connected; two masks connect iff they overlap).
+        distinct: List[int] = []
+        seen: Dict[int, int] = {}
+        mask_index: List[int] = []
+        for mask in masks:
+            slot = seen.get(mask)
+            if slot is None:
+                slot = len(distinct)
+                seen[mask] = slot
+                distinct.append(mask)
+            mask_index.append(slot)
+        parent = list(range(len(distinct)))
+
+        def find(i: int) -> int:
+            root = i
+            while parent[root] != root:
+                root = parent[root]
+            while parent[i] != root:
+                parent[i], i = root, parent[i]
+            return root
+
+        for i in range(len(distinct)):
+            for j in range(i + 1, len(distinct)):
+                if distinct[i] & distinct[j]:
+                    root_j = find(j)
+                    if root_j != find(i):
+                        parent[root_j] = find(i)
+
+        components: Dict[int, List[str]] = {}
+        for app, slot in zip(apps, mask_index):  # members in workload order
+            components.setdefault(find(slot), []).append(app)
+
+        decomposition: List[Tuple[List[str], List[List[int]]]] = []
+        for members in components.values():
+            union_ways = sorted({w for m in members for w in app_ways[m]})
+            rank = {w: r for r, w in enumerate(union_ways)}
+            rel_lists = [[rank[w] for w in app_ways[m]] for m in members]
+            decomposition.append((members, rel_lists))
+        self._decompositions[alloc_token] = decomposition
+        return decomposition
+
+    def solve(
+        self,
+        allocation: WayAllocation,
+        tokens: Mapping[str, int],
+        views: Mapping[str, FastProfileView],
+        alloc_token: Optional[tuple] = None,
+    ) -> OccupancyResult:
+        """Exact replacement for ``model.solve(allocation, profiles)``.
+
+        ``tokens`` maps each application to the value-fingerprint token of its
+        profile (see :class:`~repro.simulator.estimator.EvaluationTables`) and
+        ``views`` to the matching :class:`FastProfileView`.
+        """
+        model = self.model
+        apps = allocation.apps()
+        if alloc_token is None:
+            alloc_token = (tuple(allocation.masks.items()), allocation.total_ways)
+
+        trajectories: List[Tuple[_ComponentTrajectory, List[str]]] = []
+        for members, rel_lists in self._decompose(allocation, alloc_token):
+            key = tuple(
+                (tokens[m], sum(1 << r for r in rel))
+                for m, rel in zip(members, rel_lists)
+            )
+            trajectory = self._trajectories.get(key)
+            if trajectory is None:
+                trajectory = _ComponentTrajectory(
+                    [views[m] for m in members], rel_lists
+                )
+                self._trajectories[key] = trajectory
+            trajectories.append((trajectory, members))
+
+        converged = False
+        iteration = 0
+        # Frozen trajectories contribute an exact 0.0 delta from their fixed
+        # iteration onwards, so they can drop out of the stop-condition scan
+        # (deltas are non-negative: the max over the remainder is unchanged).
+        active = [trajectory for trajectory, _ in trajectories]
+        for iteration in range(1, model.max_iterations + 1):
+            delta = 0.0
+            still_active = []
+            for trajectory in active:
+                trajectory.ensure(iteration, model)
+                delta = max(delta, trajectory.delta(iteration))
+                if not (trajectory.fixed_at and iteration >= trajectory.fixed_at):
+                    still_active.append(trajectory)
+            active = still_active
+            if delta < model.tolerance:
+                converged = True
+                break
+
+        effective: Dict[str, float] = {app: 0.0 for app in apps}
+        pressures: Dict[str, float] = {app: 0.0 for app in apps}
+        for trajectory, members in trajectories:
+            eff = trajectory.effective(iteration)
+            pressure = trajectory.pressure(iteration)
+            for i, member in enumerate(members):
+                effective[member] = eff[i]
+                pressures[member] = pressure[i]
+        return OccupancyResult(
+            effective_ways=effective,
+            pressures=pressures,
             iterations=iteration,
             converged=converged,
         )

@@ -156,6 +156,40 @@ class TestDunn:
         with pytest.raises(ClusteringError):
             DunnPolicy(overlap_ways=-1)
 
+    def test_choose_k_is_public_and_deterministic(self):
+        policy = DunnPolicy(max_clusters=4, min_clusters=2)
+        # Two well-separated groups: silhouette must pick k=2 and split them.
+        values = np.array([0.05, 0.06, 0.07, 0.85, 0.9, 0.88])
+        k, labels = policy.choose_k(values)
+        assert k == 2
+        assert list(labels[:3]) == [0, 0, 0]
+        assert list(labels[3:]) == [1, 1, 1]
+        # Labels refer to ascending centroids: the high-stall group is 1.
+        again_k, again_labels = policy.choose_k(values)
+        assert again_k == k and list(again_labels) == list(labels)
+
+    def test_choose_k_single_value(self):
+        k, labels = DunnPolicy().choose_k(np.array([0.4]))
+        assert k == 1 and list(labels) == [0]
+
+    def test_choose_k_respects_max_clusters(self):
+        values = np.array([0.1, 0.4, 0.7, 0.95, 0.2, 0.6])
+        k, labels = DunnPolicy(max_clusters=3).choose_k(values)
+        assert 1 <= k <= 3
+        assert labels.shape == values.shape
+
+    def test_runtime_daemon_uses_public_choose_k(self):
+        from repro.hardware import skylake_gold_6138
+        from repro.runtime import DunnUserLevelDaemon
+
+        daemon = DunnUserLevelDaemon()
+        daemon.on_start(["a", "b", "c"], skylake_gold_6138())
+        allocation = daemon._allocation_from_stalls({"a": 0.1, "b": 0.8, "c": 0.75})
+        assert set(allocation.masks) == {"a", "b", "c"}
+        # The high-stall pair lands in the same (larger) cluster.
+        assert allocation.masks["b"] == allocation.masks["c"]
+        assert allocation.ways_of("b") >= allocation.ways_of("a")
+
     def test_cluster_method_raises_for_overlapping_decision(self, platform, mix8):
         with pytest.raises(ClusteringError):
             DunnPolicy().cluster(mix8, platform)
