@@ -13,17 +13,23 @@ instruction budgets) so the benchmark harness can run a quick default and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.apps.catalog import build_catalog, build_phased_profile, build_profile
-from repro.apps.phases import PhasedProfile
-from repro.core.classification import AppClass, ClassificationThresholds, classify_profile
+from repro.core.classification import ClassificationThresholds, classify_profile
 from repro.errors import ReproError
+from repro.experiments import (
+    EngineSpec,
+    PolicySpec,
+    ScenarioSpec,
+    StudySpec,
+    WorkloadSpec,
+    run_study,
+)
 from repro.hardware.platform import PlatformSpec, skylake_gold_6138
-from repro.metrics.aggregate import normalise
 from repro.optimal import (
     branch_and_bound_clustering,
     local_search_clustering,
@@ -36,26 +42,13 @@ from repro.policies import (
     DunnPolicy,
     KPartPolicy,
     LfocPolicy,
-    StockLinuxPolicy,
 )
 from repro.runtime import (
-    BatchRunner,
     DunnUserLevelDaemon,
     EngineConfig,
     LfocSchedulerPlugin,
-    PolicyDriver,
-    RunSpec,
-    RuntimeEngine,
-    StockLinuxDriver,
 )
-from repro.runtime.batch import pool_map
-from repro.simulator import ClusteringEstimator
-from repro.workloads import (
-    Workload,
-    dynamic_study_workloads,
-    random_workload,
-    s_workloads,
-)
+from repro.workloads import Workload, random_workload
 
 __all__ = [
     "fig1_curves",
@@ -325,39 +318,8 @@ def default_static_policies(backend: str = "tabulated") -> List[ClusteringPolicy
     ]
 
 
-def _static_study_worker(context: tuple, workload: Workload) -> List[StaticStudyRow]:
-    """One Fig. 6 column: every policy evaluated on one workload."""
-    platform, policies = context
-    profiles = workload.profiles(platform.llc_ways)
-    estimator = ClusteringEstimator(platform, profiles)
-    baseline = estimator.evaluate_unpartitioned(list(profiles))
-    rows = [
-        StaticStudyRow(
-            workload=workload.name,
-            size=workload.size,
-            policy="Stock-Linux",
-            unfairness=baseline.unfairness,
-            stp=baseline.stp,
-            normalized_unfairness=1.0,
-            normalized_stp=1.0,
-        )
-    ]
-    for policy in policies:
-        estimate = estimator.evaluate_allocation(policy.allocate(profiles, platform))
-        rows.append(
-            StaticStudyRow(
-                workload=workload.name,
-                size=workload.size,
-                policy=policy.name,
-                unfairness=estimate.unfairness,
-                stp=estimate.stp,
-                normalized_unfairness=normalise(
-                    estimate.unfairness, baseline.unfairness
-                ),
-                normalized_stp=normalise(estimate.stp, baseline.stp),
-            )
-        )
-    return rows
+def _workload_specs(workloads: Sequence[Workload]) -> tuple:
+    return tuple(WorkloadSpec.from_workload(w) for w in workloads)
 
 
 def fig6_static_study(
@@ -373,14 +335,32 @@ def fig6_static_study(
     normalises against the unpartitioned (stock Linux) configuration, exactly
     as Fig. 6 does.  Defaults to all 21 S workloads.  ``jobs`` shards the
     workloads across a process pool (results are independent of it).
+
+    This is a thin wrapper: it lowers the arguments to a declarative
+    :class:`~repro.experiments.StudySpec` and delegates to
+    :func:`~repro.experiments.run_study` (bit-identical rows, pinned by the
+    test suite).  Prefer the spec API directly for anything beyond Fig. 6.
     """
-    platform = platform or skylake_gold_6138()
-    workloads = list(workloads) if workloads is not None else s_workloads()
-    policies = list(policies) if policies is not None else default_static_policies()
-    per_workload = pool_map(
-        _static_study_worker, workloads, (platform, policies), jobs=jobs
+    if workloads is not None and not list(workloads):
+        return []  # the pre-refactor builder's behaviour for an empty sweep
+    scenario = ScenarioSpec(
+        name="fig6",
+        kind="static",
+        workloads=(
+            (WorkloadSpec(suite="s"),)
+            if workloads is None
+            else _workload_specs(workloads)
+        ),
+        policies=(
+            tuple(PolicySpec(name) for name in ("dunn", "kpart", "lfoc", "best_static"))
+            if policies is None
+            else tuple(PolicySpec.inline(p) for p in policies)
+        ),
+        platform=platform if platform is not None else "skylake_gold_6138",
     )
-    return [row for rows in per_workload for row in rows]
+    result = run_study(StudySpec(name="fig6", scenarios=(scenario,)), jobs=jobs)
+    fields = StaticStudyRow.__dataclass_fields__
+    return [StaticStudyRow(**{f: row[f] for f in fields}) for row in result.rows()]
 
 
 # ---------------------------------------------------------------------------
@@ -426,63 +406,40 @@ def fig7_dynamic_study(
     :class:`~repro.runtime.batch.BatchRunner`: ``jobs`` selects the process
     count (results are independent of it) and ``backend`` overrides the engine
     evaluation backend (``incremental``/``reference``, both bit-identical).
+
+    This is a thin wrapper: it lowers the arguments to a declarative
+    :class:`~repro.experiments.StudySpec` and delegates to
+    :func:`~repro.experiments.run_study` (bit-identical rows, pinned by the
+    test suite).  Prefer the spec API directly for anything beyond Fig. 7.
     """
-    platform = platform or skylake_gold_6138()
-    workloads = list(workloads) if workloads is not None else dynamic_study_workloads()
+    if workloads is not None and not list(workloads):
+        return []  # the pre-refactor builder's behaviour for an empty sweep
     engine_config = engine_config or EngineConfig(
         instructions_per_run=1.0e9, min_completions=2, record_traces=False
     )
     if backend is not None and backend != engine_config.backend:
         engine_config = replace(engine_config, backend=backend)
-    driver_classes = dict(drivers) if drivers is not None else default_dynamic_drivers()
-
-    specs: List[RunSpec] = []
-    for workload in workloads:
-        specs.append(
-            RunSpec(workload=workload, driver_cls=StockLinuxDriver, label="Stock-Linux")
-        )
-        for name, driver_cls in driver_classes.items():
-            specs.append(RunSpec(workload=workload, driver_cls=driver_cls, label=name))
-    results = BatchRunner(platform, jobs=jobs, config=engine_config).run(specs)
-
-    rows: List[DynamicStudyRow] = []
-    per_workload = 1 + len(driver_classes)
-    for w_index, workload in enumerate(workloads):
-        block = results[w_index * per_workload : (w_index + 1) * per_workload]
-        baseline = block[0]
-        base_metrics = baseline.metrics()
-        rows.append(
-            DynamicStudyRow(
-                workload=workload.name,
-                size=workload.size,
-                policy="Stock-Linux",
-                unfairness=base_metrics.unfairness,
-                stp=base_metrics.stp,
-                normalized_unfairness=1.0,
-                normalized_stp=1.0,
-                repartitions=baseline.n_repartitions,
-                sampling_entries=0,
+    scenario = ScenarioSpec(
+        name="fig7",
+        kind="dynamic",
+        workloads=(
+            (WorkloadSpec(suite="dynamic_study"),)
+            if workloads is None
+            else _workload_specs(workloads)
+        ),
+        policies=(
+            (PolicySpec("dunn", label="Dunn"), PolicySpec("lfoc", label="LFOC"))
+            if drivers is None
+            else tuple(
+                PolicySpec.inline(cls, label=name) for name, cls in drivers.items()
             )
-        )
-        for offset, name in enumerate(driver_classes, start=1):
-            result = block[offset]
-            metrics = result.metrics()
-            rows.append(
-                DynamicStudyRow(
-                    workload=workload.name,
-                    size=workload.size,
-                    policy=name,
-                    unfairness=metrics.unfairness,
-                    stp=metrics.stp,
-                    normalized_unfairness=normalise(
-                        metrics.unfairness, base_metrics.unfairness
-                    ),
-                    normalized_stp=normalise(metrics.stp, base_metrics.stp),
-                    repartitions=result.n_repartitions,
-                    sampling_entries=result.total_sampling_entries(),
-                )
-            )
-    return rows
+        ),
+        engine=EngineSpec.from_config(engine_config),
+        platform=platform if platform is not None else "skylake_gold_6138",
+    )
+    result = run_study(StudySpec(name="fig7", scenarios=(scenario,)), jobs=jobs)
+    fields = DynamicStudyRow.__dataclass_fields__
+    return [DynamicStudyRow(**{f: row[f] for f in fields}) for row in result.rows()]
 
 
 # ---------------------------------------------------------------------------

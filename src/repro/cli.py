@@ -11,13 +11,22 @@ regenerated without writing Python:
    $ lfoc-repro fig6 --max-size 8    # static clustering study
    $ lfoc-repro fig7 --quick         # dynamic study on the 8-app workloads
    $ lfoc-repro table2               # LFOC vs KPart algorithm cost
+
+and over the declarative study API, so *arbitrary* studies run from a spec
+file with no Python at all:
+
+.. code-block:: console
+
+   $ lfoc-repro run examples/study_fig7.toml --jobs 2 --out rows.jsonl
+   $ lfoc-repro sweep --kind dynamic --policies dunn lfoc \\
+         --workloads P1 S1 --seeds 0 1 --out sweep.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.analysis import (
     default_static_policies,
@@ -40,6 +49,17 @@ from repro.analysis import (
     summarize_static_study,
     table1_classification,
     table2_algorithm_cost,
+)
+from repro.experiments import (
+    DYNAMIC_ROW_FIELDS,
+    STATIC_ROW_FIELDS,
+    EngineSpec,
+    SolverSpec,
+    StudyResult,
+    build_sweep_study,
+    dump_study_spec,
+    load_study_spec,
+    run_study,
 )
 from repro.runtime import EngineConfig
 from repro.version import PAPER, __version__
@@ -110,7 +130,145 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="algorithm execution cost (Table 2)")
     table2.add_argument("--sizes", type=int, nargs="+", default=[4, 5, 6, 7, 8, 9, 10, 11])
     table2.add_argument("--repetitions", type=int, default=5)
+
+    run = sub.add_parser(
+        "run", help="run a declarative study from a .toml/.json spec file"
+    )
+    run.add_argument("spec", help="path to the study spec (.toml or .json)")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the spec's worker-process count (0 = all available CPUs)",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="FILE", help="save the result rows as JSONL"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a policy x workload x ways x seeds parameter sweep"
+    )
+    sweep.add_argument("--name", default="sweep", help="study name")
+    sweep.add_argument(
+        "--kind", choices=("static", "dynamic"), default="static",
+        help="scenario kind: estimator evaluation (static) or engine runs (dynamic)",
+    )
+    sweep.add_argument(
+        "--policies", nargs="+", default=["dunn", "lfoc"], metavar="POLICY",
+        help="registered policy/driver names (stock Linux is the implicit baseline)",
+    )
+    sweep.add_argument(
+        "--workloads", nargs="+", default=["S1"], metavar="W",
+        help="workload names (S7, P12...) or registered suite names (s, p, "
+        "dynamic_study...)",
+    )
+    sweep.add_argument(
+        "--ways", type=int, nargs="+", default=None, metavar="N",
+        help="LLC way counts to sweep (one scenario per value; default: "
+        "the platform's native 11)",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=None, metavar="S",
+        help="seed replicas per scenario (offsets random workload specs)",
+    )
+    sweep.add_argument(
+        "--instructions", type=float, default=1.0e9,
+        help="instructions per completion (dynamic scenarios)",
+    )
+    sweep.add_argument(
+        "--min-completions", type=int, default=2,
+        help="completions per application before a run ends (dynamic scenarios)",
+    )
+    sweep.add_argument(
+        "--engine-backend", choices=("incremental", "reference"),
+        default="incremental", help="runtime-engine evaluation backend",
+    )
+    sweep.add_argument(
+        "--solver-backend", choices=("tabulated", "reference"),
+        default="tabulated", help="optimal-solver scoring engine",
+    )
+    sweep.add_argument("--jobs", **jobs_kwargs)
+    sweep.add_argument(
+        "--out", default=None, metavar="FILE", help="save the result rows as JSONL"
+    )
+    sweep.add_argument(
+        "--dump-spec", default=None, metavar="FILE",
+        help="also write the generated study spec (.toml or .json)",
+    )
     return parser
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _print_study(result: StudyResult) -> None:
+    """Render every scenario's rows plus the cross-seed policy aggregate."""
+    for scenario in result.scenarios:
+        fields = STATIC_ROW_FIELDS if scenario.kind == "static" else DYNAMIC_ROW_FIELDS
+        print(f"# scenario {scenario.scenario_id} ({scenario.kind}, seed {scenario.seed})")
+        rows = [[_format_cell(row.get(f, "")) for f in fields] for row in scenario.rows]
+        print(format_table(list(fields), rows))
+        print()
+    summary = result.aggregate()
+    print("# aggregate (mean over workloads, scenarios and seeds)")
+    print(
+        format_table(
+            ["policy", "mean norm. unfairness", "mean norm. STP"],
+            [
+                [
+                    policy,
+                    f"{stats.get('mean_normalized_unfairness', float('nan')):.3f}",
+                    f"{stats.get('mean_normalized_stp', float('nan')):.3f}",
+                ]
+                for policy, stats in summary.items()
+            ],
+        )
+    )
+
+
+def _report_study(result: StudyResult, out: Optional[str]) -> int:
+    _print_study(result)
+    if out:
+        result.save(out)
+        print(f"\nsaved {len(result.rows())} rows to {out}")
+    return 0
+
+
+def _run_study_command(args: argparse.Namespace) -> int:
+    spec = load_study_spec(args.spec)
+    if args.jobs is None:
+        result = run_study(spec)  # the spec's own jobs setting
+    else:
+        result = run_study(spec, jobs=args.jobs or None)
+    return _report_study(result, args.out)
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    engine = EngineSpec(
+        instructions_per_run=args.instructions,
+        min_completions=args.min_completions,
+        record_traces=False,
+        backend=args.engine_backend,
+    )
+    spec = build_sweep_study(
+        args.name,
+        args.kind,
+        args.policies,
+        args.workloads,
+        ways=args.ways,
+        seeds=args.seeds,
+        engine=engine,
+        solver=SolverSpec(backend=args.solver_backend),
+        jobs=args.jobs or None,
+    )
+    if args.dump_spec:
+        dump_study_spec(spec, args.dump_spec)
+        print(f"wrote study spec to {args.dump_spec}\n")
+    return _report_study(run_study(spec), args.out)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -190,6 +348,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.command == "table2":
         print(render_table2(table2_algorithm_cost(args.sizes, args.repetitions)))
+    elif args.command == "run":
+        return _run_study_command(args)
+    elif args.command == "sweep":
+        return _sweep_command(args)
     else:  # pragma: no cover - argparse enforces the choices
         return 1
     return 0

@@ -54,3 +54,8 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The runtime engine reached an inconsistent state."""
+
+
+class SpecError(ReproError):
+    """A declarative experiment spec is malformed: unknown keys or registry
+    names, missing required fields, or values that fail schema validation."""

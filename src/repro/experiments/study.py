@@ -1,0 +1,523 @@
+"""Spec-driven study execution and the unified results store.
+
+:func:`run_study` is the single public entry point for running anything: it
+resolves a :class:`~repro.experiments.specs.StudySpec` through the component
+registries and lowers every scenario onto the existing executors —
+:func:`~repro.runtime.batch.pool_map` for static scenarios (the Fig. 6
+protocol) and :class:`~repro.runtime.batch.BatchRunner` for dynamic ones (the
+Fig. 7 protocol) — honouring ``jobs``, the engine backend selection and the
+shared evaluation tables.  Results are collected into a :class:`StudyResult`:
+plain metric rows keyed by deterministic scenario IDs, JSONL persistence
+(:meth:`StudyResult.save` / :meth:`StudyResult.load`) and metric aggregation
+across seeds/scenarios (:meth:`StudyResult.aggregate`).
+
+Row computation replicates the pre-refactor figure builders operation for
+operation, so ``fig6_static_study`` / ``fig7_dynamic_study`` delegating here
+produce bit-identical rows (pinned by ``tests/test_experiments_study.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.experiments.registry import WORKLOAD_SUITES
+from repro.experiments.specs import (
+    EngineSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SolverSpec,
+    StudySpec,
+    WorkloadSpec,
+    driver_label,
+    resolve_driver,
+    resolve_platform,
+    resolve_policy,
+)
+from repro.metrics.aggregate import normalise
+from repro.runtime.batch import BatchRunner, RunSpec, pool_map
+from repro.runtime.scheduler import StockLinuxDriver
+from repro.simulator import ClusteringEstimator
+from repro.workloads.generator import Workload
+
+__all__ = [
+    "ScenarioResult",
+    "StudyResult",
+    "run_study",
+    "grid",
+    "build_sweep_study",
+]
+
+#: Row label of the implicit unpartitioned baseline in every scenario.
+BASELINE_LABEL = "Stock-Linux"
+
+#: Fields of a static-scenario row, in serialization order.
+STATIC_ROW_FIELDS = (
+    "workload",
+    "size",
+    "policy",
+    "unfairness",
+    "stp",
+    "normalized_unfairness",
+    "normalized_stp",
+)
+
+#: Fields of a dynamic-scenario row, in serialization order.
+DYNAMIC_ROW_FIELDS = STATIC_ROW_FIELDS + ("repartitions", "sampling_entries")
+
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Result records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """Rows produced by one seed replica of one scenario."""
+
+    scenario: str
+    scenario_id: str
+    kind: str
+    seed: int
+    workloads: List[str]
+    rows: List[Dict[str, Any]]
+
+    def meta(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "scenario_id": self.scenario_id,
+            "kind": self.kind,
+            "seed": self.seed,
+            "workloads": list(self.workloads),
+        }
+
+
+@dataclass
+class StudyResult:
+    """The unified results store: every row of every scenario of one study.
+
+    Rows are plain dictionaries (JSON-ready) carrying, besides the metric
+    fields, the ``scenario_id`` and ``seed`` they came from.  ``spec`` holds
+    the serialized study spec when the study was fully declarative, ``None``
+    when it used inline (non-serializable) components.
+    """
+
+    name: str
+    scenarios: List[ScenarioResult]
+    spec: Optional[Dict[str, Any]] = None
+    description: str = ""
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All rows, flattened in scenario order."""
+        return [row for scenario in self.scenarios for row in scenario.rows]
+
+    def scenario_ids(self) -> List[str]:
+        return [scenario.scenario_id for scenario in self.scenarios]
+
+    def __getitem__(self, scenario_id: str) -> ScenarioResult:
+        for scenario in self.scenarios:
+            if scenario.scenario_id == scenario_id:
+                return scenario
+        raise KeyError(
+            f"no scenario {scenario_id!r} in study {self.name!r} "
+            f"(have: {', '.join(self.scenario_ids())})"
+        )
+
+    # -- aggregation ------------------------------------------------------------
+
+    def aggregate(
+        self,
+        metrics: Sequence[str] = ("normalized_unfairness", "normalized_stp"),
+        by: Sequence[str] = ("policy",),
+    ) -> Dict[Any, Dict[str, float]]:
+        """Mean of ``metrics`` over all rows, grouped by the ``by`` fields.
+
+        Seeds replicate scenarios into separate rows, so the default grouping
+        (``by=("policy",)``) averages every policy across workloads, seeds and
+        scenarios at once; group by ``("policy", "seed")`` or
+        ``("scenario_id", "policy")`` to keep replicas apart.  Group keys are
+        scalars for a single ``by`` field, tuples otherwise; insertion order
+        follows first appearance.  Rows missing a ``by`` field raise, rows
+        missing a metric are skipped for that metric.
+        """
+        by = tuple(by)
+        grouped: Dict[Any, Dict[str, List[float]]] = {}
+        for row in self.rows():
+            missing = [f for f in by if f not in row]
+            if missing:
+                raise SpecError(f"row {row.get('policy')!r} has no field {missing[0]!r}")
+            key = row[by[0]] if len(by) == 1 else tuple(row[f] for f in by)
+            bucket = grouped.setdefault(key, {m: [] for m in metrics})
+            for metric in metrics:
+                if metric in row:
+                    bucket[metric].append(float(row[metric]))
+        return {
+            key: {
+                f"mean_{metric}": float(np.mean(values))
+                for metric, values in buckets.items()
+                if values
+            }
+            for key, buckets in grouped.items()
+        }
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the study as JSONL: a header, then scenario and row records."""
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {
+                "record": "study",
+                "name": self.name,
+                "description": self.description,
+                "spec": self.spec,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for scenario in self.scenarios:
+                handle.write(
+                    json.dumps({"record": "scenario", **scenario.meta()}) + "\n"
+                )
+                for row in scenario.rows:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "record": "row",
+                                "scenario_id": scenario.scenario_id,
+                                **row,
+                            }
+                        )
+                        + "\n"
+                    )
+
+    @classmethod
+    def load(cls, path) -> "StudyResult":
+        """Rebuild a study from its JSONL record."""
+        result: Optional[StudyResult] = None
+        by_id: Dict[str, ScenarioResult] = {}
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SpecError(f"{path}:{line_no}: not valid JSONL: {exc}")
+                kind = record.pop("record", None)
+                if kind == "study":
+                    result = cls(
+                        name=record.get("name", ""),
+                        scenarios=[],
+                        spec=record.get("spec"),
+                        description=record.get("description", ""),
+                    )
+                elif kind == "scenario":
+                    if result is None:
+                        raise SpecError(f"{path}:{line_no}: scenario before header")
+                    expected = {"scenario", "scenario_id", "kind", "seed", "workloads"}
+                    if set(record) != expected:
+                        raise SpecError(
+                            f"{path}:{line_no}: scenario record keys {sorted(record)} "
+                            f"do not match the schema ({sorted(expected)})"
+                        )
+                    scenario = ScenarioResult(rows=[], **record)
+                    by_id[scenario.scenario_id] = scenario
+                    result.scenarios.append(scenario)
+                elif kind == "row":
+                    scenario_id = record.get("scenario_id")
+                    if scenario_id not in by_id:
+                        raise SpecError(
+                            f"{path}:{line_no}: row references unknown scenario "
+                            f"{scenario_id!r}"
+                        )
+                    by_id[scenario_id].rows.append(record)
+                else:
+                    raise SpecError(f"{path}:{line_no}: unknown record kind {kind!r}")
+        if result is None:
+            raise SpecError(f"{path}: no study header record found")
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Scenario lowering
+# ---------------------------------------------------------------------------
+
+
+def _static_scenario_worker(context: tuple, workload: Workload) -> List[Dict[str, Any]]:
+    """One static-study column: every policy evaluated on one workload.
+
+    Replicates the pre-refactor ``fig6`` worker operation for operation (same
+    estimator, same evaluation order) so rows stay bit-identical.
+    """
+    platform, policies = context
+    profiles = workload.profiles(platform.llc_ways)
+    estimator = ClusteringEstimator(platform, profiles)
+    baseline = estimator.evaluate_unpartitioned(list(profiles))
+    rows = [
+        {
+            "workload": workload.name,
+            "size": workload.size,
+            "policy": BASELINE_LABEL,
+            "unfairness": baseline.unfairness,
+            "stp": baseline.stp,
+            "normalized_unfairness": 1.0,
+            "normalized_stp": 1.0,
+        }
+    ]
+    for label, policy in policies:
+        estimate = estimator.evaluate_allocation(policy.allocate(profiles, platform))
+        rows.append(
+            {
+                "workload": workload.name,
+                "size": workload.size,
+                "policy": label if label is not None else policy.name,
+                "unfairness": estimate.unfairness,
+                "stp": estimate.stp,
+                "normalized_unfairness": normalise(
+                    estimate.unfairness, baseline.unfairness
+                ),
+                "normalized_stp": normalise(estimate.stp, baseline.stp),
+            }
+        )
+    return rows
+
+
+def _resolve_workloads(scenario: ScenarioSpec, seed: int) -> List[Workload]:
+    workloads = [
+        workload
+        for spec in scenario.workloads
+        for workload in spec.resolve(seed_offset=seed)
+    ]
+    seen: Dict[str, Workload] = {}
+    for workload in workloads:
+        if workload.name in seen:
+            raise SpecError(
+                f"scenario {scenario.name!r} resolves two workloads named "
+                f"{workload.name!r}; workload names key the result rows and "
+                "must be unique within a scenario"
+            )
+        seen[workload.name] = workload
+    return workloads
+
+
+def _run_static_scenario(
+    scenario: ScenarioSpec, seed: int, jobs: Optional[int]
+) -> List[Dict[str, Any]]:
+    platform = resolve_platform(scenario.platform)
+    workloads = _resolve_workloads(scenario, seed)
+    policies = [
+        (spec.label, resolve_policy(spec, scenario.solver))
+        for spec in scenario.policies
+    ]
+    per_workload = pool_map(
+        _static_scenario_worker, workloads, (platform, policies), jobs=jobs
+    )
+    return [row for rows in per_workload for row in rows]
+
+
+def _run_dynamic_scenario(
+    scenario: ScenarioSpec, seed: int, jobs: Optional[int]
+) -> List[Dict[str, Any]]:
+    platform = resolve_platform(scenario.platform)
+    workloads = _resolve_workloads(scenario, seed)
+    config = scenario.engine.to_config()
+    drivers: List[Tuple[str, Any, Dict[str, Any], bool]] = []
+    for spec in scenario.policies:
+        factory, kwargs, wants_profiles = resolve_driver(spec, scenario.solver)
+        drivers.append((driver_label(spec, factory), factory, kwargs, wants_profiles))
+
+    specs: List[RunSpec] = []
+    for workload in workloads:
+        specs.append(
+            RunSpec(workload=workload, driver_cls=StockLinuxDriver, label=BASELINE_LABEL)
+        )
+        for label, factory, kwargs, wants_profiles in drivers:
+            if wants_profiles:
+                kwargs = dict(
+                    kwargs, profiles=workload.profiles(platform.llc_ways)
+                )
+            specs.append(
+                RunSpec(
+                    workload=workload,
+                    driver_cls=factory,
+                    driver_kwargs=kwargs,
+                    label=label,
+                )
+            )
+    results = BatchRunner(platform, jobs=jobs, config=config).run(specs)
+
+    rows: List[Dict[str, Any]] = []
+    per_workload = 1 + len(drivers)
+    for w_index, workload in enumerate(workloads):
+        block = results[w_index * per_workload : (w_index + 1) * per_workload]
+        baseline = block[0]
+        base_metrics = baseline.metrics()
+        rows.append(
+            {
+                "workload": workload.name,
+                "size": workload.size,
+                "policy": BASELINE_LABEL,
+                "unfairness": base_metrics.unfairness,
+                "stp": base_metrics.stp,
+                "normalized_unfairness": 1.0,
+                "normalized_stp": 1.0,
+                "repartitions": baseline.n_repartitions,
+                "sampling_entries": 0,
+            }
+        )
+        for offset, (label, _, _, _) in enumerate(drivers, start=1):
+            result = block[offset]
+            metrics = result.metrics()
+            rows.append(
+                {
+                    "workload": workload.name,
+                    "size": workload.size,
+                    "policy": label,
+                    "unfairness": metrics.unfairness,
+                    "stp": metrics.stp,
+                    "normalized_unfairness": normalise(
+                        metrics.unfairness, base_metrics.unfairness
+                    ),
+                    "normalized_stp": normalise(metrics.stp, base_metrics.stp),
+                    "repartitions": result.n_repartitions,
+                    "sampling_entries": result.total_sampling_entries(),
+                }
+            )
+    return rows
+
+
+def _run_scenario(
+    scenario: ScenarioSpec, seed: int, jobs: Optional[int]
+) -> ScenarioResult:
+    if scenario.kind == "static":
+        rows = _run_static_scenario(scenario, seed, jobs)
+    else:
+        rows = _run_dynamic_scenario(scenario, seed, jobs)
+    scenario_id = scenario.scenario_id(seed)
+    workload_names: List[str] = []
+    for row in rows:
+        row["scenario_id"] = scenario_id
+        row["seed"] = seed
+        if row["workload"] not in workload_names:
+            workload_names.append(row["workload"])
+    return ScenarioResult(
+        scenario=scenario.name,
+        scenario_id=scenario_id,
+        kind=scenario.kind,
+        seed=seed,
+        workloads=workload_names,
+        rows=rows,
+    )
+
+
+def run_study(spec, *, jobs: Any = _UNSET) -> StudyResult:
+    """Execute a study spec and collect every scenario's rows.
+
+    ``spec`` may be a :class:`~repro.experiments.specs.StudySpec` or a plain
+    mapping (validated through ``StudySpec.from_dict``).  ``jobs`` overrides
+    the spec's worker-process count (``None`` = all CPUs); results are
+    deterministic and independent of it.
+    """
+    if isinstance(spec, Mapping):
+        spec = StudySpec.from_dict(spec)
+    if not isinstance(spec, StudySpec):
+        raise SpecError(f"run_study expects a StudySpec or mapping, got {spec!r}")
+    effective_jobs = spec.jobs if jobs is _UNSET else jobs
+    try:
+        spec_dict: Optional[Dict[str, Any]] = spec.to_dict()
+    except SpecError:
+        spec_dict = None  # inline components: runnable but not serializable
+    scenarios = [
+        _run_scenario(scenario, seed, effective_jobs)
+        for scenario in spec.scenarios
+        for seed in scenario.seeds
+    ]
+    return StudyResult(
+        name=spec.name,
+        scenarios=scenarios,
+        spec=spec_dict,
+        description=spec.description,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parameter sweeps
+# ---------------------------------------------------------------------------
+
+
+def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes, rightmost axis fastest.
+
+    ``grid(policy=["lfoc", "dunn"], seed=[0, 1])`` yields four dictionaries in
+    a deterministic order — the building block for sweep studies.
+    """
+    if not axes:
+        return [{}]
+    keys = list(axes)
+    pools = []
+    for key in keys:
+        values = list(axes[key])
+        if not values:
+            raise SpecError(f"sweep axis {key!r} is empty")
+        pools.append(values)
+    return [dict(zip(keys, combo)) for combo in itertools.product(*pools)]
+
+
+def build_sweep_study(
+    name: str,
+    kind: str,
+    policies: Sequence[str],
+    workloads: Sequence[str],
+    *,
+    ways: Optional[Sequence[int]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    engine: Optional[EngineSpec] = None,
+    solver: Optional[SolverSpec] = None,
+    jobs: Optional[int] = 1,
+) -> StudySpec:
+    """A sweep study over policy x workload x ways x seeds.
+
+    Policies and workloads cross inside every scenario; each ``ways`` value
+    becomes its own scenario (a platform override shrinking the LLC) and
+    ``seeds`` replicate every scenario.  ``workloads`` entries are either
+    registered suite names (the whole suite) or individual workload names
+    from the evaluation suites (``S7``, ``P12``...).
+    """
+    workload_specs: List[WorkloadSpec] = []
+    named: List[str] = []
+    for entry in workloads:
+        if entry in WORKLOAD_SUITES:
+            workload_specs.append(WorkloadSpec(suite=entry))
+        else:
+            named.append(entry)
+    if named:
+        workload_specs.append(WorkloadSpec(suite="all", names=tuple(named)))
+    policy_specs = tuple(PolicySpec.coerce(p, where="sweep policy") for p in policies)
+
+    scenarios: List[ScenarioSpec] = []
+    for point in grid(ways=list(ways) if ways else [None]):
+        way_count = point["ways"]
+        platform: Any = "skylake_gold_6138"
+        scenario_name = kind
+        if way_count is not None:
+            platform = {"preset": "skylake_gold_6138", "llc_ways": int(way_count)}
+            scenario_name = f"{kind}-w{way_count}"
+        scenarios.append(
+            ScenarioSpec(
+                name=scenario_name,
+                kind=kind,
+                workloads=tuple(workload_specs),
+                policies=policy_specs,
+                engine=engine or EngineSpec(),
+                solver=solver or SolverSpec(),
+                platform=platform,
+                seeds=tuple(seeds) if seeds else (0,),
+            )
+        )
+    return StudySpec(name=name, scenarios=tuple(scenarios), jobs=jobs)

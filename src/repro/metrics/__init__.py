@@ -11,14 +11,18 @@ from repro.metrics.fairness import (
     unfairness,
 )
 from repro.metrics.aggregate import (
+    RollingMeanWindow,
     average_percent_reduction,
     geometric_mean,
     normalise,
     normalised_series,
     percent_reduction,
+    short_mean,
 )
 
 __all__ = [
+    "RollingMeanWindow",
+    "short_mean",
     "WorkloadMetrics",
     "antt",
     "compute_metrics",

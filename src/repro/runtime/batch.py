@@ -114,8 +114,14 @@ def _run_one(context: tuple, task: tuple) -> RunResult:
     global _BATCH_TABLES
     tables = None
     if config.backend == "incremental":
-        if _BATCH_TABLES is None or _BATCH_TABLES.platform is not platform:
-            _BATCH_TABLES = EvaluationTables(platform)
+        if (
+            _BATCH_TABLES is None
+            or _BATCH_TABLES.platform is not platform
+            or _BATCH_TABLES.max_entries != config.max_table_entries
+        ):
+            _BATCH_TABLES = EvaluationTables(
+                platform, max_entries=config.max_table_entries
+            )
         tables = _BATCH_TABLES
     engine = RuntimeEngine(
         platform,

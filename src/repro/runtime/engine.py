@@ -95,6 +95,10 @@ class EngineConfig:
     #: cached estimates) or ``"reference"`` (original dict-based loop).
     #: Both produce bit-identical results.
     backend: str = "incremental"
+    #: LRU bound on the shared evaluation tables' estimate cache (``None`` =
+    #: unbounded; only meaningful with the ``incremental`` backend).  Evicted
+    #: entries are recomputed on demand, so results are unaffected.
+    max_table_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.instructions_per_run <= 0:
@@ -107,6 +111,10 @@ class EngineConfig:
             raise SimulationError("max_simulated_seconds must be positive")
         if self.backend not in ("incremental", "reference"):
             raise SimulationError(f"unknown engine backend {self.backend!r}")
+        if self.max_table_entries is not None and self.max_table_entries < 1:
+            raise SimulationError(
+                "max_table_entries must be >= 1 (or None for unbounded)"
+            )
 
     @property
     def instruction_scale(self) -> float:
@@ -198,7 +206,9 @@ class RuntimeEngine:
         self._snapshot: Optional[ProfileSnapshot] = None
         if self.config.backend == "incremental":
             if tables is None:
-                tables = EvaluationTables(platform)
+                tables = EvaluationTables(
+                    platform, max_entries=self.config.max_table_entries
+                )
             elif tables.params_signature() != EvaluationTables(platform).params_signature():
                 raise SimulationError(
                     "shared evaluation tables were built for different "

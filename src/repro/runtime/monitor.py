@@ -24,14 +24,13 @@ every application and keeps, per application:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.classification import AppClass, ClassificationThresholds
 from repro.errors import SimulationError
 from repro.hardware.pmc import DerivedMetrics
-from repro.metrics.aggregate import short_mean
+from repro.metrics.aggregate import RollingMeanWindow
 
 __all__ = ["MonitorConfig", "AppMonitor"]
 
@@ -63,8 +62,11 @@ class AppMonitor:
         self.config = config or MonitorConfig()
         self.app_class: AppClass = AppClass.UNKNOWN
         self.warmup_remaining = self.config.warmup_samples
-        self._llcmpkc_history: Deque[float] = deque(maxlen=self.config.history_window)
-        self._stall_history: Deque[float] = deque(maxlen=self.config.history_window)
+        # Rolling windows with O(1) mean reads (the phase-change heuristics
+        # consult both averages on every sample), bit-identical to the former
+        # short_mean full-window scans.
+        self._llcmpkc_history = RollingMeanWindow(self.config.history_window)
+        self._stall_history = RollingMeanWindow(self.config.history_window)
         #: Slowdown table (indexed by way count - 1) built from the last
         #: sampling-mode sweep; only meaningful for sensitive applications.
         self.slowdown_table: Optional[List[float]] = None
@@ -85,12 +87,12 @@ class AppMonitor:
     def average_llcmpkc(self) -> float:
         if not self._llcmpkc_history:
             return 0.0
-        return short_mean(self._llcmpkc_history)
+        return self._llcmpkc_history.mean()
 
     def average_stall_fraction(self) -> float:
         if not self._stall_history:
             return 0.0
-        return short_mean(self._stall_history)
+        return self._stall_history.mean()
 
     def set_classification(
         self,

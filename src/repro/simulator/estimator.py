@@ -24,6 +24,7 @@ The slowdown of an application combines two effects:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -173,12 +174,32 @@ class EvaluationTables:
         *,
         occupancy_model: Optional[OccupancyModel] = None,
         bandwidth_model: Optional[BandwidthModel] = None,
+        max_entries: Optional[int] = None,
     ) -> None:
+        """
+        Parameters
+        ----------
+        max_entries:
+            Upper bound on cached full estimates (``None``, the default, is
+            unbounded).  When set, the estimate cache evicts its
+            least-recently-used entry on overflow, so long-lived services do
+            not grow monotonically; evicted entries are simply recomputed on
+            the next request (results stay bit-identical either way).  The
+            occupancy-trajectory and profile-token tables are not bounded —
+            they grow with distinct components/profiles, not with evaluations.
+        """
+        if max_entries is not None and max_entries < 1:
+            raise SimulationError("max_entries must be >= 1 (or None for unbounded)")
         self.platform = platform
         self.occupancy_model = occupancy_model or OccupancyModel()
         self.bandwidth_model = bandwidth_model or BandwidthModel()
         self.occupancy_cache = OccupancyTrajectoryCache(self.occupancy_model)
-        self._estimates: Dict[tuple, ClusterEstimate] = {}
+        self.max_entries = max_entries
+        # An OrderedDict only when bounded: the unbounded path keeps the plain
+        # dict (no recency bookkeeping on the hot lookup).
+        self._estimates: Dict[tuple, ClusterEstimate] = (
+            OrderedDict() if max_entries is not None else {}
+        )
         # Token registry: id -> token with strong references (so ids cannot be
         # recycled), plus a value-fingerprint table for cross-object sharing.
         self._token_by_id: Dict[int, int] = {}
@@ -249,6 +270,10 @@ class EvaluationTables:
         if estimate is None:
             estimate = self._compute(allocation, apps, tokens, alloc_token)
             self._estimates[key] = estimate
+            if self.max_entries is not None and len(self._estimates) > self.max_entries:
+                self._estimates.popitem(last=False)
+        elif self.max_entries is not None:
+            self._estimates.move_to_end(key)
         return estimate
 
     def _compute(

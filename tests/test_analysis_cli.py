@@ -147,3 +147,65 @@ class TestCli:
     def test_table2_command_small(self, capsys):
         assert main(["table2", "--sizes", "4", "--repetitions", "1"]) == 0
         assert "KPart" in capsys.readouterr().out
+
+
+class TestSpecCli:
+    SPEC_TOML = """\
+schema = 1
+name = "cli-smoke"
+
+[[scenarios]]
+name = "stat"
+kind = "static"
+
+[[scenarios.workloads]]
+source = "suite"
+suite = "s"
+names = ["S1"]
+
+[[scenarios.policies]]
+name = "lfoc"
+"""
+
+    def test_run_command_prints_rows_and_saves(self, capsys, tmp_path):
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(self.SPEC_TOML, encoding="utf-8")
+        out_path = tmp_path / "rows.jsonl"
+        assert main(["run", str(spec_path), "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario stat" in out
+        assert "LFOC" in out and "Stock-Linux" in out
+        from repro.experiments import StudyResult
+
+        result = StudyResult.load(out_path)
+        assert result.name == "cli-smoke"
+        assert {row["policy"] for row in result.rows()} == {"Stock-Linux", "LFOC"}
+
+    def test_run_command_rejects_bad_spec(self, tmp_path):
+        from repro.errors import SpecError
+
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text('name = "x"\nscnarios = []\n', encoding="utf-8")
+        with pytest.raises(SpecError, match="scnarios"):
+            main(["run", str(spec_path)])
+
+    def test_sweep_command(self, capsys, tmp_path):
+        spec_out = tmp_path / "sweep.toml"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--kind", "static",
+                    "--policies", "lfoc",
+                    "--workloads", "S1",
+                    "--dump-spec", str(spec_out),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "LFOC" in out
+        from repro.experiments import load_study_spec
+
+        spec = load_study_spec(spec_out)
+        assert spec.scenarios[0].kind == "static"

@@ -5,7 +5,9 @@ import pytest
 
 from repro.errors import ReproError
 from repro.metrics import (
+    RollingMeanWindow,
     antt,
+    short_mean,
     average_percent_reduction,
     compute_metrics,
     geometric_mean,
@@ -112,3 +114,66 @@ class TestAggregation:
             "w1": pytest.approx(0.5),
             "w2": pytest.approx(0.5),
         }
+
+
+class TestRollingMeanWindow:
+    """The monitors' O(1)-read rolling mean must be bit-identical to np.mean."""
+
+    def test_bit_identical_to_np_mean_across_window_sizes(self):
+        rng = np.random.default_rng(42)
+        for maxlen in range(1, 11):
+            window = RollingMeanWindow(maxlen)
+            history = []
+            for value in rng.uniform(0.0, 500.0, size=64):
+                window.append(value)
+                history.append(float(value))
+                tail = history[-maxlen:]
+                assert window.mean() == float(np.mean(tail)), (maxlen, len(history))
+
+    def test_matches_short_mean_exactly(self):
+        rng = np.random.default_rng(7)
+        window = RollingMeanWindow(5)
+        history = []
+        for value in rng.normal(100.0, 30.0, size=40):
+            window.append(value)
+            history.append(float(value))
+            assert window.mean() == short_mean(history[-5:])
+
+    def test_clear_restarts_the_window(self):
+        window = RollingMeanWindow(3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.append(value)
+        window.clear()
+        assert len(window) == 0
+        window.append(10.0)
+        assert window.mean() == 10.0
+        assert not window.full
+
+    def test_len_iter_and_full(self):
+        window = RollingMeanWindow(2)
+        window.append(1.0)
+        assert len(window) == 1 and not window.full
+        window.append(2.0)
+        window.append(3.0)
+        assert len(window) == 2 and window.full
+        assert list(window) == [2.0, 3.0]
+
+    def test_negative_zero_matches_reduction_seed(self):
+        window = RollingMeanWindow(4)
+        window.append(-0.0)
+        assert window.mean() == float(np.mean([-0.0]))
+
+    def test_rejects_empty_reads_and_bad_lengths(self):
+        with pytest.raises(ReproError):
+            RollingMeanWindow(0)
+        with pytest.raises(ReproError):
+            RollingMeanWindow(5).mean()
+
+    def test_large_windows_fall_back_to_short_mean(self):
+        rng = np.random.default_rng(3)
+        window = RollingMeanWindow(12)
+        history = []
+        for value in rng.uniform(0.0, 50.0, size=30):
+            window.append(value)
+            history.append(float(value))
+            assert window.mean() == float(np.mean(history[-12:]))

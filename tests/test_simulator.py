@@ -10,6 +10,7 @@ from repro.hardware import skylake_gold_6138
 from repro.simulator import (
     BandwidthModel,
     ClusteringEstimator,
+    EvaluationTables,
     OccupancyModel,
     combined_ipc_curve,
     combined_miss_curve,
@@ -197,3 +198,95 @@ class TestWhirlpool:
     def test_mismatched_curves_rejected(self):
         with pytest.raises(SimulationError):
             whirlpool_distance([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestEvaluationTablesEviction:
+    """max_entries bounds the estimate cache without changing any result."""
+
+    def _mix(self, platform, count=4):
+        names = ["lbm06", "xalancbmk06", "gamess06", "omnetpp06"][:count]
+        return {name: build_profile(name, platform.llc_ways) for name in names}
+
+    def _allocations(self, platform, profiles):
+        apps = list(profiles)
+        allocations = []
+        for split in range(1, len(apps)):
+            left = ClusteringSolution.single_cluster(apps[:split], platform.llc_ways // 2)
+            masks = dict(left.to_allocation().masks)
+            high = ((1 << (platform.llc_ways - platform.llc_ways // 2)) - 1) << (
+                platform.llc_ways // 2
+            )
+            for app in apps[split:]:
+                masks[app] = high
+            allocations.append(
+                WayAllocation(masks=masks, total_ways=platform.llc_ways)
+            )
+        return allocations
+
+    def test_rejects_non_positive_bound(self):
+        platform = skylake_gold_6138()
+        with pytest.raises(SimulationError):
+            EvaluationTables(platform, max_entries=0)
+
+    def test_cache_never_exceeds_bound(self):
+        platform = skylake_gold_6138()
+        profiles = self._mix(platform)
+        tables = EvaluationTables(platform, max_entries=2)
+        for allocation in self._allocations(platform, profiles):
+            tables.evaluate(allocation, profiles)
+        assert tables.cache_sizes()["estimates"] <= 2
+
+    def test_results_bit_identical_with_and_without_bound(self):
+        platform = skylake_gold_6138()
+        profiles = self._mix(platform)
+        unbounded = EvaluationTables(platform)
+        bounded = EvaluationTables(platform, max_entries=1)
+        allocations = self._allocations(platform, profiles)
+        # Evaluate each twice with the tiny cache: the second pass re-derives
+        # evicted entries and must land on the exact same floats.
+        for _ in range(2):
+            for allocation in allocations:
+                reference = unbounded.evaluate(allocation, profiles)
+                evicted = bounded.evaluate(allocation, profiles)
+                assert evicted.slowdowns == reference.slowdowns
+                assert evicted.metrics == reference.metrics
+
+    def test_lru_keeps_recently_used_entries(self):
+        platform = skylake_gold_6138()
+        profiles = self._mix(platform)
+        a, b, c = self._allocations(platform, profiles)
+        tables = EvaluationTables(platform, max_entries=2)
+        first = tables.evaluate(a, profiles)
+        tables.evaluate(b, profiles)
+        # Touch `a` so `b` is the LRU victim when `c` arrives.
+        assert tables.evaluate(a, profiles) is first
+        tables.evaluate(c, profiles)
+        assert tables.evaluate(a, profiles) is first  # still cached
+
+    def test_engine_config_wires_the_bound_through(self):
+        from repro.runtime import EngineConfig, RuntimeEngine, StockLinuxDriver
+        from repro.workloads import workload_by_name
+
+        platform = skylake_gold_6138()
+        workload = workload_by_name("P1")
+        config = EngineConfig(
+            instructions_per_run=2e8,
+            min_completions=1,
+            record_traces=False,
+            max_table_entries=16,
+        )
+        engine = RuntimeEngine(
+            platform,
+            workload.phased_profiles(platform.llc_ways),
+            StockLinuxDriver(),
+            config,
+        )
+        assert engine.tables is not None and engine.tables.max_entries == 16
+        engine.run(workload.name)
+        assert engine.tables.cache_sizes()["estimates"] <= 16
+
+    def test_engine_config_rejects_bad_bound(self):
+        from repro.runtime import EngineConfig
+
+        with pytest.raises(SimulationError):
+            EngineConfig(max_table_entries=0)
