@@ -328,13 +328,17 @@ def fig6_static_study(
     platform: Optional[PlatformSpec] = None,
     *,
     jobs: Optional[int] = 1,
+    executor=None,
 ) -> List[StaticStudyRow]:
     """Normalised unfairness and STP of the static clustering algorithms.
 
     Evaluates every policy's clustering with the contention estimator and
     normalises against the unpartitioned (stock Linux) configuration, exactly
     as Fig. 6 does.  Defaults to all 21 S workloads.  ``jobs`` shards the
-    workloads across a process pool (results are independent of it).
+    workloads across a process pool; ``executor`` selects any registered
+    execution backend instead (``serial``/``pool``/``tcp`` or a live
+    :class:`~repro.runtime.executors.base.Executor`).  Results are
+    independent of both.
 
     This is a thin wrapper: it lowers the arguments to a declarative
     :class:`~repro.experiments.StudySpec` and delegates to
@@ -358,7 +362,9 @@ def fig6_static_study(
         ),
         platform=platform if platform is not None else "skylake_gold_6138",
     )
-    result = run_study(StudySpec(name="fig6", scenarios=(scenario,)), jobs=jobs)
+    result = run_study(
+        StudySpec(name="fig6", scenarios=(scenario,)), jobs=jobs, executor=executor
+    )
     fields = StaticStudyRow.__dataclass_fields__
     return [StaticStudyRow(**{f: row[f] for f in fields}) for row in result.rows()]
 
@@ -396,16 +402,19 @@ def fig7_dynamic_study(
     *,
     backend: Optional[str] = None,
     jobs: Optional[int] = 1,
+    executor=None,
 ) -> List[DynamicStudyRow]:
     """Normalised unfairness and STP of the dynamic policies (Fig. 7).
 
     Runs every workload under stock Linux, Dunn and LFOC in the runtime engine
     and normalises against the stock run.  Defaults to the paper's Fig. 7
     workload selection and a scaled-down instruction budget.  The batch of
-    (workload, driver) runs executes through the
-    :class:`~repro.runtime.batch.BatchRunner`: ``jobs`` selects the process
-    count (results are independent of it) and ``backend`` overrides the engine
-    evaluation backend (``incremental``/``reference``, both bit-identical).
+    (workload, driver) runs executes through a pluggable
+    :class:`~repro.runtime.executors.base.Executor`: ``jobs`` selects the
+    local process count, ``executor`` selects any registered backend
+    (``serial``/``pool``/``tcp`` or a live instance; results are independent
+    of both) and ``backend`` overrides the engine evaluation backend
+    (``incremental``/``reference``, both bit-identical).
 
     This is a thin wrapper: it lowers the arguments to a declarative
     :class:`~repro.experiments.StudySpec` and delegates to
@@ -437,7 +446,9 @@ def fig7_dynamic_study(
         engine=EngineSpec.from_config(engine_config),
         platform=platform if platform is not None else "skylake_gold_6138",
     )
-    result = run_study(StudySpec(name="fig7", scenarios=(scenario,)), jobs=jobs)
+    result = run_study(
+        StudySpec(name="fig7", scenarios=(scenario,)), jobs=jobs, executor=executor
+    )
     fields = DynamicStudyRow.__dataclass_fields__
     return [DynamicStudyRow(**{f: row[f] for f in fields}) for row in result.rows()]
 

@@ -20,6 +20,21 @@ file with no Python at all:
    $ lfoc-repro run examples/study_fig7.toml --jobs 2 --out rows.jsonl
    $ lfoc-repro sweep --kind dynamic --policies dunn lfoc \\
          --workloads P1 S1 --seeds 0 1 --out sweep.jsonl
+
+Execution is pluggable (see ``repro.runtime.executors``): ``run`` accepts
+``--executor serial|pool|tcp`` plus ``--workers``/``--bind``, and the
+``worker`` subcommand turns any host into a run worker for a ``tcp``
+coordinator:
+
+.. code-block:: console
+
+   $ lfoc-repro worker --connect 127.0.0.1:7070            # terminal 1 & 2
+   $ lfoc-repro run study.toml --executor tcp \\
+         --bind 127.0.0.1:7070 --workers 2 \\
+         --checkpoint rows.jsonl                           # terminal 3
+
+``--checkpoint``/``--resume`` make long studies crash-safe: completed
+scenarios are appended durably and a re-run skips them.
 """
 
 from __future__ import annotations
@@ -52,8 +67,10 @@ from repro.analysis import (
 )
 from repro.experiments import (
     DYNAMIC_ROW_FIELDS,
+    EXECUTORS,
     STATIC_ROW_FIELDS,
     EngineSpec,
+    ExecutorSpec,
     SolverSpec,
     StudyResult,
     build_sweep_study,
@@ -143,7 +160,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the spec's worker-process count (0 = all available CPUs)",
     )
     run.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help="execution backend (registered executors: "
+        f"{', '.join(EXECUTORS.names())}); overrides the spec and --jobs",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executor worker count: pool size (pool) or workers required "
+        "before dispatch (tcp)",
+    )
+    run.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help="tcp coordinator listen address (default 127.0.0.1:0 = any free "
+        "port); workers join with `worker --connect HOST:PORT`",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="tcp: declare a worker lost when one run takes longer than S "
+        "seconds and resubmit it (default: no bound)",
+    )
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="durably append each completed scenario to this JSONL file "
+        "(crash-safe; the file doubles as a result store)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenarios already completed in --checkpoint instead of "
+        "starting fresh",
+    )
+    run.add_argument(
         "--out", default=None, metavar="FILE", help="save the result rows as JSONL"
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve runs for a tcp-executor coordinator (repro run --executor tcp)",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to join",
+    )
+    worker.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="disconnect cleanly after N runs (rolling restarts, tests)",
+    )
+    worker.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: die without replying when run N+1 arrives "
+        "(exercises the coordinator's retry path)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-run log lines"
     )
 
     sweep = sub.add_parser(
@@ -239,12 +328,47 @@ def _report_study(result: StudyResult, out: Optional[str]) -> int:
 
 
 def _run_study_command(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+
     spec = load_study_spec(args.spec)
+    executor = None
+    if args.executor is not None:
+        executor = ExecutorSpec(
+            name=args.executor,
+            workers=args.workers,
+            bind=args.bind,
+            task_timeout_s=args.task_timeout,
+        )
+    elif any(v is not None for v in (args.workers, args.bind, args.task_timeout)):
+        raise SpecError(
+            "--workers/--bind/--task-timeout configure the executor selected "
+            "by --executor; pass --executor as well (or set them in the "
+            "spec's [executor] table)"
+        )
+    if args.resume and args.checkpoint is None:
+        raise SpecError(
+            "--resume reads completed scenarios from --checkpoint; pass "
+            "--checkpoint FILE as well"
+        )
+    extra = dict(
+        executor=executor, checkpoint=args.checkpoint, resume=args.resume
+    )
     if args.jobs is None:
-        result = run_study(spec)  # the spec's own jobs setting
+        result = run_study(spec, **extra)  # the spec's own jobs setting
     else:
-        result = run_study(spec, jobs=args.jobs or None)
+        result = run_study(spec, jobs=args.jobs or None, **extra)
     return _report_study(result, args.out)
+
+
+def _worker_command(args: argparse.Namespace) -> int:
+    from repro.runtime.executors import run_worker
+
+    return run_worker(
+        args.connect,
+        max_runs=args.max_runs,
+        crash_after=args.crash_after,
+        quiet=args.quiet,
+    )
 
 
 def _sweep_command(args: argparse.Namespace) -> int:
@@ -350,6 +474,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_table2(table2_algorithm_cost(args.sizes, args.repetitions)))
     elif args.command == "run":
         return _run_study_command(args)
+    elif args.command == "worker":
+        return _worker_command(args)
     elif args.command == "sweep":
         return _sweep_command(args)
     else:  # pragma: no cover - argparse enforces the choices

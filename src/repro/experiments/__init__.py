@@ -35,6 +35,7 @@ The same study expressed in TOML runs through the CLI with no Python at all
 """
 
 from repro.errors import SpecError
+from repro.experiments.checkpoint import StudyCheckpoint
 from repro.experiments.io import (
     dump_study_spec,
     load_study_spec,
@@ -47,6 +48,7 @@ from repro.experiments.io import (
 from repro.experiments.registry import (
     DRIVERS,
     ENGINE_BACKENDS,
+    EXECUTORS,
     PLATFORMS,
     POLICIES,
     Registry,
@@ -54,6 +56,7 @@ from repro.experiments.registry import (
     WORKLOAD_SUITES,
     register_backend,
     register_driver,
+    register_executor,
     register_platform,
     register_policy,
     register_solver_backend,
@@ -62,6 +65,7 @@ from repro.experiments.registry import (
 from repro.experiments.specs import (
     SCHEMA_VERSION,
     EngineSpec,
+    ExecutorSpec,
     PolicySpec,
     ScenarioSpec,
     SolverSpec,
@@ -91,8 +95,10 @@ __all__ = [
     "PolicySpec",
     "EngineSpec",
     "SolverSpec",
+    "ExecutorSpec",
     "ScenarioResult",
     "StudyResult",
+    "StudyCheckpoint",
     "run_study",
     "grid",
     "build_sweep_study",
@@ -106,12 +112,14 @@ __all__ = [
     "ENGINE_BACKENDS",
     "SOLVER_BACKENDS",
     "PLATFORMS",
+    "EXECUTORS",
     "register_policy",
     "register_driver",
     "register_workload_suite",
     "register_backend",
     "register_solver_backend",
     "register_platform",
+    "register_executor",
     "resolve_policy",
     "resolve_driver",
     "resolve_platform",

@@ -1,0 +1,224 @@
+"""Crash-safe incremental persistence for :func:`~repro.experiments.study.run_study`.
+
+A checkpoint is the same JSONL format :meth:`StudyResult.save` writes — a
+``study`` header, then per scenario a ``scenario`` record, its ``row``
+records and a closing ``scenario_end`` marker — but written *incrementally*:
+each completed scenario is appended in a single buffered write followed by
+``flush`` + ``fsync``, so a study killed mid-run loses at most the scenario
+it was computing.
+
+The ``scenario_end`` marker is what makes resumption safe: a scenario counts
+as completed only when its end marker made it to disk.  :meth:`load_completed`
+parses leniently — a torn trailing line (a write cut short by the crash) is
+dropped rather than rejected — and returns only fully recorded scenarios, so
+``run_study(..., checkpoint=..., resume=True)`` recomputes exactly the
+missing ones and never duplicates a scenario ID.
+
+Because the format is shared, a finished checkpoint *is* a result store:
+``StudyResult.load(path)`` reads it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import SpecError
+
+__all__ = ["StudyCheckpoint"]
+
+
+class StudyCheckpoint:
+    """Append-only JSONL writer/reader keyed by scenario ID.
+
+    Deliberately a *second* reader of the study record format:
+    :meth:`StudyResult.load` is the strict parser for finished result
+    stores; this one is lenient (torn tails, unfinished scenarios, legacy
+    marker-free files) and tracks byte offsets for truncation.  Keep the
+    record kinds (``study``/``scenario``/``row``/``scenario_end``) in sync
+    between the two.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        # Byte offset of the end of the last *completed* record prefix, set
+        # by load_completed(); start(fresh=False) truncates to it so a resume
+        # never appends after a torn line or an unfinished scenario's records.
+        self._resume_offset: Optional[int] = None
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- reading -----------------------------------------------------------------
+
+    def load_completed(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """``(header, completed)`` — lenient parse of a possibly-torn file.
+
+        ``completed`` maps scenario IDs to
+        :class:`~repro.experiments.study.ScenarioResult`-shaped data (the
+        scenario record plus its rows); only scenarios whose ``scenario_end``
+        marker is present are included.  The trailing line is allowed to be
+        torn (dropped silently); corruption anywhere else raises
+        :class:`~repro.errors.SpecError`.
+
+        Also records the byte offset of the last completed record prefix
+        (header or last ``scenario_end``), which :meth:`start` uses to
+        truncate crash debris before resuming.
+        """
+        from repro.experiments.study import ScenarioResult
+
+        header: Dict[str, Any] = {}
+        open_scenarios: Dict[str, ScenarioResult] = {}
+        completed: Dict[str, ScenarioResult] = {}
+        with open(self.path, "r", encoding="utf-8", newline="") as handle:
+            lines = handle.readlines()
+        offset = 0
+        torn = False
+        markers_seen = False
+        self._resume_offset = 0
+        for line_no, raw in enumerate(lines, start=1):
+            offset += len(raw.encode("utf-8"))
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if line_no == len(lines):
+                    torn = True
+                    break  # torn tail from an interrupted append
+                raise SpecError(f"{self.path}:{line_no}: not valid JSONL: {exc}")
+            kind = record.pop("record", None)
+            if kind == "study":
+                header = record
+                self._resume_offset = offset
+            elif kind == "scenario":
+                try:
+                    scenario = ScenarioResult(rows=[], **record)
+                except TypeError as exc:
+                    raise SpecError(
+                        f"{self.path}:{line_no}: malformed scenario record: {exc}"
+                    )
+                open_scenarios[scenario.scenario_id] = scenario
+            elif kind == "row":
+                scenario_id = record.pop("scenario_id", None)
+                scenario = open_scenarios.get(scenario_id)
+                if scenario is None:
+                    raise SpecError(
+                        f"{self.path}:{line_no}: row references unknown scenario "
+                        f"{scenario_id!r}"
+                    )
+                record["scenario_id"] = scenario_id
+                scenario.rows.append(record)
+            elif kind == "scenario_end":
+                scenario_id = record.get("scenario_id")
+                scenario = open_scenarios.pop(scenario_id, None)
+                if scenario is None:
+                    raise SpecError(
+                        f"{self.path}:{line_no}: end marker for unknown scenario "
+                        f"{scenario_id!r}"
+                    )
+                completed[scenario_id] = scenario
+                self._resume_offset = offset
+                markers_seen = True
+            else:
+                raise SpecError(
+                    f"{self.path}:{line_no}: unknown record kind {kind!r}"
+                )
+        if (
+            open_scenarios
+            and not markers_seen
+            and not torn
+            and not header.get("checkpoint")
+        ):
+            # Scenario records, no end markers, no checkpoint header flag: a
+            # legacy result store (pre-``scenario_end`` ``StudyResult.save``
+            # output).  We cannot distinguish its complete scenarios from a
+            # modern checkpoint's debris, so refuse loudly rather than
+            # either trusting partial data or truncating saved data away.
+            # (A *modern* file interrupted mid-first-scenario carries the
+            # header flag and takes the normal truncate-and-recompute path.)
+            raise SpecError(
+                f"{self.path} contains scenario records but no scenario_end "
+                f"markers — it predates the checkpoint format; re-save the "
+                f"result with this version or start a fresh checkpoint"
+            )
+        return header, completed
+
+    # -- writing -----------------------------------------------------------------
+
+    def start(
+        self,
+        *,
+        name: str,
+        description: str = "",
+        spec: Optional[Dict[str, Any]] = None,
+        fresh: bool,
+    ) -> None:
+        """Write the study header; ``fresh`` truncates, otherwise resume.
+
+        On resume (``fresh=False``) an existing file keeps its on-disk
+        header, but any crash debris after the last completed scenario — a
+        torn trailing line, or an unfinished scenario's partial records — is
+        truncated away (at the offset :meth:`load_completed` established),
+        so the recomputed scenario is appended to a clean prefix instead of
+        corrupting or duplicating records.
+        """
+        if not fresh and self.path.exists():
+            if self._resume_offset is None:
+                self.load_completed()
+            if self.path.stat().st_size > self._resume_offset:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(self._resume_offset)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            if self._resume_offset > 0:
+                return
+            # Nothing valid on disk (even the header was torn): fall through
+            # and start the file over.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "record": "study",
+            "name": name,
+            "description": description,
+            "spec": spec,
+            # Distinguishes an interrupted checkpoint from a legacy
+            # marker-free result store (see load_completed).
+            "checkpoint": 1,
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, scenario) -> None:
+        """Durably append one completed scenario (records + end marker)."""
+        lines = [json.dumps({"record": "scenario", **scenario.meta()})]
+        for row in scenario.rows:
+            lines.append(
+                json.dumps(
+                    {"record": "row", "scenario_id": scenario.scenario_id, **row}
+                )
+            )
+        lines.append(
+            json.dumps(
+                {"record": "scenario_end", "scenario_id": scenario.scenario_id}
+            )
+        )
+        # A crash can cut a previous write exactly one byte short, leaving a
+        # valid final record with no trailing newline; appending straight
+        # after it would weld two records into one unparseable line.
+        prefix = ""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    prefix = "\n"
+        except (OSError, ValueError):
+            pass  # missing or empty file: nothing to terminate
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(prefix + "\n".join(lines) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

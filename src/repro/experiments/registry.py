@@ -39,6 +39,11 @@ Factory conventions (all keyword arguments come from ``PolicySpec.params``):
   accepted by :class:`~repro.policies.best_static.BestStaticPolicy`.
 * **platform presets** — the factory takes no arguments and returns a
   :class:`~repro.hardware.platform.PlatformSpec`.
+* **executors** — the factory receives the scenario-independent
+  :class:`~repro.experiments.specs.ExecutorSpec` and returns a started
+  :class:`~repro.runtime.executors.base.Executor` (``serial``, ``pool``,
+  ``tcp`` are built in; register your own to plug a new execution strategy
+  into every study and CLI invocation).
 """
 
 from __future__ import annotations
@@ -55,12 +60,14 @@ __all__ = [
     "ENGINE_BACKENDS",
     "SOLVER_BACKENDS",
     "PLATFORMS",
+    "EXECUTORS",
     "register_policy",
     "register_driver",
     "register_workload_suite",
     "register_backend",
     "register_solver_backend",
     "register_platform",
+    "register_executor",
 ]
 
 
@@ -133,6 +140,7 @@ WORKLOAD_SUITES = Registry("workload suite")
 ENGINE_BACKENDS = Registry("engine backend")
 SOLVER_BACKENDS = Registry("solver backend")
 PLATFORMS = Registry("platform preset")
+EXECUTORS = Registry("executor")
 
 register_policy = POLICIES.register
 register_driver = DRIVERS.register
@@ -140,6 +148,7 @@ register_workload_suite = WORKLOAD_SUITES.register
 register_backend = ENGINE_BACKENDS.register
 register_solver_backend = SOLVER_BACKENDS.register
 register_platform = PLATFORMS.register
+register_executor = EXECUTORS.register
 
 
 # ---------------------------------------------------------------------------
@@ -241,3 +250,37 @@ register_solver_backend("reference", "reference")
 register_platform("skylake_gold_6138", skylake_gold_6138)
 register_platform("broadwell_like", broadwell_like)
 register_platform("small_test", small_test_platform)
+
+
+from repro.runtime.executors import (  # noqa: E402
+    PoolExecutor,
+    SerialExecutor,
+    TCPExecutor,
+    parse_address,
+)
+
+
+@register_executor("serial")
+def _serial_executor(spec):
+    """In-process execution, one run at a time (the deterministic default)."""
+    return SerialExecutor()
+
+
+@register_executor("pool")
+def _pool_executor(spec):
+    """Local spawn-pool execution; ``workers`` processes (None = CPUs - 1)."""
+    return PoolExecutor(jobs=spec.workers)
+
+
+@register_executor("tcp")
+def _tcp_executor(spec):
+    """Multi-host coordinator; workers join via ``repro.cli worker --connect``."""
+    host, port = parse_address(spec.bind or "127.0.0.1:0")
+    return TCPExecutor(
+        (host, port),
+        min_workers=spec.workers or 1,
+        heartbeat_s=spec.heartbeat_s,
+        connect_timeout_s=spec.connect_timeout_s,
+        task_timeout_s=spec.task_timeout_s,
+        max_retries=spec.max_retries,
+    )

@@ -12,7 +12,9 @@ keys, missing fields and unknown registry names as clear
 
 Specs are resolved into live objects through the registries of
 :mod:`repro.experiments.registry` by the ``resolve_*`` helpers here, and the
-resolved components are lowered onto the existing batch executor by
+resolved components are lowered onto a pluggable
+:class:`~repro.runtime.executors.base.Executor` (selected by
+:class:`ExecutorSpec`: ``serial``, ``pool`` or the multi-host ``tcp``) by
 :func:`repro.experiments.study.run_study`.
 
 Two escape hatches keep the Python API as expressive as the old bespoke
@@ -35,6 +37,7 @@ from repro.errors import ReproError, SpecError
 from repro.experiments.registry import (
     DRIVERS,
     ENGINE_BACKENDS,
+    EXECUTORS,
     PLATFORMS,
     POLICIES,
     SOLVER_BACKENDS,
@@ -50,6 +53,7 @@ __all__ = [
     "PolicySpec",
     "EngineSpec",
     "SolverSpec",
+    "ExecutorSpec",
     "ScenarioSpec",
     "StudySpec",
     "resolve_policy",
@@ -483,6 +487,116 @@ class SolverSpec:
         return spec
 
 
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """How a study's runs are executed: the strategy and its knobs.
+
+    ``name`` is a key of the executor registry
+    (:data:`~repro.experiments.registry.EXECUTORS`): ``serial`` (in-process),
+    ``pool`` (local spawn pool) and ``tcp`` (multi-host coordinator; workers
+    join with ``repro.cli worker --connect host:port``) are built in.  Every
+    backend produces bit-identical rows — the spec only chooses *where* the
+    runs execute.
+
+    ``workers`` is the pool size (``pool``) or the number of workers that
+    must be connected before the first dispatch (``tcp``); ``bind`` is the
+    ``tcp`` coordinator's listen address (``"host:port"``, port ``0`` picks
+    a free port).  ``heartbeat_s`` / ``connect_timeout_s`` /
+    ``task_timeout_s`` (hard per-run bound on a busy worker; ``None`` = no
+    bound) / ``max_retries`` tune the ``tcp`` fault handling and are ignored
+    elsewhere.
+    """
+
+    name: str = "serial"
+    workers: Optional[int] = None
+    bind: Optional[str] = None
+    heartbeat_s: float = 5.0
+    connect_timeout_s: float = 60.0
+    task_timeout_s: Optional[float] = None
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("executor specs need a non-empty 'name'")
+        if self.workers is not None and self.workers < 1:
+            raise SpecError("executor workers must be >= 1")
+        if self.heartbeat_s <= 0:
+            raise SpecError("executor heartbeat_s must be > 0")
+        if self.connect_timeout_s <= 0:
+            raise SpecError("executor connect_timeout_s must be > 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise SpecError("executor task_timeout_s must be > 0")
+        if self.max_retries < 0:
+            raise SpecError("executor max_retries must be >= 0")
+
+    def create(self):
+        """Build the live :class:`~repro.runtime.executors.base.Executor`."""
+        return EXECUTORS.resolve(self.name)(self)
+
+    @classmethod
+    def coerce(cls, value: Any, where: str = "ExecutorSpec") -> "ExecutorSpec":
+        """Accept a bare backend name, a mapping, or an existing spec."""
+        if isinstance(value, ExecutorSpec):
+            return value
+        if isinstance(value, str):
+            spec = cls(name=value)
+            EXECUTORS.resolve(spec.name)
+            return spec
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise SpecError(f"{where} must be a name or mapping, got {value!r}")
+
+    _KEYS = (
+        "name",
+        "workers",
+        "bind",
+        "heartbeat_s",
+        "connect_timeout_s",
+        "task_timeout_s",
+        "max_retries",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        defaults = ExecutorSpec(name=self.name)
+        out: Dict[str, Any] = {"name": self.name}
+        for key in self._KEYS[1:]:
+            value = getattr(self, key)
+            if value is not None and value != getattr(defaults, key):
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutorSpec":
+        _check_keys(data, cls._KEYS, "ExecutorSpec")
+        defaults = cls()
+        spec = cls(
+            name=_require(data, "name", "ExecutorSpec"),
+            workers=_opt_int(data.get("workers"), "ExecutorSpec.workers"),
+            bind=data.get("bind"),
+            heartbeat_s=_as_float(
+                data.get("heartbeat_s", defaults.heartbeat_s),
+                "ExecutorSpec.heartbeat_s",
+            ),
+            connect_timeout_s=_as_float(
+                data.get("connect_timeout_s", defaults.connect_timeout_s),
+                "ExecutorSpec.connect_timeout_s",
+            ),
+            task_timeout_s=(
+                None
+                if data.get("task_timeout_s") is None
+                else _as_float(
+                    data["task_timeout_s"], "ExecutorSpec.task_timeout_s"
+                )
+            ),
+            max_retries=_as_int(
+                data.get("max_retries", defaults.max_retries),
+                "ExecutorSpec.max_retries",
+            ),
+        )
+        EXECUTORS.resolve(spec.name)  # validate eagerly
+        return spec
+
+
 # ---------------------------------------------------------------------------
 # ScenarioSpec / StudySpec
 # ---------------------------------------------------------------------------
@@ -494,8 +608,8 @@ class ScenarioSpec:
 
     ``kind="static"`` evaluates each policy's fixed allocation with the
     contention estimator (the Fig. 6 protocol); ``kind="dynamic"`` executes
-    every (workload, driver) pair in the runtime engine through the
-    :class:`~repro.runtime.batch.BatchRunner` (the Fig. 7 protocol).  The
+    every (workload, driver) pair in the runtime engine through the study's
+    :class:`~repro.runtime.executors.base.Executor` (the Fig. 7 protocol).  The
     stock-Linux baseline is implicit in both — every workload always gets a
     ``Stock-Linux`` row, and the normalised metrics are relative to it.
 
@@ -623,11 +737,22 @@ class StudySpec:
     scenarios: Tuple[ScenarioSpec, ...]
     description: str = ""
     #: Default worker-process count for the run batches (``None`` = all CPUs).
+    #: Only consulted when no ``executor`` is given (1 -> serial, else pool).
     jobs: Optional[int] = 1
+    #: Execution strategy for every scenario (:class:`ExecutorSpec`, a
+    #: registered backend name, or a mapping); ``None`` derives one from
+    #: ``jobs``.  Results are independent of the choice.
+    executor: Optional[ExecutorSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise SpecError("studies need a non-empty 'name'")
+        if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
+            object.__setattr__(
+                self,
+                "executor",
+                ExecutorSpec.coerce(self.executor, where="StudySpec.executor"),
+            )
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         if not self.scenarios:
             raise SpecError(f"study {self.name!r} declares no scenarios")
@@ -651,7 +776,7 @@ class StudySpec:
                 seen[scenario_id] = scenario.name
             seen.setdefault(scenario.name, scenario.name)
 
-    _KEYS = ("schema", "name", "description", "jobs", "scenarios")
+    _KEYS = ("schema", "name", "description", "jobs", "executor", "scenarios")
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -664,6 +789,8 @@ class StudySpec:
         if self.jobs != 1:
             # TOML has no null: encode "all CPUs" as 0, like the CLI does.
             out["jobs"] = 0 if self.jobs is None else self.jobs
+        if self.executor is not None:
+            out["executor"] = self.executor.to_dict()
         return out
 
     @classmethod
@@ -683,11 +810,15 @@ class StudySpec:
             jobs = _opt_int(jobs, "StudySpec.jobs")
             if jobs == 0:
                 jobs = None
+        executor = data.get("executor")
+        if executor is not None:
+            executor = ExecutorSpec.coerce(executor, where="StudySpec.executor")
         return cls(
             name=_require(data, "name", "StudySpec"),
             scenarios=tuple(ScenarioSpec.from_dict(s) for s in scenarios),
             description=data.get("description", ""),
             jobs=jobs,
+            executor=executor,
         )
 
 

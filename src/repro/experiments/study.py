@@ -2,14 +2,22 @@
 
 :func:`run_study` is the single public entry point for running anything: it
 resolves a :class:`~repro.experiments.specs.StudySpec` through the component
-registries and lowers every scenario onto the existing executors —
-:func:`~repro.runtime.batch.pool_map` for static scenarios (the Fig. 6
-protocol) and :class:`~repro.runtime.batch.BatchRunner` for dynamic ones (the
-Fig. 7 protocol) — honouring ``jobs``, the engine backend selection and the
-shared evaluation tables.  Results are collected into a :class:`StudyResult`:
-plain metric rows keyed by deterministic scenario IDs, JSONL persistence
-(:meth:`StudyResult.save` / :meth:`StudyResult.load`) and metric aggregation
-across seeds/scenarios (:meth:`StudyResult.aggregate`).
+registries and lowers every scenario onto one pluggable
+:class:`~repro.runtime.executors.base.Executor` — static scenarios shard
+their per-workload evaluation across it (the Fig. 6 protocol), dynamic ones
+stream their :class:`~repro.runtime.executors.base.RunSpec` batch through it
+(the Fig. 7 protocol).  The executor comes from the study's
+:class:`~repro.experiments.specs.ExecutorSpec` (``serial``, ``pool``,
+``tcp``), an explicit ``executor=`` argument, or the legacy ``jobs`` knob;
+rows are bit-identical whichever backend runs them.
+
+Results are collected into a :class:`StudyResult`: plain metric rows keyed
+by deterministic scenario IDs, JSONL persistence (:meth:`StudyResult.save` /
+:meth:`StudyResult.load`), metric aggregation across seeds/scenarios
+(:meth:`StudyResult.aggregate`) — and, via ``run_study(...,
+checkpoint=path)``, crash-safe incremental appends through
+:class:`~repro.experiments.checkpoint.StudyCheckpoint` with ``resume=True``
+skipping already-completed scenario IDs.
 
 Row computation replicates the pre-refactor figure builders operation for
 operation, so ``fig6_static_study`` / ``fig7_dynamic_study`` delegating here
@@ -25,10 +33,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SpecError
+from repro.errors import SimulationError, SpecError
+from repro.experiments.checkpoint import StudyCheckpoint
 from repro.experiments.registry import WORKLOAD_SUITES
 from repro.experiments.specs import (
     EngineSpec,
+    ExecutorSpec,
     PolicySpec,
     ScenarioSpec,
     SolverSpec,
@@ -40,7 +50,12 @@ from repro.experiments.specs import (
     resolve_policy,
 )
 from repro.metrics.aggregate import normalise
-from repro.runtime.batch import BatchRunner, RunSpec, pool_map
+from repro.runtime.executors import (
+    Executor,
+    PoolExecutor,
+    RunSpec,
+    SerialExecutor,
+)
 from repro.runtime.scheduler import StockLinuxDriver
 from repro.simulator import ClusteringEstimator
 from repro.workloads.generator import Workload
@@ -170,7 +185,13 @@ class StudyResult:
     # -- persistence ------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Write the study as JSONL: a header, then scenario and row records."""
+        """Write the study as JSONL: a header, then scenario and row records.
+
+        The format is shared with the incremental
+        :class:`~repro.experiments.checkpoint.StudyCheckpoint` (each scenario
+        is closed by a ``scenario_end`` marker), so a saved result can seed a
+        ``run_study(..., checkpoint=path, resume=True)`` and vice versa.
+        """
         with open(path, "w", encoding="utf-8") as handle:
             header = {
                 "record": "study",
@@ -194,12 +215,26 @@ class StudyResult:
                         )
                         + "\n"
                     )
+                handle.write(
+                    json.dumps(
+                        {"record": "scenario_end", "scenario_id": scenario.scenario_id}
+                    )
+                    + "\n"
+                )
 
     @classmethod
     def load(cls, path) -> "StudyResult":
-        """Rebuild a study from its JSONL record."""
+        """Rebuild a study from its JSONL record.
+
+        Checkpoint files (header flag ``checkpoint``) are only loadable when
+        every scenario carries its ``scenario_end`` marker: a checkpoint cut
+        off mid-scenario must not silently load partial rows — resume it
+        with ``run_study(..., checkpoint=path, resume=True)`` instead.
+        """
         result: Optional[StudyResult] = None
         by_id: Dict[str, ScenarioResult] = {}
+        is_checkpoint = False
+        ended: set = set()
         with open(path, "r", encoding="utf-8") as handle:
             for line_no, line in enumerate(handle, start=1):
                 line = line.strip()
@@ -211,6 +246,7 @@ class StudyResult:
                     raise SpecError(f"{path}:{line_no}: not valid JSONL: {exc}")
                 kind = record.pop("record", None)
                 if kind == "study":
+                    is_checkpoint = bool(record.get("checkpoint"))
                     result = cls(
                         name=record.get("name", ""),
                         scenarios=[],
@@ -237,10 +273,26 @@ class StudyResult:
                             f"{scenario_id!r}"
                         )
                     by_id[scenario_id].rows.append(record)
+                elif kind == "scenario_end":
+                    if record.get("scenario_id") not in by_id:
+                        raise SpecError(
+                            f"{path}:{line_no}: end marker for unknown scenario "
+                            f"{record.get('scenario_id')!r}"
+                        )
+                    ended.add(record.get("scenario_id"))
                 else:
                     raise SpecError(f"{path}:{line_no}: unknown record kind {kind!r}")
         if result is None:
             raise SpecError(f"{path}: no study header record found")
+        if is_checkpoint:
+            unfinished = [s for s in by_id if s not in ended]
+            if unfinished:
+                raise SpecError(
+                    f"{path}: checkpoint scenario{'s' if len(unfinished) > 1 else ''} "
+                    f"{', '.join(repr(s) for s in unfinished)} never completed "
+                    f"(the study was interrupted); resume it with "
+                    f"run_study(..., checkpoint=..., resume=True) before loading"
+                )
         return result
 
 
@@ -307,7 +359,7 @@ def _resolve_workloads(scenario: ScenarioSpec, seed: int) -> List[Workload]:
 
 
 def _run_static_scenario(
-    scenario: ScenarioSpec, seed: int, jobs: Optional[int]
+    scenario: ScenarioSpec, seed: int, executor: Executor
 ) -> List[Dict[str, Any]]:
     platform = resolve_platform(scenario.platform)
     workloads = _resolve_workloads(scenario, seed)
@@ -315,14 +367,13 @@ def _run_static_scenario(
         (spec.label, resolve_policy(spec, scenario.solver))
         for spec in scenario.policies
     ]
-    per_workload = pool_map(
-        _static_scenario_worker, workloads, (platform, policies), jobs=jobs
-    )
+    executor.set_context(_static_scenario_worker, (platform, policies))
+    per_workload = executor.map_specs(workloads)
     return [row for rows in per_workload for row in rows]
 
 
 def _run_dynamic_scenario(
-    scenario: ScenarioSpec, seed: int, jobs: Optional[int]
+    scenario: ScenarioSpec, seed: int, executor: Executor
 ) -> List[Dict[str, Any]]:
     platform = resolve_platform(scenario.platform)
     workloads = _resolve_workloads(scenario, seed)
@@ -350,7 +401,8 @@ def _run_dynamic_scenario(
                     label=label,
                 )
             )
-    results = BatchRunner(platform, jobs=jobs, config=config).run(specs)
+    executor.prepare(platform, default_config=config)
+    results = executor.map_specs(specs)
 
     rows: List[Dict[str, Any]] = []
     per_workload = 1 + len(drivers)
@@ -393,13 +445,16 @@ def _run_dynamic_scenario(
 
 
 def _run_scenario(
-    scenario: ScenarioSpec, seed: int, jobs: Optional[int]
+    scenario: ScenarioSpec, seed: int, executor: Executor
 ) -> ScenarioResult:
-    if scenario.kind == "static":
-        rows = _run_static_scenario(scenario, seed, jobs)
-    else:
-        rows = _run_dynamic_scenario(scenario, seed, jobs)
     scenario_id = scenario.scenario_id(seed)
+    try:
+        if scenario.kind == "static":
+            rows = _run_static_scenario(scenario, seed, executor)
+        else:
+            rows = _run_dynamic_scenario(scenario, seed, executor)
+    except SimulationError as exc:
+        raise SimulationError(f"scenario {scenario_id!r}: {exc}") from exc
     workload_names: List[str] = []
     for row in rows:
         row["scenario_id"] = scenario_id
@@ -416,28 +471,158 @@ def _run_scenario(
     )
 
 
-def run_study(spec, *, jobs: Any = _UNSET) -> StudyResult:
+def _resolve_executor(
+    spec: StudySpec, executor: Any, jobs: Optional[int], jobs_explicit: bool
+) -> Tuple[Executor, bool]:
+    """``(executor, owned)`` for a study.
+
+    Precedence: an explicit ``executor`` argument, then an explicit ``jobs``
+    argument (the historical override — ``lfoc-repro run --jobs 1`` must win
+    over a spec's ``[executor]`` table), then the spec's executor, then the
+    spec's ``jobs`` default.  ``owned`` is True when :func:`run_study`
+    created the executor and must close it; a live :class:`Executor`
+    instance passed by the caller stays the caller's to manage.
+    """
+    if executor is not None:
+        if isinstance(executor, Executor):
+            return executor, False
+        coerced = ExecutorSpec.coerce(executor, where="run_study executor")
+        return _announce(coerced.create()), True
+    if spec.executor is not None and not jobs_explicit:
+        return _announce(spec.executor.create()), True
+    if jobs == 1:
+        return SerialExecutor(), True
+    return PoolExecutor(jobs=jobs), True
+
+
+def _announce(executor: Executor) -> Executor:
+    """Print an addressable executor's join address before any dispatch.
+
+    Without this a ``tcp`` executor bound to port 0 (the default) would
+    listen on an ephemeral port nobody can discover, and the study would
+    sit through its whole connect timeout before the error reveals it.
+    """
+    address = getattr(executor, "address", None)
+    if address is not None:
+        host, port = address
+        print(
+            f"executor listening on {host}:{port} — workers join with "
+            f"`python -m repro.cli worker --connect {host}:{port}`",
+            flush=True,
+        )
+    return executor
+
+
+def run_study(
+    spec,
+    *,
+    jobs: Any = _UNSET,
+    executor: Any = None,
+    checkpoint: Any = None,
+    resume: bool = False,
+) -> StudyResult:
     """Execute a study spec and collect every scenario's rows.
 
     ``spec`` may be a :class:`~repro.experiments.specs.StudySpec` or a plain
-    mapping (validated through ``StudySpec.from_dict``).  ``jobs`` overrides
-    the spec's worker-process count (``None`` = all CPUs); results are
-    deterministic and independent of it.
+    mapping (validated through ``StudySpec.from_dict``).
+
+    ``executor`` selects the execution strategy: a live
+    :class:`~repro.runtime.executors.base.Executor` (caller-owned, e.g. a
+    started TCP coordinator), an :class:`~repro.experiments.specs.ExecutorSpec`,
+    a registered backend name (``"serial"``/``"pool"``/``"tcp"``) or a
+    mapping.  An explicitly passed ``jobs`` overrides the spec's executor
+    (the historical contract of ``--jobs``); otherwise the spec's own
+    ``executor`` is used, falling back to the ``jobs`` knob (``1`` = serial,
+    else a local pool; ``None`` = all CPUs).  Results are deterministic and
+    independent of the strategy and of worker count or arrival order.
+
+    ``checkpoint`` names a JSONL file that receives every completed scenario
+    as a durable append (crash-safe: an interrupted study loses at most the
+    scenario in flight).  With ``resume=True`` an existing checkpoint is
+    read first and its completed scenario IDs are skipped — never recomputed,
+    never duplicated; without it the file is started fresh.
     """
     if isinstance(spec, Mapping):
         spec = StudySpec.from_dict(spec)
     if not isinstance(spec, StudySpec):
         raise SpecError(f"run_study expects a StudySpec or mapping, got {spec!r}")
-    effective_jobs = spec.jobs if jobs is _UNSET else jobs
+    jobs_explicit = jobs is not _UNSET
+    effective_jobs = jobs if jobs_explicit else spec.jobs
     try:
         spec_dict: Optional[Dict[str, Any]] = spec.to_dict()
     except SpecError:
         spec_dict = None  # inline components: runnable but not serializable
-    scenarios = [
-        _run_scenario(scenario, seed, effective_jobs)
-        for scenario in spec.scenarios
-        for seed in scenario.seeds
-    ]
+
+    completed: Dict[str, ScenarioResult] = {}
+    writer: Optional[StudyCheckpoint] = None
+    if checkpoint is not None:
+        writer = StudyCheckpoint(checkpoint)
+        if resume and writer.exists():
+            header, completed = writer.load_completed()
+            recorded = header.get("name")
+            if recorded and recorded != spec.name:
+                raise SpecError(
+                    f"checkpoint {writer.path} belongs to study {recorded!r}, "
+                    f"not {spec.name!r}; pass a fresh checkpoint path or "
+                    f"resume the original study"
+                )
+            # A completed scenario is only reusable if it was computed under
+            # the same scenario definitions.  Compare the result-affecting
+            # part of the specs (scenarios — not jobs/executor, which are
+            # free to change between a crash and its resume).
+            recorded_spec = header.get("spec")
+            if completed and (recorded_spec is None or spec_dict is None):
+                # Scenario IDs are name-based; without both serialized specs
+                # there is no way to prove a completed scenario was computed
+                # under the *current* definitions, and silently reusing it
+                # could mislabel stale rows.  Inline components are the only
+                # way to get here — register them to make the study resumable.
+                raise SpecError(
+                    f"checkpoint {writer.path} cannot be safely resumed: the "
+                    f"study uses inline (non-serializable) components, so "
+                    f"completed scenarios cannot be verified against the "
+                    f"current spec; register the components "
+                    f"(repro.experiments.register_*) or start fresh"
+                )
+            # Compare through a JSON round-trip: the recorded side already
+            # went through json.dumps (tuples became lists), so the current
+            # side must be normalized the same way or identical specs would
+            # spuriously mismatch.
+            if completed and recorded_spec.get("scenarios") != json.loads(
+                json.dumps(spec_dict.get("scenarios"))
+            ):
+                raise SpecError(
+                    f"checkpoint {writer.path} was written for a different "
+                    f"version of study {spec.name!r} (its scenario definitions "
+                    f"changed); start a fresh checkpoint instead of resuming"
+                )
+        # A resume that found no completed scenarios has nothing to keep:
+        # start the file over so its header records the spec actually being
+        # run (the scenarios may legitimately have changed since the crash).
+        writer.start(
+            name=spec.name,
+            description=spec.description,
+            spec=spec_dict,
+            fresh=not (resume and completed),
+        )
+
+    runner, owned = _resolve_executor(spec, executor, effective_jobs, jobs_explicit)
+    scenarios: List[ScenarioResult] = []
+    try:
+        for scenario in spec.scenarios:
+            for seed in scenario.seeds:
+                scenario_id = scenario.scenario_id(seed)
+                done = completed.get(scenario_id)
+                if done is not None:
+                    scenarios.append(done)
+                    continue
+                result = _run_scenario(scenario, seed, runner)
+                if writer is not None:
+                    writer.append(result)
+                scenarios.append(result)
+    finally:
+        if owned:
+            runner.close()
     return StudyResult(
         name=spec.name,
         scenarios=scenarios,

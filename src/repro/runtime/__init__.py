@@ -11,11 +11,29 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.engine import EngineConfig, RuntimeEngine, alone_completion_time
 from repro.runtime.results import AppRunStats, RepartitionEvent, RunResult, TracePoint
-from repro.runtime.batch import BatchRunner, RunSpec
+from repro.runtime.executors import (
+    Executor,
+    PoolExecutor,
+    RunContext,
+    RunSpec,
+    SerialExecutor,
+    TCPExecutor,
+    execute_run,
+    run_worker,
+)
+from repro.runtime.batch import BatchRunner, pool_map
 
 __all__ = [
     "BatchRunner",
     "RunSpec",
+    "pool_map",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "TCPExecutor",
+    "RunContext",
+    "execute_run",
+    "run_worker",
     "AppMonitor",
     "MonitorConfig",
     "SamplingConfig",

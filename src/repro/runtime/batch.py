@@ -1,90 +1,91 @@
-"""Batched multi-run executor for the dynamic (and static) studies.
+"""Batched multi-run execution: thin adapters over the executor protocol.
 
-The evaluation studies execute many independent ``(workload, policy,
-configuration)`` runs — Fig. 7 alone is |workloads| x |drivers| engine runs.
-This module schedules such batches:
+Historically this module *was* the execution strategy (an in-process loop
+plus a hand-rolled spawn pool).  Execution now lives behind the pluggable
+:class:`~repro.runtime.executors.base.Executor` protocol
+(:mod:`repro.runtime.executors`: ``serial``, ``pool`` and the multi-host
+``tcp`` backend); what remains here are the two historical entry points,
+kept API- and result-compatible:
 
-* :class:`RunSpec` describes one engine run declaratively (workload, driver
-  class + kwargs, engine configuration), so a batch can be shipped to worker
-  processes;
-* :class:`BatchRunner` executes a batch either in-process (``jobs=1``, the
-  deterministic default) or across a ``spawn`` process pool.  Shared
-  read-only inputs — the platform, each workload's phased profiles (built
-  once in the parent) — travel through the pool initializer exactly once per
-  worker, the same pattern :mod:`repro.optimal.parallel` uses for the solver
-  shards.  Each worker (and the in-process path) also keeps one
-  :class:`~repro.simulator.estimator.EvaluationTables` instance, so runs
-  assigned to the same worker share cached occupancy trajectories and
-  allocation estimates;
-* :func:`pool_map` is the small generic core (initializer-shipped context +
-  ordered map) that the static study reuses to shard its per-workload
-  evaluation.
+* :class:`BatchRunner` — execute a batch of :class:`RunSpec` runs, in
+  process (``jobs=1``) or across a spawn pool, returning results in spec
+  order.  Now literally ``executor.prepare(...)`` + ``executor.map_specs``;
+* :func:`pool_map` — the ordered generic map (initializer-shipped context)
+  the static study uses to shard per-workload evaluation.
 
 Every run is independent and deterministic, so results do not depend on
-``jobs`` — the pool only changes wall-clock time.  Results are returned in
-specification order.
+``jobs`` or on the executor backend — only wall-clock time does.  Results
+are returned in specification order.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence
 
-from repro.errors import SimulationError
 from repro.hardware.platform import PlatformSpec
-from repro.runtime.engine import EngineConfig, RuntimeEngine
+from repro.runtime.engine import EngineConfig
+from repro.runtime.executors import (
+    Executor,
+    PoolExecutor,
+    RunSpec,
+    SerialExecutor,
+    resolve_jobs,
+)
 from repro.runtime.results import RunResult
-from repro.simulator.estimator import EvaluationTables
-from repro.workloads.generator import Workload
 
-__all__ = ["RunSpec", "BatchRunner", "pool_map"]
+__all__ = ["RunSpec", "BatchRunner", "pool_map", "resolve_jobs"]
 
 
-@dataclass(frozen=True)
-class RunSpec:
-    """One dynamic run: a workload executed under a policy driver."""
+class BatchRunner:
+    """Execute many dynamic runs, optionally across a process pool."""
 
-    workload: Workload
-    driver_cls: type
-    driver_kwargs: Mapping[str, Any] = field(default_factory=dict)
-    config: Optional[EngineConfig] = None
-    #: Label recorded alongside the result (defaults to the driver's name).
-    label: str = ""
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        *,
+        jobs: Optional[int] = 1,
+        config: Optional[EngineConfig] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        jobs:
+            Worker processes.  ``1`` (default) runs in-process — fully
+            deterministic and still sharing one evaluation-table set across
+            the whole batch; ``None`` uses all-but-one CPU.
+        config:
+            Default :class:`EngineConfig` for specs that do not carry one.
+        executor:
+            An explicit :class:`~repro.runtime.executors.base.Executor` to
+            run on (e.g. a started :class:`~repro.runtime.executors.TCPExecutor`);
+            overrides ``jobs``.  The caller keeps ownership — the runner
+            will not close it.
+        """
+        self.platform = platform
+        self.jobs = jobs
+        self.config = config
+        self.executor = executor
 
-    def make_driver(self):
-        return self.driver_cls(**dict(self.driver_kwargs))
-
-
-def resolve_jobs(jobs: Optional[int], n_tasks: int) -> int:
-    """Translate a ``jobs`` knob into a concrete worker count."""
-    if jobs is None:
-        jobs = max(mp.cpu_count() - 1, 1)
-    if jobs < 1:
-        raise SimulationError("jobs must be >= 1")
-    return max(min(jobs, n_tasks), 1)
-
-
-# The worker context lives in a module-level slot populated once per worker
-# process by the pool initializer (spawned workers inherit nothing, so the
-# shared inputs travel through initargs exactly once instead of once per task).
-_WORKER_CONTEXT: Optional[tuple] = None
-
-
-def _init_pool_worker(context: tuple) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
-
-
-def _pool_entry(args: Tuple[Callable, tuple]) -> Any:
-    worker, task = args
-    return worker(_WORKER_CONTEXT, task)
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Run every spec and return the results in spec order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.executor is not None:
+            self.executor.prepare(self.platform, default_config=self.config)
+            return self.executor.map_specs(specs)
+        n_jobs = resolve_jobs(self.jobs, len(specs))
+        executor = SerialExecutor() if n_jobs == 1 else PoolExecutor(jobs=n_jobs)
+        with executor:
+            executor.prepare(self.platform, default_config=self.config)
+            return executor.map_specs(specs)
 
 
 def pool_map(
-    worker: Callable[[tuple, Any], Any],
+    worker: Callable[[Any, Any], Any],
     tasks: Sequence[Any],
-    context: tuple,
+    context: Any,
     jobs: Optional[int] = None,
 ) -> List[Any]:
     """Ordered map of ``worker(context, task)`` over ``tasks``.
@@ -97,103 +98,6 @@ def pool_map(
     n_jobs = resolve_jobs(jobs, len(tasks))
     if n_jobs == 1 or len(tasks) <= 1:
         return [worker(context, task) for task in tasks]
-    ctx = mp.get_context("spawn")
-    with ctx.Pool(
-        processes=n_jobs, initializer=_init_pool_worker, initargs=(context,)
-    ) as pool:
-        return pool.map(_pool_entry, [(worker, task) for task in tasks])
-
-
-def _run_one(context: tuple, task: tuple) -> RunResult:
-    """Execute one :class:`RunSpec` against the worker-shared context."""
-    platform, profiles_by_workload, default_config = context
-    workload_name, driver_cls, driver_kwargs, config = task
-    config = config or default_config or EngineConfig()
-    # One table set per worker process: runs executed by the same worker
-    # share cached trajectories and estimates.
-    global _BATCH_TABLES
-    tables = None
-    if config.backend == "incremental":
-        if (
-            _BATCH_TABLES is None
-            or _BATCH_TABLES.platform is not platform
-            or _BATCH_TABLES.max_entries != config.max_table_entries
-        ):
-            _BATCH_TABLES = EvaluationTables(
-                platform, max_entries=config.max_table_entries
-            )
-        tables = _BATCH_TABLES
-    engine = RuntimeEngine(
-        platform,
-        profiles_by_workload[workload_name],
-        driver_cls(**dict(driver_kwargs)),
-        config,
-        tables=tables,
-    )
-    return engine.run(workload_name)
-
-
-_BATCH_TABLES: Optional[EvaluationTables] = None
-
-
-class BatchRunner:
-    """Execute many dynamic runs, optionally across a process pool."""
-
-    def __init__(
-        self,
-        platform: PlatformSpec,
-        *,
-        jobs: Optional[int] = 1,
-        config: Optional[EngineConfig] = None,
-    ) -> None:
-        """
-        Parameters
-        ----------
-        jobs:
-            Worker processes.  ``1`` (default) runs in-process — fully
-            deterministic and still sharing one evaluation-table set across
-            the whole batch; ``None`` uses all-but-one CPU.
-        config:
-            Default :class:`EngineConfig` for specs that do not carry one.
-        """
-        self.platform = platform
-        self.jobs = jobs
-        self.config = config
-
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Run every spec and return the results in spec order."""
-        specs = list(specs)
-        if not specs:
-            return []
-        # Build each workload's phased profiles once, in the parent.  Tasks
-        # reference workloads by name, so one name must mean one workload.
-        workloads_by_name: Dict[str, Workload] = {}
-        profiles_by_workload: Dict[str, Mapping] = {}
-        for spec in specs:
-            name = spec.workload.name
-            known = workloads_by_name.get(name)
-            if known is None:
-                workloads_by_name[name] = spec.workload
-                profiles_by_workload[name] = spec.workload.phased_profiles(
-                    self.platform.llc_ways
-                )
-            elif known != spec.workload:
-                raise SimulationError(
-                    f"two different workloads in one batch share the name {name!r}"
-                )
-        context = (self.platform, profiles_by_workload, self.config)
-        tasks = [
-            (
-                spec.workload.name,
-                spec.driver_cls,
-                dict(spec.driver_kwargs),
-                spec.config,
-            )
-            for spec in specs
-        ]
-        global _BATCH_TABLES
-        _BATCH_TABLES = None  # fresh table set per batch on the in-process path
-        try:
-            return pool_map(_run_one, tasks, context, jobs=self.jobs)
-        finally:
-            _BATCH_TABLES = None
+    with PoolExecutor(jobs=n_jobs) as executor:
+        executor.set_context(worker, context)
+        return executor.map_specs(tasks)

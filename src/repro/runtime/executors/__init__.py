@@ -1,0 +1,51 @@
+"""Pluggable run-execution backends behind one protocol.
+
+Three backends ship in the box, all producing bit-identical results:
+
+* :class:`SerialExecutor` — in-process, the deterministic default;
+* :class:`PoolExecutor` — a local ``spawn`` process pool;
+* :class:`TCPExecutor` — a multi-host coordinator; workers join with
+  ``python -m repro.cli worker --connect host:port``.
+
+See :mod:`repro.runtime.executors.base` for the protocol
+(``submit`` / ``as_completed`` / ``map_specs``) and
+:data:`repro.experiments.registry.EXECUTORS` for the name registry that
+makes the strategy selectable from a study spec or the CLI.
+"""
+
+from repro.runtime.executors.base import (
+    Executor,
+    RunContext,
+    RunSpec,
+    TaskError,
+    Ticket,
+    check_unique_workloads,
+    clear_worker_tables,
+    execute_run,
+    resolve_jobs,
+    task_label,
+    worker_tables,
+)
+from repro.runtime.executors.pool import PoolExecutor
+from repro.runtime.executors.serial import SerialExecutor
+from repro.runtime.executors.tcp import TCPExecutor, parse_address
+from repro.runtime.executors.worker import run_worker
+
+__all__ = [
+    "Executor",
+    "Ticket",
+    "RunSpec",
+    "RunContext",
+    "TaskError",
+    "SerialExecutor",
+    "PoolExecutor",
+    "TCPExecutor",
+    "execute_run",
+    "worker_tables",
+    "clear_worker_tables",
+    "resolve_jobs",
+    "check_unique_workloads",
+    "task_label",
+    "parse_address",
+    "run_worker",
+]

@@ -1,0 +1,136 @@
+"""Length-framed pickle transport for the TCP executor.
+
+Every message on the wire is a 4-byte big-endian length prefix followed by
+that many bytes of pickle.  The same framing is used in both directions
+(coordinator -> worker and back), by the blocking worker loop
+(:func:`recv_frame`) and the non-blocking coordinator (:class:`FrameReader`,
+fed from ``recv`` chunks).
+
+Pickle over a socket executes arbitrary code on unpickling — the TCP
+executor is for machines you trust (a lab cluster, localhost), not for
+untrusted networks.  The docs say so too.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Iterator, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+    "FrameReader",
+    "FrameProtocolError",
+    "MAX_FRAME",
+    "enable_keepalive",
+]
+
+
+class FrameProtocolError(SimulationError):
+    """The byte stream violates the framing protocol (corruption/version skew).
+
+    Distinct from plain connection loss (EOF mid-frame), which peers treat
+    as a clean shutdown: a protocol violation should surface as a failure.
+    """
+
+
+def enable_keepalive(sock: socket.socket) -> None:
+    """Detect a silently vanished peer at the kernel level.
+
+    Without this a half-open connection (peer host powered off, network
+    partition with no FIN/RST) would block reads forever.  With keepalive
+    the kernel probes an idle peer and delivers an error a couple of
+    minutes after it stops answering.  The tuning knobs are Linux-specific;
+    elsewhere the system defaults apply.  Best-effort: both sides of the
+    executor transport still handle EOF/RST without it.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        if hasattr(socket, "TCP_KEEPIDLE"):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPIDLE, 60)
+        if hasattr(socket, "TCP_KEEPINTVL"):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPINTVL, 10)
+        if hasattr(socket, "TCP_KEEPCNT"):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_KEEPCNT, 5)
+    except OSError:
+        pass
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload; a corrupt length prefix fails fast
+#: instead of attempting a multi-gigabyte allocation.
+MAX_FRAME = 1 << 30
+
+
+def pack_frame(obj: Any) -> bytes:
+    """Serialize one message: length prefix + pickle."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > MAX_FRAME:
+        raise FrameProtocolError(
+            f"message of {len(data)} bytes exceeds the {MAX_FRAME}-byte frame limit"
+        )
+    return _HEADER.pack(len(data)) + data
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Blocking send of one framed message."""
+    sock.sendall(pack_frame(obj))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or None on a clean EOF at a frame boundary."""
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise SimulationError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Any]:
+    """Blocking receive of one framed message; None on clean EOF."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FrameProtocolError(f"frame of {length} bytes exceeds the frame limit")
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise SimulationError("connection closed between frame header and payload")
+    return pickle.loads(payload)
+
+
+class FrameReader:
+    """Incremental frame parser for non-blocking sockets."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> Iterator[Any]:
+        """Absorb raw bytes; yield every complete message now available."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack(self._buffer[: _HEADER.size])
+            if length > MAX_FRAME:
+                raise FrameProtocolError(
+                    f"frame of {length} bytes exceeds the frame limit"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            yield pickle.loads(payload)

@@ -1,0 +1,410 @@
+"""Multi-host TCP executor: an event-driven, single-threaded coordinator.
+
+The coordinator listens on a TCP address; workers (``repro.cli worker
+--connect host:port``) dial in, receive the batch context exactly once, and
+then stream length-framed pickled :class:`~repro.runtime.executors.base.RunSpec`
+/ :class:`~repro.runtime.results.RunResult` frames.  The coordinator is a
+plain ``selectors`` loop — no threads — so scheduling is deterministic and
+easy to reason about: accept, read, dispatch, heartbeat, in that order.
+
+Fault model:
+
+* **worker loss** (process death, connection reset) is detected by EOF on
+  the socket; the lost worker's in-flight run is resubmitted to another
+  worker, up to ``max_retries`` times per run.  Runs are deterministic and
+  idempotent, so a retry — or a duplicate result from a worker presumed
+  dead — can never change the study's rows;
+* **heartbeat**: idle workers are pinged every ``heartbeat_s`` seconds and
+  dropped when silent for several intervals (a half-open connection, e.g.
+  after a network partition);  busy workers are covered by EOF detection
+  and, optionally, ``task_timeout_s``;
+* **starvation**: if work is outstanding and no worker has been connected
+  for ``connect_timeout_s`` seconds, the batch fails loudly rather than
+  hanging forever.
+
+Determinism: :meth:`~repro.runtime.executors.base.Executor.map_specs` merges
+results in submission order, so the rows of a study are bit-identical no
+matter how many workers connect or in which order results arrive.
+
+Security: frames are pickles.  Only run the coordinator and workers on
+machines and networks you trust.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.runtime.executors.base import Executor, TaskError, Ticket, task_label
+from repro.runtime.executors.framing import FrameReader, enable_keepalive, pack_frame
+
+__all__ = ["TCPExecutor", "parse_address"]
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` with a clear error message."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SimulationError(
+            f"expected an address of the form host:port, got {text!r}"
+        )
+    return host, int(port)
+
+
+@dataclass
+class _WorkerLink:
+    """Coordinator-side state of one connected worker."""
+
+    sock: socket.socket
+    peer: str
+    reader: FrameReader = field(default_factory=FrameReader)
+    in_flight: Optional[Ticket] = None
+    dispatched_at: float = 0.0
+    last_seen: float = 0.0
+    last_ping: float = 0.0
+    #: When the oldest still-unanswered ping was sent; None once any frame
+    #: arrives.  Liveness is judged from this, not from last_seen, so an
+    #: idle coordinator gap (no pumping between batches) can never get a
+    #: healthy worker dropped before it had a chance to pong.
+    awaiting_pong_since: Optional[float] = None
+
+
+class TCPExecutor(Executor):
+    """Fan runs out to workers on other processes, containers or hosts."""
+
+    def __init__(
+        self,
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        min_workers: int = 1,
+        heartbeat_s: float = 5.0,
+        connect_timeout_s: float = 60.0,
+        task_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        bind:
+            ``(host, port)`` the coordinator listens on; port ``0`` picks a
+            free port (read it back from :attr:`address`).
+        min_workers:
+            How many workers must be connected before the first dispatch.
+        heartbeat_s:
+            Ping cadence for idle workers.
+        connect_timeout_s:
+            How long to tolerate having outstanding work and zero workers.
+        task_timeout_s:
+            Optional hard per-run bound; a worker busy longer is declared
+            lost and its run resubmitted (``None`` = no bound).
+        max_retries:
+            How many times one run may be resubmitted after worker losses.
+        """
+        super().__init__()
+        if min_workers < 1:
+            raise SimulationError("min_workers must be >= 1")
+        self.min_workers = min_workers
+        self.heartbeat_s = heartbeat_s
+        self.connect_timeout_s = connect_timeout_s
+        self.task_timeout_s = task_timeout_s
+        self.max_retries = max_retries
+        #: Total resubmissions performed after worker losses (a statistic).
+        self.retries = 0
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(bind)
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+
+        self._links: List[_WorkerLink] = []
+        self._tasks: Dict[Ticket, Any] = {}
+        self._retry_count: Dict[Ticket, int] = {}
+        self._ready: List[Tuple[Ticket, Any]] = []
+        self._done: Set[Ticket] = set()
+        self._context_blob: Optional[bytes] = None
+        self._started = False
+        self._no_worker_since: Optional[float] = None
+        self._closed = False
+
+    # -- addresses ---------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` workers should ``--connect`` to."""
+        return self._listener.getsockname()
+
+    # -- context / submission hooks ----------------------------------------------
+
+    def _context_changed(self) -> None:
+        self._context_blob = pack_frame(
+            ("context", self._worker_fn, self._payload)
+        )
+        for link in list(self._links):
+            self._send(link, self._context_blob)
+
+    def _submitted(self, ticket: Ticket, spec: Any) -> None:
+        self._tasks[ticket] = spec
+
+    def outstanding(self) -> int:
+        in_flight = sum(1 for link in self._links if link.in_flight is not None)
+        return len(self._queue) + in_flight + len(self._ready)
+
+    # -- the event loop ----------------------------------------------------------
+
+    def as_completed(self) -> Iterator[Tuple[Ticket, Any]]:
+        while self.outstanding():
+            if self._ready:
+                ticket, payload = self._ready.pop(0)
+                if isinstance(payload, TaskError):
+                    payload.raise_()
+                yield ticket, payload
+                continue
+            self._pump()
+
+    def _pump(self) -> None:
+        """One iteration of accept / read / dispatch / heartbeat."""
+        now = time.monotonic()
+        self._check_starvation(now)
+        timeout = min(0.25, max(self.heartbeat_s / 4.0, 0.02))
+        for key, _events in self._selector.select(timeout):
+            if key.data is None:
+                self._accept_all()
+            else:
+                self._read_link(key.data)
+        self._dispatch()
+        self._heartbeat(time.monotonic())
+
+    def _accept_all(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            # Mirror the worker side: a half-open connection to a *busy*
+            # worker (partition, powered-off host) is otherwise only caught
+            # by the opt-in task_timeout_s — keepalive turns it into an
+            # error the event loop sees within minutes.
+            enable_keepalive(sock)
+            link = _WorkerLink(sock=sock, peer=f"{addr[0]}:{addr[1]}")
+            link.last_seen = time.monotonic()
+            self._links.append(link)
+            self._selector.register(sock, selectors.EVENT_READ, link)
+            self._no_worker_since = None
+            if self._context_blob is not None:
+                self._send(link, self._context_blob)
+
+    def _read_link(self, link: _WorkerLink) -> None:
+        try:
+            data = link.sock.recv(1 << 20)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_link(link, reason="read error")
+            return
+        if not data:
+            self._drop_link(link, reason="connection closed")
+            return
+        link.last_seen = time.monotonic()
+        link.awaiting_pong_since = None
+        try:
+            frames = list(link.reader.feed(data))
+        except Exception as exc:
+            self._drop_link(link, reason=f"bad frame: {exc}")
+            return
+        for frame in frames:
+            try:
+                self._handle_frame(link, frame)
+            except (TypeError, ValueError, IndexError, KeyError, AttributeError) as exc:
+                # A well-pickled but wrong-shape frame (version-mismatched
+                # worker) costs that link, never the whole study.
+                self._drop_link(link, reason=f"malformed frame: {exc}")
+                return
+
+    def _handle_frame(self, link: _WorkerLink, frame: Any) -> None:
+        tag = frame[0]
+        if tag == "result":
+            _, ticket, result = frame
+            if link.in_flight == ticket:
+                link.in_flight = None
+            if ticket not in self._done:
+                self._done.add(ticket)
+                self._tasks.pop(ticket, None)
+                self._ready.append((ticket, result))
+        elif tag == "error":
+            (_, error) = frame
+            if link.in_flight == error.ticket:
+                link.in_flight = None
+            if error.ticket not in self._done:
+                self._done.add(error.ticket)
+                self._tasks.pop(error.ticket, None)
+                self._ready.append((error.ticket, error))
+        elif tag in ("pong", "hello"):
+            pass  # liveness already recorded via last_seen
+        else:
+            self._drop_link(link, reason=f"unknown frame {tag!r}")
+
+    def _dispatch(self) -> None:
+        if not self._started and len(self._links) < self.min_workers:
+            return
+        while self._queue:
+            idle = next((l for l in self._links if l.in_flight is None), None)
+            if idle is None:
+                return
+            ticket, task = self._queue.popleft()
+            blob = pack_frame(("run", ticket, task))
+            idle.in_flight = ticket
+            idle.dispatched_at = time.monotonic()
+            self._started = True
+            # On send failure _drop_link requeues the ticket and the loop
+            # carries on with the remaining workers.
+            self._send(idle, blob)
+
+    def _heartbeat(self, now: float) -> None:
+        grace = max(3.0 * self.heartbeat_s, 10.0)
+        for link in list(self._links):
+            if link.in_flight is None:
+                if now - link.last_ping >= self.heartbeat_s:
+                    link.last_ping = now
+                    if link.awaiting_pong_since is None:
+                        link.awaiting_pong_since = now
+                    self._send(link, pack_frame(("ping",)))
+                if (
+                    link.awaiting_pong_since is not None
+                    and now - link.awaiting_pong_since > grace
+                ):
+                    # `now` predates this pump's reads and any blocking send;
+                    # drain the socket once more before judging, so a pong
+                    # that already arrived can never be mistaken for silence.
+                    self._read_link(link)
+                    if (
+                        link in self._links
+                        and link.awaiting_pong_since is not None
+                        and time.monotonic() - link.awaiting_pong_since > grace
+                    ):
+                        self._drop_link(link, reason="heartbeat timeout")
+            elif (
+                self.task_timeout_s is not None
+                and now - link.dispatched_at > self.task_timeout_s
+            ):
+                self._drop_link(link, reason="task timeout")
+
+    def _check_starvation(self, now: float) -> None:
+        """Fail loudly instead of waiting forever for workers.
+
+        Two starved states, both bounded by ``connect_timeout_s``: no
+        workers at all with work outstanding, and fewer than ``min_workers``
+        connected before the first dispatch (the timer resets whenever a new
+        worker connects).
+        """
+        work_waiting = self.outstanding() > len(self._ready)
+        starved = work_waiting and (
+            not self._links
+            or (not self._started and len(self._links) < self.min_workers)
+        )
+        if not starved:
+            self._no_worker_since = None
+            return
+        if self._no_worker_since is None:
+            self._no_worker_since = now
+        elif now - self._no_worker_since > self.connect_timeout_s:
+            host, port = self.address
+            raise SimulationError(
+                f"tcp executor at {host}:{port} waited "
+                f"{self.connect_timeout_s:.0f}s with only {len(self._links)} of "
+                f"{self.min_workers} required workers connected and "
+                f"{len(self._queue)} runs outstanding; start workers with "
+                f"`repro.cli worker --connect {host}:{port}`"
+            )
+
+    # -- link management ---------------------------------------------------------
+
+    def _send(self, link: _WorkerLink, blob: bytes) -> bool:
+        """Bounded-blocking send; drops the link (and requeues) on failure."""
+        try:
+            link.sock.settimeout(30.0)
+            try:
+                link.sock.sendall(blob)
+            finally:
+                link.sock.settimeout(0.0)
+            return True
+        except OSError as exc:
+            self._drop_link(link, reason=f"send failed: {exc}")
+            return False
+
+    def _drop_link(self, link: _WorkerLink, *, reason: str) -> None:
+        if link not in self._links:
+            return
+        self._links.remove(link)
+        try:
+            self._selector.unregister(link.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+        ticket = link.in_flight
+        link.in_flight = None
+        if ticket is None or ticket in self._done:
+            return
+        # Retry-on-worker-loss: resubmit the orphaned run elsewhere.
+        count = self._retry_count.get(ticket, 0) + 1
+        self._retry_count[ticket] = count
+        self.retries += 1
+        task = self._tasks.get(ticket)
+        if count > self.max_retries:
+            raise SimulationError(
+                f"run {task_label(task)!r} (ticket {ticket}) was lost "
+                f"{count} times (last worker {link.peer}: {reason}); "
+                f"giving up after max_retries={self.max_retries}"
+            )
+        self._queue.appendleft((ticket, task))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        shutdown = pack_frame(("shutdown",))
+        for link in list(self._links):
+            try:
+                link.sock.settimeout(5.0)
+                link.sock.sendall(shutdown)
+            except OSError:
+                pass
+            try:
+                self._selector.unregister(link.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+        self._links.clear()
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        super().close()
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -91,6 +91,12 @@ class RunResult:
     traces: Dict[str, List[TracePoint]] = field(default_factory=dict)
     repartitions: List[RepartitionEvent] = field(default_factory=list)
     final_allocation: Optional[WayAllocation] = None
+    #: Row label the run was submitted under.  Populated by the executor
+    #: layer from :attr:`~repro.runtime.executors.base.RunSpec.label`,
+    #: defaulting to the driver's name (i.e. ``policy``); empty for results
+    #: produced by driving :class:`~repro.runtime.engine.RuntimeEngine`
+    #: directly.
+    label: str = ""
 
     def slowdowns(self) -> Dict[str, float]:
         return {name: stats.slowdown() for name, stats in self.app_stats.items()}

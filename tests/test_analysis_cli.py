@@ -181,6 +181,70 @@ name = "lfoc"
         assert result.name == "cli-smoke"
         assert {row["policy"] for row in result.rows()} == {"Stock-Linux", "LFOC"}
 
+    def test_run_command_with_executor_and_checkpoint(self, capsys, tmp_path):
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(self.SPEC_TOML, encoding="utf-8")
+        checkpoint = tmp_path / "ckpt.jsonl"
+        assert (
+            main(
+                [
+                    "run", str(spec_path),
+                    "--executor", "serial",
+                    "--checkpoint", str(checkpoint),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.experiments import StudyResult
+
+        first = StudyResult.load(checkpoint)
+        assert {row["policy"] for row in first.rows()} == {"Stock-Linux", "LFOC"}
+        # A resumed run skips the completed scenario and changes nothing.
+        assert (
+            main(
+                [
+                    "run", str(spec_path),
+                    "--executor", "serial",
+                    "--checkpoint", str(checkpoint),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert StudyResult.load(checkpoint).rows() == first.rows()
+
+    def test_run_command_rejects_unknown_executor(self, tmp_path):
+        from repro.errors import SpecError
+
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(self.SPEC_TOML, encoding="utf-8")
+        with pytest.raises(SpecError, match="unknown executor"):
+            main(["run", str(spec_path), "--executor", "quantum"])
+
+    def test_executor_flags_require_executor(self, tmp_path):
+        from repro.errors import SpecError
+
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(self.SPEC_TOML, encoding="utf-8")
+        with pytest.raises(SpecError, match="--executor"):
+            main(["run", str(spec_path), "--workers", "4"])
+
+    def test_resume_requires_checkpoint(self, tmp_path):
+        from repro.errors import SpecError
+
+        spec_path = tmp_path / "study.toml"
+        spec_path.write_text(self.SPEC_TOML, encoding="utf-8")
+        with pytest.raises(SpecError, match="--checkpoint"):
+            main(["run", str(spec_path), "--resume"])
+
+    def test_worker_command_requires_valid_address(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="host:port"):
+            main(["worker", "--connect", "nonsense"])
+
     def test_run_command_rejects_bad_spec(self, tmp_path):
         from repro.errors import SpecError
 

@@ -1,0 +1,429 @@
+"""Tests for crash-safe study checkpoints and ``run_study(..., resume=True)``.
+
+The guarantees under test: every completed scenario is durably appended; an
+interrupted study resumes without recomputing or duplicating completed
+scenario IDs; a torn trailing line (the crash artefact) is tolerated; a
+failed scenario leaves the previously completed scenarios' records intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError, SpecError
+from repro.experiments import (
+    PolicySpec,
+    ScenarioSpec,
+    StudyCheckpoint,
+    StudyResult,
+    StudySpec,
+    WorkloadSpec,
+    register_policy,
+    run_study,
+)
+import repro.experiments.study as study_mod
+
+
+@register_policy("ckpt-tuple-param")
+def _tuple_param_policy(ways=(1, 2)):
+    """Fixture policy whose params carry a tuple (JSON-normalization test)."""
+    from repro.policies import LfocPolicy
+
+    assert isinstance(ways, (tuple, list))
+    return LfocPolicy()
+
+
+def two_scenario_spec(name="ckpt") -> StudySpec:
+    return StudySpec(
+        name=name,
+        scenarios=(
+            ScenarioSpec(
+                name="first",
+                kind="static",
+                workloads=(WorkloadSpec(suite="s", names=("S1",)),),
+                policies=(PolicySpec("lfoc"),),
+            ),
+            ScenarioSpec(
+                name="second",
+                kind="static",
+                workloads=(WorkloadSpec(suite="s", names=("S2",)),),
+                policies=(PolicySpec("dunn"),),
+            ),
+        ),
+    )
+
+
+def truncate_after_first_scenario(path) -> None:
+    """Simulate a crash: keep the header + scenario 'first' only."""
+    kept = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            kept.append(line)
+            if record.get("record") == "scenario_end":
+                break
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(kept)
+
+
+class ExplodingPolicy:
+    """Static policy that fails deterministically (fault-path fixture)."""
+
+    name = "Exploding"
+
+    def allocate(self, profiles, platform):
+        raise SimulationError("boom: allocate refused")
+
+
+class TestCheckpointWriting:
+    def test_checkpoint_file_is_a_loadable_result_store(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        result = run_study(two_scenario_spec(), checkpoint=path)
+        reloaded = StudyResult.load(path)
+        assert reloaded.scenario_ids() == result.scenario_ids() == ["first", "second"]
+        assert reloaded.rows() == result.rows()
+        # Every scenario is closed by its durable end marker.
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["record"] for r in records if r["record"] == "scenario_end"] == [
+            "scenario_end",
+            "scenario_end",
+        ]
+
+    def test_save_and_checkpoint_formats_are_interchangeable(self, tmp_path):
+        saved = tmp_path / "saved.jsonl"
+        result = run_study(two_scenario_spec())
+        result.save(saved)
+        _header, completed = StudyCheckpoint(saved).load_completed()
+        assert sorted(completed) == ["first", "second"]
+        assert StudyResult.load(saved).rows() == result.rows()
+
+    def test_fresh_run_truncates_stale_checkpoint(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"record": "study", "name": "stale", "spec": null}\n')
+        run_study(two_scenario_spec(), checkpoint=path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records[0]["name"] == "ckpt"  # overwritten, not appended
+
+
+class TestResume:
+    def test_resume_skips_completed_scenarios(self, tmp_path, monkeypatch):
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        full = run_study(spec, checkpoint=path)
+        truncate_after_first_scenario(path)
+
+        executed = []
+        original = study_mod._run_scenario
+
+        def counting(scenario, seed, executor):
+            executed.append(scenario.scenario_id(seed))
+            return original(scenario, seed, executor)
+
+        monkeypatch.setattr(study_mod, "_run_scenario", counting)
+        resumed = run_study(spec, checkpoint=path, resume=True)
+        # Only the missing scenario was recomputed; no IDs were duplicated.
+        assert executed == ["second"]
+        assert resumed.scenario_ids() == ["first", "second"]
+        assert len(set(resumed.scenario_ids())) == len(resumed.scenario_ids())
+        assert resumed.rows() == full.rows()
+        # The checkpoint now holds the full study again.
+        assert StudyResult.load(path).rows() == full.rows()
+
+    def test_resume_tolerates_torn_trailing_line(self, tmp_path, monkeypatch):
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        full = run_study(spec, checkpoint=path)
+        truncate_after_first_scenario(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "scenario", "scenario": "sec')  # torn write
+        executed = []
+        original = study_mod._run_scenario
+
+        def counting(scenario, seed, executor):
+            executed.append(scenario.scenario_id(seed))
+            return original(scenario, seed, executor)
+
+        monkeypatch.setattr(study_mod, "_run_scenario", counting)
+        resumed = run_study(spec, checkpoint=path, resume=True)
+        assert executed == ["second"]
+        assert resumed.rows() == full.rows()
+        # The torn line was truncated before appending: the resumed
+        # checkpoint is valid JSONL end to end.
+        assert StudyResult.load(path).rows() == full.rows()
+
+    def test_resume_truncates_unfinished_scenario_records(self, tmp_path):
+        """Crash after a scenario's records but before its end marker.
+
+        The partial records must be truncated and the scenario recomputed
+        exactly once — no duplicate scenario records, no stale partial rows.
+        """
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        full = run_study(spec, checkpoint=path)
+        # Keep everything up to (and including) scenario 'second''s records
+        # but drop its end marker: a crash at a clean line boundary.
+        lines = path.read_text().splitlines(keepends=True)
+        assert json.loads(lines[-1]) == {
+            "record": "scenario_end",
+            "scenario_id": "second",
+        }
+        path.write_text("".join(lines[:-1]))
+        resumed = run_study(spec, checkpoint=path, resume=True)
+        assert resumed.scenario_ids() == ["first", "second"]
+        assert resumed.rows() == full.rows()
+        reloaded = StudyResult.load(path)
+        assert reloaded.scenario_ids() == ["first", "second"]  # no duplicates
+        assert reloaded.rows() == full.rows()  # no stale partial rows
+
+    def test_scenario_without_end_marker_is_recomputed(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        run_study(spec, checkpoint=path)
+        # Drop the final end marker: scenario 'second' becomes incomplete.
+        lines = path.read_text().splitlines(keepends=True)
+        assert json.loads(lines[-1])["record"] == "scenario_end"
+        path.write_text("".join(lines[:-1]))
+        _header, completed = StudyCheckpoint(path).load_completed()
+        assert sorted(completed) == ["first"]
+
+    def test_resume_rejects_changed_scenario_definitions(self, tmp_path):
+        """Rows computed under an old spec must never seed a resumed run."""
+        path = tmp_path / "rows.jsonl"
+        run_study(two_scenario_spec(), checkpoint=path)
+        changed = two_scenario_spec()
+        changed = StudySpec(
+            name=changed.name,
+            scenarios=(
+                changed.scenarios[0],
+                ScenarioSpec(
+                    name="second",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S3",)),),  # edited
+                    policies=(PolicySpec("dunn"),),
+                ),
+            ),
+        )
+        with pytest.raises(SpecError, match="scenario definitions"):
+            run_study(changed, checkpoint=path, resume=True)
+
+    def test_resume_from_current_save_format_recomputes_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        """A result saved by StudyResult.save seeds a resume directly."""
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        full = run_study(spec)
+        full.save(path)
+        executed = []
+        original = study_mod._run_scenario
+
+        def counting(scenario, seed, executor):
+            executed.append(scenario.scenario_id(seed))
+            return original(scenario, seed, executor)
+
+        monkeypatch.setattr(study_mod, "_run_scenario", counting)
+        resumed = run_study(spec, checkpoint=path, resume=True)
+        assert executed == []
+        assert resumed.rows() == full.rows()
+
+    def test_resume_refuses_marker_free_legacy_files(self, tmp_path):
+        """Pre-checkpoint files fail loudly instead of being truncated away."""
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        run_study(spec).save(path)
+        # Strip every scenario_end marker: the pre-checkpoint save format.
+        lines = [
+            line
+            for line in path.read_text().splitlines(keepends=True)
+            if json.loads(line).get("record") != "scenario_end"
+        ]
+        legacy_text = "".join(lines)
+        path.write_text(legacy_text)
+        with pytest.raises(SpecError, match="predates the checkpoint format"):
+            run_study(spec, checkpoint=path, resume=True)
+        # Refused means untouched: no data was destroyed.
+        assert path.read_text() == legacy_text
+
+    def test_append_repairs_missing_trailing_newline(self, tmp_path):
+        """A write cut one byte short must not weld two records together."""
+        path = tmp_path / "rows.jsonl"
+        spec = two_scenario_spec()
+        full = run_study(spec, checkpoint=path)
+        truncate_after_first_scenario(path)
+        # Cut the final newline: the last record is valid JSON but
+        # unterminated, exactly what a one-byte-short write leaves behind.
+        path.write_text(path.read_text().rstrip("\n"))
+        resumed = run_study(spec, checkpoint=path, resume=True)
+        assert resumed.rows() == full.rows()
+        assert StudyResult.load(path).rows() == full.rows()
+
+    def test_resume_with_nothing_completed_refreshes_the_header(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash before any scenario finished + edited spec: the resumed
+        run must record the spec it actually executed, and a further resume
+        of it must succeed without recomputation."""
+        path = tmp_path / "rows.jsonl"
+        original_spec = two_scenario_spec()
+        run_study(original_spec, checkpoint=path)
+        # Keep only the header: a crash during the very first scenario.
+        header_line = path.read_text().splitlines(keepends=True)[0]
+        path.write_text(header_line)
+        edited = StudySpec(
+            name=original_spec.name,
+            scenarios=(
+                original_spec.scenarios[0],
+                ScenarioSpec(
+                    name="second",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S3",)),),
+                    policies=(PolicySpec("dunn"),),
+                ),
+            ),
+        )
+        # Legal: nothing completed yet, so the edited spec may resume...
+        first = run_study(edited, checkpoint=path, resume=True)
+        # ...and the header now records the edited spec, so resuming the
+        # finished checkpoint with the same spec is clean and recomputes
+        # nothing.
+        executed = []
+        original = study_mod._run_scenario
+
+        def counting(scenario, seed, executor):
+            executed.append(scenario.scenario_id(seed))
+            return original(scenario, seed, executor)
+
+        monkeypatch.setattr(study_mod, "_run_scenario", counting)
+        again = run_study(edited, checkpoint=path, resume=True)
+        assert executed == []
+        assert again.rows() == first.rows()
+        assert StudyResult.load(path).spec == edited.to_dict()
+
+    def test_resume_accepts_tuple_valued_params(self, tmp_path, monkeypatch):
+        """Tuples JSON-serialize as lists; identical specs must not be
+        rejected just because the in-memory side still holds tuples."""
+        spec = StudySpec(
+            name="tuples",
+            scenarios=(
+                ScenarioSpec(
+                    name="first",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S1",)),),
+                    policies=(
+                        PolicySpec(
+                            "ckpt-tuple-param", params={"ways": (3, 4)}, label="T"
+                        ),
+                    ),
+                ),
+                ScenarioSpec(
+                    name="second",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S2",)),),
+                    policies=(PolicySpec("lfoc"),),
+                ),
+            ),
+        )
+        path = tmp_path / "rows.jsonl"
+        full = run_study(spec, checkpoint=path)
+        truncate_after_first_scenario(path)
+        executed = []
+        original = study_mod._run_scenario
+
+        def counting(scenario, seed, executor):
+            executed.append(scenario.scenario_id(seed))
+            return original(scenario, seed, executor)
+
+        monkeypatch.setattr(study_mod, "_run_scenario", counting)
+        resumed = run_study(spec, checkpoint=path, resume=True)
+        assert executed == ["second"]
+        assert resumed.rows() == full.rows()
+
+    def test_load_refuses_interrupted_checkpoints(self, tmp_path):
+        """An interrupted checkpoint must not silently load partial rows."""
+        path = tmp_path / "rows.jsonl"
+        run_study(two_scenario_spec(), checkpoint=path)
+        # Cut the last scenario's end marker: interrupted mid-scenario.
+        lines = path.read_text().splitlines(keepends=True)
+        assert json.loads(lines[-1])["record"] == "scenario_end"
+        path.write_text("".join(lines[:-1]))
+        with pytest.raises(SpecError, match="never completed"):
+            StudyResult.load(path)
+        # Plain save() files (no checkpoint flag) keep their lenient load.
+        saved = tmp_path / "saved.jsonl"
+        result = run_study(two_scenario_spec())
+        result.save(saved)
+        assert StudyResult.load(saved).rows() == result.rows()
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        run_study(two_scenario_spec(name="original"), checkpoint=path)
+        with pytest.raises(SpecError, match="belongs to study"):
+            run_study(two_scenario_spec(name="other"), checkpoint=path, resume=True)
+
+    def test_resume_refuses_unverifiable_inline_specs(self, tmp_path):
+        """Inline components leave no serialized spec to compare against,
+        so completed scenarios could be silently stale — refuse loudly."""
+
+        class InlinePolicy:
+            name = "Inline"
+
+            def allocate(self, profiles, platform):
+                from repro.policies import LfocPolicy
+
+                return LfocPolicy().allocate(profiles, platform)
+
+        def inline_spec():
+            return StudySpec(
+                name="inline-resume",
+                scenarios=(
+                    ScenarioSpec(
+                        name="s",
+                        kind="static",
+                        workloads=(WorkloadSpec(suite="s", names=("S1",)),),
+                        policies=(PolicySpec.inline(InlinePolicy(), label="inl"),),
+                    ),
+                ),
+            )
+
+        path = tmp_path / "rows.jsonl"
+        run_study(inline_spec(), checkpoint=path)
+        with pytest.raises(SpecError, match="inline"):
+            run_study(inline_spec(), checkpoint=path, resume=True)
+
+    def test_resume_without_existing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        result = run_study(two_scenario_spec(), checkpoint=path, resume=True)
+        assert result.scenario_ids() == ["first", "second"]
+        assert StudyResult.load(path).rows() == result.rows()
+
+
+class TestFaultPaths:
+    def test_failed_scenario_keeps_prior_checkpoint_records(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        spec = StudySpec(
+            name="faulty",
+            scenarios=(
+                ScenarioSpec(
+                    name="good",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S1",)),),
+                    policies=(PolicySpec("lfoc"),),
+                ),
+                ScenarioSpec(
+                    name="bad",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S2",)),),
+                    policies=(PolicySpec.inline(ExplodingPolicy(), label="expl"),),
+                ),
+            ),
+        )
+        # The failure names the scenario that died...
+        with pytest.raises(SimulationError, match="'bad'"):
+            run_study(spec, checkpoint=path)
+        # ...and the completed scenario's records survive for a resume.
+        _header, completed = StudyCheckpoint(path).load_completed()
+        assert sorted(completed) == ["good"]
+        rows = completed["good"].rows
+        assert rows and all(row["scenario_id"] == "good" for row in rows)

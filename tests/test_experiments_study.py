@@ -350,11 +350,88 @@ class TestLoadRobustness:
             StudyResult.load(path)
 
 
-class TestBatchTablesRebind:
+class TestExecutorSelection:
+    def _spec(self, executor=None):
+        return StudySpec(
+            name="sel",
+            scenarios=(
+                ScenarioSpec(
+                    name="s",
+                    kind="static",
+                    workloads=(WorkloadSpec(suite="s", names=("S1",)),),
+                ),
+            ),
+            executor=executor,
+        )
+
+    def test_explicit_jobs_overrides_spec_executor(self):
+        from repro.experiments import ExecutorSpec
+        from repro.experiments.study import _resolve_executor
+        from repro.runtime import PoolExecutor, SerialExecutor
+
+        spec = self._spec(ExecutorSpec(name="pool", workers=4))
+        # --jobs 1 must win over the spec's [executor] table (the historical
+        # contract: jobs overrides whatever the spec says about execution).
+        chosen, owned = _resolve_executor(spec, None, 1, True)
+        assert isinstance(chosen, SerialExecutor) and owned
+        # Without an explicit jobs, the spec's executor is honoured.
+        chosen, owned = _resolve_executor(spec, None, spec.jobs, False)
+        assert isinstance(chosen, PoolExecutor) and chosen.jobs == 4 and owned
+        chosen.close()
+        # An explicit executor argument beats both.
+        chosen, owned = _resolve_executor(spec, "serial", 8, True)
+        assert isinstance(chosen, SerialExecutor) and owned
+
+    def test_caller_owned_executor_not_closed(self):
+        from repro.runtime import SerialExecutor
+
+        live = SerialExecutor()
+        result = run_study(self._spec(), executor=live)
+        assert {row["policy"] for row in result.rows()} == {BASELINE_LABEL}
+        # Still usable: run_study must not have closed a caller-owned executor.
+        result2 = run_study(self._spec(), executor=live)
+        assert result2.rows() == result.rows()
+
+    def test_executor_spec_round_trips_with_study(self):
+        from repro.experiments import ExecutorSpec
+
+        spec = self._spec(
+            ExecutorSpec(
+                name="tcp",
+                workers=2,
+                bind="127.0.0.1:7070",
+                task_timeout_s=120.0,
+                max_retries=5,
+            )
+        )
+        reloaded = StudySpec.from_dict(spec.to_dict())
+        assert reloaded.executor == spec.executor
+        assert reloaded.executor.task_timeout_s == 120.0
+
+    def test_executor_spec_rejects_unknown_names_and_keys(self):
+        from repro.errors import SpecError
+        from repro.experiments import ExecutorSpec
+
+        with pytest.raises(SpecError, match="unknown executor"):
+            ExecutorSpec.from_dict({"name": "quantum"})
+        with pytest.raises(SpecError, match="unknown key"):
+            ExecutorSpec.from_dict({"name": "serial", "threads": 4})
+        with pytest.raises(SpecError, match="task_timeout_s"):
+            ExecutorSpec(name="tcp", task_timeout_s=0.0)
+
+
+class TestWorkerTableCache:
     def test_per_spec_max_table_entries_is_honoured(self):
-        """A later RunSpec's differing table bound must not reuse stale tables."""
+        """Specs with different table bounds get distinct table sets.
+
+        The per-worker cache is keyed by ``(id(platform), max_entries)``, so
+        interleaved runners with different bounds (or platforms) can never
+        silently share or clobber each other's table state — and repeated
+        batches still produce identical results.
+        """
         from repro.runtime import EngineConfig, StockLinuxDriver
         from repro.runtime.batch import BatchRunner, RunSpec
+        from repro.runtime.executors import worker_tables
         from repro.hardware import skylake_gold_6138
         from repro.workloads import workload_by_name
 
@@ -375,14 +452,37 @@ class TestBatchTablesRebind:
                 label="bounded",
             ),
         ]
-        import repro.runtime.batch as batch_mod
-
         results = BatchRunner(platform, jobs=1).run(specs)
         assert len(results) == 2
-        # After the batch the module slot is reset; run the second config alone
-        # and confirm the bound sticks (fresh tables, not the unbounded ones).
-        BatchRunner(platform, jobs=1, config=EngineConfig(**base)).run(specs[:1])
-        assert batch_mod._BATCH_TABLES is None
+        # Distinct bounds map to distinct table sets for the same platform...
+        unbounded = worker_tables(platform, None)
+        bounded = worker_tables(platform, 2)
+        assert unbounded is not bounded
+        assert bounded.max_entries == 2 and unbounded.max_entries is None
+        # ...the cache is stable across lookups (interleaved runners share)...
+        assert worker_tables(platform, 2) is bounded
+        # ...and results do not depend on whatever table state accumulated.
         r1 = BatchRunner(platform, jobs=1).run(specs)
         assert results[0].slowdowns() == r1[0].slowdowns()
         assert results[1].slowdowns() == r1[1].slowdowns()
+
+    def test_cache_distinguishes_platforms_by_identity(self):
+        from repro.hardware import skylake_gold_6138
+        from repro.runtime.executors import worker_tables
+
+        a, b = skylake_gold_6138(), skylake_gold_6138()
+        assert worker_tables(a, None) is not worker_tables(b, None)
+        assert worker_tables(a, None) is worker_tables(a, None)
+
+    def test_cache_is_dropped_when_the_executor_closes(self):
+        """The historical end-of-batch table reset: no retention after close."""
+        from repro.hardware import skylake_gold_6138
+        from repro.runtime import SerialExecutor
+        import repro.runtime.executors.base as base_mod
+
+        platform = skylake_gold_6138()
+        with SerialExecutor() as executor:
+            executor.prepare(platform)
+            base_mod.worker_tables(platform, None)
+            assert base_mod._TABLES_CACHE
+        assert base_mod._TABLES_CACHE == {}
