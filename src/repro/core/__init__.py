@@ -21,7 +21,8 @@ from repro.core.fixedpoint import (
     table_to_fixed,
     to_fixed,
 )
-from repro.core.lfoc import LfocParams, lfoc_clustering
+from repro.core.caching import LruDict
+from repro.core.lfoc import LfocDecisionCache, LfocParams, lfoc_clustering
 from repro.core.lfoc_kernel import lfoc_clustering_kernel
 
 __all__ = [
@@ -47,6 +48,8 @@ __all__ = [
     "table_to_fixed",
     "to_fixed",
     "LfocParams",
+    "LfocDecisionCache",
+    "LruDict",
     "lfoc_clustering",
     "lfoc_clustering_kernel",
 ]

@@ -43,11 +43,12 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.caching import LruDict
 from repro.core.lookahead import lookahead
-from repro.core.types import ClusterSpec, ClusteringSolution
+from repro.core.types import ClusterSpec, ClusteringSolution, WayAllocation
 from repro.errors import ClusteringError
 
-__all__ = ["LfocParams", "lfoc_clustering"]
+__all__ = ["LfocParams", "lfoc_clustering", "LfocDecisionCache"]
 
 
 @dataclass(frozen=True)
@@ -228,3 +229,140 @@ def lfoc_clustering(
             _round_robin(remaining_light, [groups[i] for i in streaming_cluster_indices])
 
     return ClusteringSolution.from_groups(groups, ways, n_ways, labels=labels)
+
+
+class LfocDecisionCache:
+    """Memoized front-end for :func:`lfoc_clustering`.
+
+    Algorithm 1 is a pure function of the ST/CS/LS split and the sensitive
+    applications' slowdown tables, and during a dynamic run those inputs only
+    change when a sampling-mode sweep installs a new classification — yet the
+    runtime driver re-runs the whole algorithm (lookahead included) at every
+    partitioning interval.  This cache keys decisions by a value-fingerprint
+    of the inputs, reusing the token-registry pattern of
+    :class:`~repro.simulator.estimator.EvaluationTables`: each distinct
+    slowdown table is interned once into a small integer token, so repeated
+    fingerprints cost one dictionary probe per table instead of re-hashing
+    the float curves.
+
+    Cached :class:`~repro.core.types.ClusteringSolution`/
+    :class:`~repro.core.types.WayAllocation` objects are shared with callers
+    and must be treated as read-only.  Every table — decisions *and* the
+    token intern registry — is LRU-bounded; evicted decisions are recomputed
+    and evicted tables re-interned on demand, so results are unaffected.
+    """
+
+    def __init__(
+        self, params: LfocParams = DEFAULT_PARAMS, *, max_entries: int = 1024
+    ) -> None:
+        if max_entries < 1:
+            raise ClusteringError("max_entries must be >= 1")
+        self.params = params
+        self.max_entries = max_entries
+        # Long dynamic runs install a freshly measured slowdown table on
+        # every sampling sweep, so the intern registry is LRU-bounded too
+        # (sized so live decision fingerprints rarely lose their tokens).
+        # Token ids come from a monotone counter, never from the registry
+        # size: a re-interned table gets a *new* id, so fingerprints built
+        # from evicted tokens can go stale but can never collide.
+        self.max_table_tokens = 8 * max_entries
+        self._table_tokens = LruDict(self.max_table_tokens)
+        self._next_token = 0
+        self._solutions = LruDict(max_entries)
+        self._allocations: Dict[tuple, WayAllocation] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._solutions)
+
+    def table_token(self, table: Sequence[float]) -> int:
+        """Intern a slowdown table into a stable small-integer token."""
+        key = tuple(table)
+        token = self._table_tokens.get(key)
+        if token is None:
+            token = self._next_token
+            self._next_token += 1
+            self._table_tokens.put(key, token)
+        return token
+
+    def fingerprint(
+        self,
+        streaming: Sequence[str],
+        sensitive: Sequence[str],
+        light: Sequence[str],
+        n_ways: int,
+        slowdown_tables: Mapping[str, Sequence[float]],
+    ) -> tuple:
+        """Hashable identity of one Algorithm 1 input set.
+
+        Application *order* is part of the identity: the clustering lays
+        groups out in input order, so permuted inputs must not share a cache
+        entry.  Only the sensitive applications' tables participate
+        (Algorithm 1 never reads the others).
+        """
+        return (
+            tuple(streaming),
+            tuple(sensitive),
+            tuple(light),
+            n_ways,
+            tuple(self.table_token(slowdown_tables[app]) for app in sensitive),
+        )
+
+    def _solution_for_key(
+        self,
+        key: tuple,
+        streaming: Sequence[str],
+        sensitive: Sequence[str],
+        light: Sequence[str],
+        n_ways: int,
+        slowdown_tables: Mapping[str, Sequence[float]],
+    ) -> ClusteringSolution:
+        # The fingerprint is computed exactly once per call chain: interning
+        # the tables again here could evict tokens the caller's key was
+        # built from and silently change the key mid-operation.
+        solution = self._solutions.get(key)
+        if solution is None:
+            solution = lfoc_clustering(
+                streaming, sensitive, light, n_ways, slowdown_tables, self.params
+            )
+            evicted = self._solutions.put(key, solution)
+            self._allocations[key] = solution.to_allocation()
+            if evicted is not None:
+                self._allocations.pop(evicted, None)
+            self.misses += 1
+        else:
+            self.hits += 1
+        return solution
+
+    def solution_for(
+        self,
+        streaming: Sequence[str],
+        sensitive: Sequence[str],
+        light: Sequence[str],
+        n_ways: int,
+        slowdown_tables: Mapping[str, Sequence[float]],
+    ) -> ClusteringSolution:
+        """Cached equivalent of ``lfoc_clustering(...)`` with this cache's params."""
+        key = self.fingerprint(streaming, sensitive, light, n_ways, slowdown_tables)
+        return self._solution_for_key(
+            key, streaming, sensitive, light, n_ways, slowdown_tables
+        )
+
+    def allocation_for(
+        self,
+        streaming: Sequence[str],
+        sensitive: Sequence[str],
+        light: Sequence[str],
+        n_ways: int,
+        slowdown_tables: Mapping[str, Sequence[float]],
+    ) -> WayAllocation:
+        """The cached clustering's way allocation (computed once per entry)."""
+        key = self.fingerprint(streaming, sensitive, light, n_ways, slowdown_tables)
+        if self._solutions.get(key) is None:  # refreshes recency on a hit
+            self._solution_for_key(
+                key, streaming, sensitive, light, n_ways, slowdown_tables
+            )
+        else:
+            self.hits += 1
+        return self._allocations[key]

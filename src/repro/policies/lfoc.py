@@ -12,15 +12,22 @@ from __future__ import annotations
 from typing import Dict, Mapping
 
 from repro.apps.profile import AppProfile
+from repro.core.caching import LruDict
 from repro.core.classification import (
     AppClass,
     ClassificationThresholds,
     classify_profile,
 )
 from repro.core.fixedpoint import table_to_fixed
-from repro.core.lfoc import DEFAULT_PARAMS, LfocParams, lfoc_clustering
+from repro.core.lfoc import (
+    DEFAULT_PARAMS,
+    LfocDecisionCache,
+    LfocParams,
+    lfoc_clustering,
+)
 from repro.core.lfoc_kernel import lfoc_clustering_kernel
 from repro.core.types import ClusteringSolution
+from repro.errors import ClusteringError
 from repro.hardware.platform import PlatformSpec
 from repro.policies.base import ClusteringPolicy
 
@@ -54,24 +61,60 @@ class LfocPolicy(ClusteringPolicy):
 
     name = "LFOC"
 
+    #: Bound on memoized whole-workload decisions (LRU).
+    _DECISION_CACHE_ENTRIES = 512
+
     def __init__(
         self,
         params: LfocParams = DEFAULT_PARAMS,
         thresholds: ClassificationThresholds = ClassificationThresholds(),
+        backend: str = "incremental",
     ) -> None:
+        """
+        Parameters
+        ----------
+        backend:
+            ``"incremental"`` (default) memoizes whole decisions per
+            value-fingerprint of the workload's profiles (skipping the
+            classification/resampling pass when the same profiles recur
+            across studies in one process) and shares the Algorithm 1
+            results through a :class:`~repro.core.lfoc.LfocDecisionCache`;
+            ``"reference"`` recomputes everything on every call.  Decisions
+            are identical either way.
+        """
+        if backend not in ("incremental", "reference"):
+            raise ClusteringError(f"unknown LFOC policy backend {backend!r}")
         self.params = params
         self.thresholds = thresholds
+        self.backend = backend
+        self._decision_cache = LfocDecisionCache(params=params)
+        self._decisions = LruDict(self._DECISION_CACHE_ENTRIES)
 
     def decide(
         self, profiles: Mapping[str, AppProfile], platform: PlatformSpec
     ) -> ClusteringSolution:
         self._check_workload(profiles, platform)
-        streaming, sensitive, light, tables = _classify_and_tabulate(
-            profiles, platform, self.thresholds
+        if self.backend == "reference":
+            streaming, sensitive, light, tables = _classify_and_tabulate(
+                profiles, platform, self.thresholds
+            )
+            return lfoc_clustering(
+                streaming, sensitive, light, platform.llc_ways, tables, self.params
+            )
+        key = (
+            tuple((name, prof.value_fingerprint()) for name, prof in profiles.items()),
+            platform,
         )
-        return lfoc_clustering(
-            streaming, sensitive, light, platform.llc_ways, tables, self.params
-        )
+        solution = self._decisions.get(key)
+        if solution is None:
+            streaming, sensitive, light, tables = _classify_and_tabulate(
+                profiles, platform, self.thresholds
+            )
+            solution = self._decision_cache.solution_for(
+                streaming, sensitive, light, platform.llc_ways, tables
+            )
+            self._decisions.put(key, solution)
+        return solution
 
 
 class LfocKernelPolicy(ClusteringPolicy):

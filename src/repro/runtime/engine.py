@@ -231,6 +231,13 @@ class RuntimeEngine:
         self._alloc_ids: Dict[tuple, int] = {}
         self._alloc_id = -1
         self._phase_epoch_watch: List[Tuple[int, float, List[float]]] = []
+        # Per-application phase-token matrix (incremental backend): the
+        # snapshot's profiles are interned into the shared tables once at the
+        # top of _run_incremental; afterwards a phase epoch is described
+        # purely by token and no profile objects are re-registered.
+        self._phase_tokens: List[Tuple[int, ...]] = []
+        self._phase_views: List[tuple] = []
+        self._epoch_token_maps: Dict[tuple, Dict[str, int]] = {}
 
     # -- main entry point ------------------------------------------------------------
 
@@ -469,6 +476,18 @@ class RuntimeEngine:
             for i, name in enumerate(names)
             if self.phased[name].n_phases > 1
         ]
+        # Intern every (application, phase) profile once; rate recomputations
+        # then work entirely in token space (see _recompute_rates_incremental).
+        snapshot = self._snapshot
+        tables = self.tables
+        assert snapshot is not None and tables is not None
+        token_map = snapshot.tokenize(tables)
+        self._phase_tokens = [token_map[name] for name in names]
+        self._phase_views = [
+            tuple(tables.view_for_token(token) for token in tokens)
+            for tokens in self._phase_tokens
+        ]
+        self._epoch_token_maps = {}
 
         # Phase-epoch bookkeeping: a single-phase application whose only
         # boundary lies safely beyond the run budget can never trigger a phase
@@ -689,9 +708,8 @@ class RuntimeEngine:
     def _recompute_rates_incremental(self) -> None:
         if self._allocation is None:
             raise SimulationError("no allocation programmed")
-        snapshot = self._snapshot
         tables = self.tables
-        assert snapshot is not None and tables is not None
+        assert tables is not None
         pos = self._phase_pos  # phase position == instructions_in_run
         if pos is None:
             raise SimulationError(
@@ -710,15 +728,25 @@ class RuntimeEngine:
                     break
                 position -= segment
             epochs[i] = index
-        key = (self._alloc_id, tuple(epochs))
+        epoch_key = tuple(epochs)
+        key = (self._alloc_id, epoch_key)
         vectors = self._rate_vectors.get(key)
         if vectors is None:
-            profile_map: Dict[str, AppProfile] = {
-                name: snapshot.phase_profiles[name][epochs[i]]
-                for i, name in enumerate(self.apps)
-            }
-            estimate = tables.evaluate(
-                self._allocation, profile_map, alloc_token=self._alloc_token
+            # Token-space evaluation: only the tokens of the applications
+            # whose phase changed differ from the previous epoch's map, and
+            # no profile objects are re-registered for the others (the
+            # per-app dirty-estimate delta; the occupancy layer then
+            # re-solves only the mask-sharing components whose member
+            # tokens changed).
+            token_map = self._epoch_token_maps.get(epoch_key)
+            if token_map is None:
+                token_map = {
+                    name: self._phase_tokens[i][epochs[i]]
+                    for i, name in enumerate(self.apps)
+                }
+                self._epoch_token_maps[epoch_key] = token_map
+            estimate = tables.evaluate_tokens(
+                self._allocation, token_map, alloc_token=self._alloc_token
             )
             ipcs = estimate.ipcs
             effective = estimate.effective_ways
@@ -726,8 +754,8 @@ class RuntimeEngine:
             eff_vec = np.array([effective[name] for name in self.apps])
             mpkc = []
             stall = []
-            for name in self.apps:
-                view = tables.view_for(profile_map[name])
+            for i, name in enumerate(self.apps):
+                view = self._phase_views[i][epochs[i]]
                 eval_ways = max(effective[name], 0.25)
                 mpkc.append(view.llcmpkc_at(eval_ways))
                 stall.append(view.stall_fraction_at(eval_ways, self.platform))

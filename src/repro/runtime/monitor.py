@@ -77,6 +77,12 @@ class AppMonitor:
         self.sampling_mode_entries = 0
         #: Set by the scheduler while the application is being swept.
         self.in_sampling_mode = False
+        #: Monotone counter bumped whenever :meth:`set_classification`
+        #: installs a sweep outcome (even one confirming the same class: the
+        #: slowdown table or critical size may still have changed).  The
+        #: incremental LFOC driver compares version vectors to detect
+        #: partitioning intervals whose Algorithm 1 inputs are unchanged.
+        self.classification_version = 0
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -107,6 +113,7 @@ class AppMonitor:
         self.slowdown_table = list(slowdown_table) if slowdown_table is not None else None
         self.critical_size = critical_size
         self.in_sampling_mode = False
+        self.classification_version += 1
 
     def reset_for_restart(self) -> None:
         """Called when the benchmark is restarted.

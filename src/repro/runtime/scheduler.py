@@ -20,21 +20,26 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Deque, Dict, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.apps.profile import AppProfile
+from repro.core.caching import LruDict
 from repro.core.classification import AppClass
-from repro.core.lfoc import DEFAULT_PARAMS, LfocParams, lfoc_clustering
-from repro.core.types import ClusteringSolution, WayAllocation
+from repro.core.lfoc import (
+    DEFAULT_PARAMS,
+    LfocDecisionCache,
+    LfocParams,
+    lfoc_clustering,
+)
+from repro.core.types import WayAllocation
 from repro.errors import SimulationError
-from repro.hardware.cat import mask_from_range
 from repro.hardware.platform import PlatformSpec
 from repro.hardware.pmc import DerivedMetrics
 from repro.metrics.aggregate import short_mean
 from repro.policies.base import ClusteringPolicy
-from repro.policies.dunn import DunnPolicy, kmeans_1d
+from repro.policies.dunn import DunnPolicy
 from repro.runtime.monitor import AppMonitor, MonitorConfig
 from repro.runtime.sampling import SamplingConfig, SamplingOutcome, SamplingSession
 
@@ -124,10 +129,26 @@ class LfocSchedulerPlugin(PolicyDriver):
         params: LfocParams = DEFAULT_PARAMS,
         monitor_config: Optional[MonitorConfig] = None,
         sampling_config: Optional[SamplingConfig] = None,
+        backend: str = "incremental",
     ) -> None:
+        """
+        Parameters
+        ----------
+        backend:
+            ``"incremental"`` (default) skips the Algorithm 1 re-run at
+            partitioning intervals whose per-application classifications are
+            unchanged (a monitor-version fast path backed by a
+            fingerprint-keyed :class:`~repro.core.lfoc.LfocDecisionCache`);
+            ``"reference"`` recomputes the clustering every interval, as the
+            original driver did.  Both produce bit-identical allocations —
+            the differential-oracle suite pins them against each other.
+        """
+        if backend not in ("incremental", "reference"):
+            raise SimulationError(f"unknown LFOC driver backend {backend!r}")
         self.params = params
         self.monitor_config = monitor_config or MonitorConfig()
         self.sampling_config = sampling_config or SamplingConfig()
+        self.backend = backend
         self.monitors: Dict[str, AppMonitor] = {}
         self._platform: Optional[PlatformSpec] = None
         self._apps: List[str] = []
@@ -135,6 +156,14 @@ class LfocSchedulerPlugin(PolicyDriver):
         self._sampling_queue: Deque[str] = deque()
         self._current_allocation: Optional[WayAllocation] = None
         self.sampling_outcomes: List[SamplingOutcome] = []
+        # Incremental-backend decision state: the last partitioning's
+        # classification versions and its allocation, plus the shared
+        # fingerprint cache for classifications that recur after changes.
+        self._decision_cache = LfocDecisionCache(params=params)
+        self._last_versions: Optional[Tuple[int, ...]] = None
+        self._last_partition_allocation: Optional[WayAllocation] = None
+        self.partition_fast_hits = 0
+        self.partitions_computed = 0
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -144,6 +173,13 @@ class LfocSchedulerPlugin(PolicyDriver):
         self.monitors = {
             app: AppMonitor(app, self.monitor_config) for app in self._apps
         }
+        # The version fast path must not carry a previous run's allocation
+        # across on_start: fresh monitors all report version 0, which would
+        # match a first-partitioning version vector recorded before any
+        # sweep completed.  (The fingerprint cache below it is safe — app
+        # names and way counts are part of its keys.)
+        self._last_versions = None
+        self._last_partition_allocation = None
         # Until anything is known every application shares the whole cache.
         allocation = WayAllocation(
             masks={app: platform.full_mask for app in self._apps},
@@ -218,10 +254,8 @@ class LfocSchedulerPlugin(PolicyDriver):
         self._active_sampling = session
         return session.current_allocation()
 
-    def _run_partitioning(self) -> Optional[WayAllocation]:
-        """Re-run Algorithm 1 from the current per-application classification."""
-        if self._platform is None:
-            raise SimulationError("driver used before on_start")
+    def _classify_current(self):
+        """Split the workload into ST/CS/LS sets from the live monitors."""
         streaming: List[str] = []
         sensitive: List[str] = []
         light: List[str] = []
@@ -237,12 +271,52 @@ class LfocSchedulerPlugin(PolicyDriver):
                 # Light sharing and still-unknown applications are treated the
                 # same way (they are assumed harmless until proven otherwise).
                 light.append(app)
+        return streaming, sensitive, light, tables
+
+    def _run_partitioning(self) -> Optional[WayAllocation]:
+        """Re-run Algorithm 1 from the current per-application classification."""
+        if self._platform is None:
+            raise SimulationError("driver used before on_start")
+        if self.backend == "incremental":
+            # Algorithm 1's inputs change only when a sampling sweep installs
+            # a new classification, so an unchanged version vector means the
+            # previous allocation is still the exact answer.
+            versions = tuple(
+                self.monitors[app].classification_version for app in self._apps
+            )
+            if (
+                versions == self._last_versions
+                and self._last_partition_allocation is not None
+            ):
+                self.partition_fast_hits += 1
+                self._current_allocation = self._last_partition_allocation
+                return self._last_partition_allocation
+            streaming, sensitive, light, tables = self._classify_current()
+            allocation = self._decision_cache.allocation_for(
+                streaming, sensitive, light, self._platform.llc_ways, tables
+            )
+            self._last_versions = versions
+            self._last_partition_allocation = allocation
+            self.partitions_computed += 1
+            self._current_allocation = allocation
+            return allocation
+        streaming, sensitive, light, tables = self._classify_current()
         solution = lfoc_clustering(
             streaming, sensitive, light, self._platform.llc_ways, tables, self.params
         )
         allocation = solution.to_allocation()
+        self.partitions_computed += 1
         self._current_allocation = allocation
         return allocation
+
+    def decision_stats(self) -> Dict[str, int]:
+        """Decision-layer counters (for the driver benchmark and tests)."""
+        return {
+            "partitions_computed": self.partitions_computed,
+            "partition_fast_hits": self.partition_fast_hits,
+            "decision_cache_hits": self._decision_cache.hits,
+            "decision_cache_misses": self._decision_cache.misses,
+        }
 
     def describe_state(self) -> Dict[str, Dict[str, float]]:
         return {app: monitor.snapshot() for app, monitor in self.monitors.items()}
@@ -253,22 +327,54 @@ class DunnUserLevelDaemon(PolicyDriver):
 
     name = "Dunn"
 
+    #: Bound on the daemon's fingerprint-keyed allocation cache (LRU).
+    _ALLOCATION_CACHE_ENTRIES = 4096
+
     def __init__(
         self,
         max_clusters: int = 4,
         min_clusters: int = 2,
         overlap_ways: int = 1,
         history_window: int = 5,
+        backend: str = "incremental",
     ) -> None:
+        """
+        Parameters
+        ----------
+        backend:
+            ``"incremental"`` (default) decides through the vectorized
+            :class:`~repro.policies.dunn.DunnPolicy` fast path and two
+            decision caches — a window-version check that returns the
+            previous allocation outright when no counter sample arrived
+            since the last interval, and a fingerprint-keyed allocation
+            cache over the measured stall vector; ``"reference"`` recomputes
+            every interval through the original silhouette loop.  Both
+            produce bit-identical allocations whenever candidate silhouette
+            scores are exactly tied or separated by more than the ~1e-12
+            implementation discrepancy (see :mod:`repro.policies.dunn`);
+            the differential-oracle suite pins the equivalence.
+        """
+        if backend not in ("incremental", "reference"):
+            raise SimulationError(f"unknown Dunn driver backend {backend!r}")
         self._template = DunnPolicy(
             max_clusters=max_clusters,
             min_clusters=min_clusters,
             overlap_ways=overlap_ways,
+            backend=backend,
         )
         self.history_window = history_window
+        self.backend = backend
         self._stall_history: Dict[str, Deque[float]] = {}
         self._platform: Optional[PlatformSpec] = None
         self._apps: List[str] = []
+        # Incremental-backend decision state.
+        self._window_version = 0
+        self._decided_version: Optional[int] = None
+        self._last_allocation: Optional[WayAllocation] = None
+        self._allocations = LruDict(self._ALLOCATION_CACHE_ENTRIES)
+        self.interval_fast_hits = 0
+        self.allocation_cache_hits = 0
+        self.intervals_computed = 0
 
     def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
         self._platform = platform
@@ -276,6 +382,13 @@ class DunnUserLevelDaemon(PolicyDriver):
         self._stall_history = {
             app: deque(maxlen=self.history_window) for app in self._apps
         }
+        self._window_version = 0
+        self._decided_version = None
+        self._last_allocation = None
+        # Allocations are platform-shaped and the cache key is (apps, stall
+        # values) only, so a restart — possibly on a different platform —
+        # must not serve the previous run's masks.
+        self._allocations.clear()
         return WayAllocation(
             masks={app: platform.full_mask for app in self._apps},
             total_ways=platform.llc_ways,
@@ -285,6 +398,7 @@ class DunnUserLevelDaemon(PolicyDriver):
         self, app: str, metrics: DerivedMetrics, effective_ways: float, now: float
     ) -> Optional[WayAllocation]:
         self._stall_history[app].append(metrics.stall_fraction)
+        self._window_version += 1
         return None
 
     def on_interval(self, now: float) -> Optional[WayAllocation]:
@@ -292,43 +406,54 @@ class DunnUserLevelDaemon(PolicyDriver):
             raise SimulationError("driver used before on_start")
         if any(not history for history in self._stall_history.values()):
             return None  # not every application has been sampled yet
+        if self.backend == "incremental":
+            # No sample arrived since the last decision: the rolling means —
+            # and therefore the clustering — are unchanged.
+            if (
+                self._decided_version == self._window_version
+                and self._last_allocation is not None
+            ):
+                self.interval_fast_hits += 1
+                return self._last_allocation
         stalls = {
             app: short_mean(history) for app, history in self._stall_history.items()
         }
         return self._allocation_from_stalls(stalls)
 
     def _allocation_from_stalls(self, stalls: Mapping[str, float]) -> WayAllocation:
-        """Reuse the static Dunn mask construction with measured stall values."""
+        """Reuse the static Dunn mask construction with measured stall values.
+
+        The construction itself lives in
+        :meth:`~repro.policies.dunn.DunnPolicy.allocation_for_values` (shared
+        with the static policy); this wrapper adds the daemon's
+        fingerprint-keyed allocation cache so an exactly-recurring monitor
+        window skips re-clustering entirely.
+        """
         platform = self._platform
         assert platform is not None
         apps = list(stalls)
         values = np.array([stalls[a] for a in apps], dtype=float)
-        k, labels = self._template.choose_k(values)
-        centroids = np.array(
-            [values[labels == c].mean() if np.any(labels == c) else 0.0 for c in range(k)]
-        )
-        weights = centroids + 1e-6
-        raw = weights / weights.sum() * platform.llc_ways
-        ways = np.maximum(np.floor(raw).astype(int), 1)
-        while ways.sum() > platform.llc_ways:
-            ways[int(np.argmax(ways))] -= 1
-        leftovers = platform.llc_ways - int(ways.sum())
-        order = np.argsort(-centroids)
-        for i in range(leftovers):
-            ways[order[i % k]] += 1
-        sorted_clusters = list(np.argsort(centroids))
-        starts: Dict[int, int] = {}
-        spans: Dict[int, int] = {}
-        cursor = 0
-        for rank, cluster in enumerate(sorted_clusters):
-            width = int(ways[cluster])
-            overlap = self._template.overlap_ways if rank < len(sorted_clusters) - 1 else 0
-            overlap = min(overlap, platform.llc_ways - (cursor + width))
-            starts[cluster] = cursor
-            spans[cluster] = width + max(overlap, 0)
-            cursor += width
-        masks = {
-            app: mask_from_range(starts[int(labels[i])], spans[int(labels[i])])
-            for i, app in enumerate(apps)
+        if self.backend == "reference":
+            self.intervals_computed += 1
+            return self._template.allocation_for_values(apps, values, platform)
+        key = (tuple(apps), values.tobytes())
+        allocation = self._allocations.get(key)
+        if allocation is None:
+            allocation = self._template.allocation_for_values(apps, values, platform)
+            self._allocations.put(key, allocation)
+            self.intervals_computed += 1
+        else:
+            self.allocation_cache_hits += 1
+        self._decided_version = self._window_version
+        self._last_allocation = allocation
+        return allocation
+
+    def decision_stats(self) -> Dict[str, int]:
+        """Decision-layer counters (for the driver benchmark and tests)."""
+        return {
+            "intervals_computed": self.intervals_computed,
+            "interval_fast_hits": self.interval_fast_hits,
+            "allocation_cache_hits": self.allocation_cache_hits,
+            "choose_k_computed": self._template.decisions_computed,
+            "choose_k_cache_hits": self._template.decision_cache_hits,
         }
-        return WayAllocation(masks=masks, total_ways=platform.llc_ways)

@@ -110,6 +110,21 @@ class ProfileSnapshot:
         """Phase-0 profile of every application (engine start-up state)."""
         return {name: phases[0] for name, phases in self.phase_profiles.items()}
 
+    def tokenize(self, tables: "EvaluationTables") -> Dict[str, Tuple[int, ...]]:
+        """Intern every (application, phase) profile into ``tables`` up front.
+
+        Returns the per-application tuple of phase tokens.  The runtime
+        engine registers the whole snapshot once at run start and from then
+        on describes a phase epoch purely by token — no profile objects are
+        re-registered when an application changes phase, which is what lets
+        :meth:`EvaluationTables.evaluate_tokens` skip all per-application
+        bookkeeping for the applications whose phase did not change.
+        """
+        return {
+            name: tuple(tables.token_for(profile) for profile in phases)
+            for name, phases in self.phase_profiles.items()
+        }
+
 
 def _ipc_with_extrapolation(profile: AppProfile, effective_ways: float) -> float:
     """IPC at a fractional allocation, extrapolating below one way.
@@ -237,6 +252,13 @@ class EvaluationTables:
         """The shared :class:`FastProfileView` evaluating ``profile``'s curves."""
         return self._views[self.token_for(profile)]
 
+    def view_for_token(self, token: int) -> FastProfileView:
+        """The :class:`FastProfileView` behind an already-interned token."""
+        try:
+            return self._views[token]
+        except KeyError:
+            raise SimulationError(f"unknown profile token {token!r}")
+
     def cache_sizes(self) -> Dict[str, int]:
         """Entry counts per table (introspection for tests and benchmarks)."""
         return {
@@ -265,6 +287,44 @@ class EvaluationTables:
         tokens = tuple(self.token_for(profiles[app]) for app in apps)
         if alloc_token is None:
             alloc_token = allocation_token(allocation)
+        return self._lookup(allocation, apps, tokens, alloc_token)
+
+    def evaluate_tokens(
+        self,
+        allocation: WayAllocation,
+        tokens: Mapping[str, int],
+        alloc_token: Optional[tuple] = None,
+    ) -> ClusterEstimate:
+        """:meth:`evaluate` from pre-interned profile tokens.
+
+        ``tokens`` maps every application in the allocation to a token
+        previously produced by :meth:`token_for` (e.g. through
+        :meth:`ProfileSnapshot.tokenize`).  No profile objects are touched:
+        the caller re-registers nothing per evaluation, so a phase change of
+        one application costs exactly one changed token in the key — the
+        per-application dirty-estimate delta the runtime engine's
+        incremental backend is built on.  Shares the estimate cache (and the
+        bit-identical results) with :meth:`evaluate`.
+        """
+        apps = allocation.apps()
+        try:
+            token_tuple = tuple(tokens[app] for app in apps)
+        except KeyError as exc:
+            raise SimulationError(f"no profile token for application {exc.args[0]!r}")
+        for token in token_tuple:
+            if token not in self._views:
+                raise SimulationError(f"unknown profile token {token!r}")
+        if alloc_token is None:
+            alloc_token = allocation_token(allocation)
+        return self._lookup(allocation, apps, token_tuple, alloc_token)
+
+    def _lookup(
+        self,
+        allocation: WayAllocation,
+        apps: Sequence[str],
+        tokens: Tuple[int, ...],
+        alloc_token: tuple,
+    ) -> ClusterEstimate:
         key = (alloc_token, tokens)
         estimate = self._estimates.get(key)
         if estimate is None:

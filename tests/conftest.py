@@ -9,6 +9,27 @@ from repro.hardware import PlatformSpec, skylake_gold_6138, small_test_platform
 from repro.simulator import ClusteringEstimator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--oracle-seeds",
+        type=int,
+        default=2,
+        help=(
+            "number of randomized-workload seeds the differential-oracle "
+            "suite runs through the incremental-vs-reference cross product "
+            "(default keeps CI bounded; crank it up for deep local fuzzing, "
+            "e.g. --oracle-seeds 25)"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def oracle_seeds(request) -> list:
+    """Seeds for the differential-oracle fuzz loops (see ``--oracle-seeds``)."""
+    count = request.config.getoption("--oracle-seeds")
+    return list(range(count))
+
+
 @pytest.fixture(scope="session")
 def platform() -> PlatformSpec:
     """The paper's Skylake platform (11-way LLC)."""

@@ -1,0 +1,278 @@
+"""Differential-oracle suite: incremental vs. reference drivers and engine.
+
+Every test here runs the *same* seeded randomized workload (or decision
+input) through the ``incremental`` and ``reference`` implementations and
+asserts bit-identical outcomes — study rows, ``choose_k`` decisions,
+allocation masks, traces, repartition events.  The harness lives in
+``tests/oracles.py``; the fuzz breadth is CI-bounded and controlled by the
+``--oracle-seeds`` pytest option for deep local runs.
+"""
+
+import numpy as np
+import pytest
+
+import oracles
+from repro.core.classification import AppClass
+from repro.hardware import skylake_gold_6138
+from repro.policies import DunnPolicy, LfocPolicy
+from repro.runtime import DunnUserLevelDaemon, LfocSchedulerPlugin
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return skylake_gold_6138()
+
+
+class TestEngineDriverCrossProduct:
+    """Randomized phased workloads through every backend combination."""
+
+    @pytest.mark.parametrize("driver_name", oracles.DRIVER_NAMES)
+    def test_runs_bit_identical_to_reference_baseline(self, oracle_seeds, driver_name):
+        for seed in oracle_seeds:
+            workload = oracles.random_phased_workload(seed)
+            baseline = oracles.differential_run(
+                workload, driver_name, "reference", "reference"
+            )
+            for engine_backend, driver_backend in oracles.BACKEND_COMBINATIONS:
+                candidate = oracles.differential_run(
+                    workload, driver_name, engine_backend, driver_backend
+                )
+                oracles.assert_identical(
+                    candidate,
+                    baseline,
+                    f"{workload.name}/{driver_name} "
+                    f"(engine={engine_backend}, driver={driver_backend})",
+                )
+
+    def test_oracle_workloads_are_reproducible_and_phased(self, oracle_seeds):
+        for seed in oracle_seeds:
+            again = oracles.random_phased_workload(seed)
+            assert again.benchmarks == oracles.random_phased_workload(seed).benchmarks
+            assert again.has_phased_benchmarks()
+
+
+class TestStudyRowsDifferential:
+    """The fig6/fig7 analysis rows must not depend on the backend."""
+
+    def test_fig7_rows_identical_across_driver_backends(self, platform):
+        from repro.analysis import fig7_dynamic_study
+        from repro.runtime import EngineConfig
+
+        workloads = [Workload("f7-diff", ("mcf06", "lbm06", "xalancbmk06", "gamess06"))]
+        config = EngineConfig(
+            instructions_per_run=6.0e8, min_completions=1, record_traces=False
+        )
+        reference = fig7_dynamic_study(
+            workloads,
+            engine_config=config,
+            platform=platform,
+            drivers={"Dunn": oracles.dunn_reference, "LFOC": oracles.lfoc_reference},
+            backend="reference",
+        )
+        incremental = fig7_dynamic_study(
+            workloads,
+            engine_config=config,
+            platform=platform,
+            drivers={"Dunn": oracles.dunn_incremental, "LFOC": oracles.lfoc_incremental},
+            backend="incremental",
+        )
+        assert incremental == reference
+
+    def test_fig6_rows_identical_across_policy_backends(self, platform):
+        from repro.analysis import fig6_static_study
+
+        workloads = [Workload("f6-diff", ("lbm06", "xalancbmk06", "soplex06", "gamess06"))]
+        reference = fig6_static_study(
+            workloads,
+            policies=[DunnPolicy(backend="reference"), LfocPolicy(backend="reference")],
+            platform=platform,
+        )
+        incremental = fig6_static_study(
+            workloads,
+            policies=[
+                DunnPolicy(backend="incremental"),
+                LfocPolicy(backend="incremental"),
+            ],
+            platform=platform,
+        )
+        assert incremental == reference
+
+
+class TestChooseKDecisionOracle:
+    """Decision-level fuzz: the k-selection must be implementation-independent."""
+
+    def test_decisions_identical_on_adversarial_vectors(self, oracle_seeds):
+        for seed in oracle_seeds:
+            rng = np.random.default_rng(1000 + seed)
+            incremental = DunnPolicy(backend="incremental")
+            reference = DunnPolicy(backend="reference")
+            for _ in range(150):
+                values = oracles.random_stall_vector(rng)
+                k_inc, labels_inc = incremental.choose_k(values)
+                k_ref, labels_ref = reference.choose_k(values)
+                assert k_inc == k_ref, (values, k_inc, k_ref)
+                assert np.array_equal(labels_inc, labels_ref), values
+
+    def test_allocations_identical_on_adversarial_vectors(self, oracle_seeds, platform):
+        for seed in oracle_seeds:
+            rng = np.random.default_rng(2000 + seed)
+            incremental = DunnPolicy(backend="incremental")
+            reference = DunnPolicy(backend="reference")
+            for _ in range(60):
+                values = oracles.random_stall_vector(rng)
+                apps = [f"app{i}" for i in range(values.size)]
+                alloc_inc = incremental.allocation_for_values(apps, values, platform)
+                alloc_ref = reference.allocation_for_values(apps, values, platform)
+                assert alloc_inc.masks == alloc_ref.masks, values
+                assert alloc_inc.total_ways == alloc_ref.total_ways
+
+
+class TestLfocPartitioningOracle:
+    """Algorithm 1 decisions under synthetic classification churn."""
+
+    def _random_table(self, rng, n_ways):
+        # Monotone non-increasing slowdown table (more ways -> less slowdown).
+        steps = rng.random(n_ways) * 0.4
+        table = 1.0 + np.cumsum(steps[::-1])[::-1]
+        return [float(x) for x in table]
+
+    def test_partitioning_identical_under_churn(self, oracle_seeds, platform):
+        classes = (AppClass.STREAMING, AppClass.SENSITIVE, AppClass.LIGHT)
+        for seed in oracle_seeds:
+            rng = np.random.default_rng(3000 + seed)
+            apps = [f"app{i}" for i in range(int(rng.integers(3, 9)))]
+            incremental = LfocSchedulerPlugin(backend="incremental")
+            reference = LfocSchedulerPlugin(backend="reference")
+            incremental.on_start(apps, platform)
+            reference.on_start(apps, platform)
+            for _ in range(40):
+                # Mutate a random subset of classifications identically.
+                for app in apps:
+                    if rng.random() < 0.3:
+                        app_class = classes[int(rng.integers(0, len(classes)))]
+                        table = (
+                            self._random_table(rng, platform.llc_ways)
+                            if app_class is AppClass.SENSITIVE
+                            else None
+                        )
+                        for driver in (incremental, reference):
+                            driver.monitors[app].set_classification(
+                                app_class, slowdown_table=table
+                            )
+                alloc_inc = incremental._run_partitioning()
+                alloc_ref = reference._run_partitioning()
+                assert alloc_inc.masks == alloc_ref.masks
+        # The version fast path and the fingerprint cache must actually have
+        # fired for the comparison above to mean anything.
+        stats = incremental.decision_stats()
+        assert stats["partition_fast_hits"] + stats["decision_cache_hits"] > 0
+
+
+class TestDecisionCacheSoundness:
+    """The caches must change cost, never results."""
+
+    def test_dunn_interval_fast_path_returns_same_allocation(self, platform):
+        daemon = DunnUserLevelDaemon(backend="incremental")
+        daemon.on_start(["a", "b", "c"], platform)
+        stalls = {"a": 0.1, "b": 0.7, "c": 0.75}
+        first = daemon._allocation_from_stalls(stalls)
+        again = daemon._allocation_from_stalls(stalls)
+        assert again is first  # fingerprint hit, not a recomputation
+        assert daemon.decision_stats()["allocation_cache_hits"] == 1
+
+    def test_dunn_choose_k_cache_is_value_keyed(self):
+        policy = DunnPolicy(backend="incremental")
+        values = np.array([0.1, 0.12, 0.8, 0.82])
+        k1, labels1 = policy.choose_k(values)
+        k2, labels2 = policy.choose_k(np.array([0.1, 0.12, 0.8, 0.82]))
+        assert (k1, list(labels1)) == (k2, list(labels2))
+        assert policy.decision_cache_hits == 1
+        assert policy.decisions_computed == 1
+        # A different vector misses.
+        policy.choose_k(np.array([0.2, 0.3, 0.9, 0.95]))
+        assert policy.decisions_computed == 2
+
+    def test_reference_backend_never_caches(self):
+        policy = DunnPolicy(backend="reference")
+        values = np.array([0.1, 0.12, 0.8, 0.82])
+        policy.choose_k(values)
+        policy.choose_k(values)
+        assert policy.decision_cache_hits == 0
+        assert policy.decisions_computed == 2
+
+    def test_lfoc_restart_does_not_serve_previous_runs_allocation(self, platform):
+        # Regression: the version fast path must reset on on_start.  A first
+        # partitioning before any sweep records an all-zero version vector;
+        # a second run's fresh monitors are also all version 0 and must not
+        # match it.
+        driver = LfocSchedulerPlugin(backend="incremental")
+        driver.on_start(["a", "b", "c"], platform)
+        first = driver._run_partitioning()
+        assert set(first.masks) == {"a", "b", "c"}
+        driver.on_start(["x", "y", "z"], platform)
+        second = driver._run_partitioning()
+        assert set(second.masks) == {"x", "y", "z"}
+
+    def test_dunn_restart_on_other_platform_does_not_reuse_allocations(self):
+        # Regression: the allocation cache key is (apps, stall values) only,
+        # so a restart on a different platform must not hit it.
+        from repro.hardware import small_test_platform
+
+        big = skylake_gold_6138()
+        small = small_test_platform(ways=4, cores=4)
+        daemon = DunnUserLevelDaemon(backend="incremental")
+        stalls = {"a": 0.1, "b": 0.7, "c": 0.75}
+        daemon.on_start(list(stalls), big)
+        assert daemon._allocation_from_stalls(stalls).total_ways == big.llc_ways
+        daemon.on_start(list(stalls), small)
+        again = daemon._allocation_from_stalls(stalls)
+        assert again.total_ways == small.llc_ways
+        assert daemon.decision_stats()["allocation_cache_hits"] == 0
+
+    def test_lfoc_table_token_registry_is_bounded(self, platform):
+        from repro.core import LfocDecisionCache
+
+        cache = LfocDecisionCache(max_entries=2)
+        n_ways = platform.llc_ways
+        for i in range(10 * cache.max_table_tokens):
+            cache.table_token([1.0 + i] * n_ways)
+        assert len(cache._table_tokens) <= cache.max_table_tokens
+        # Tokens are never reused: a re-interned (evicted) table gets a new
+        # id, so stale fingerprints cannot collide with live ones.
+        first = cache.table_token([1.0] * n_ways)
+        assert first != 0
+        # And an evicted-then-recomputed decision still matches by value.
+        table = [2.0] * n_ways
+        solution = cache.solution_for([], ["s"], [], n_ways, {"s": table})
+        for i in range(cache.max_table_tokens + 1):
+            cache.table_token([100.0 + i] * n_ways)
+        again = cache.solution_for([], ["s"], [], n_ways, {"s": table})
+        assert again.to_allocation().masks == solution.to_allocation().masks
+
+    def test_lfoc_allocation_for_survives_token_eviction_mid_call(self, platform):
+        # Regression: with more distinct sensitive tables than the token
+        # registry holds, fingerprinting twice in one call used to change
+        # the key mid-operation and raise KeyError.
+        from repro.core import LfocDecisionCache
+
+        cache = LfocDecisionCache(max_entries=1)  # token capacity 8
+        n_ways = platform.llc_ways
+        sensitive = [f"s{i}" for i in range(cache.max_table_tokens + 1)]
+        tables = {
+            app: [2.0 + i] + [1.0] * (n_ways - 1) for i, app in enumerate(sensitive)
+        }
+        allocation = cache.allocation_for([], sensitive, [], n_ways, tables)
+        assert set(allocation.masks) == set(sensitive)
+
+    def test_invalid_backends_rejected(self):
+        from repro.errors import ClusteringError, SimulationError
+
+        with pytest.raises(ClusteringError):
+            DunnPolicy(backend="warp")
+        with pytest.raises(SimulationError):
+            DunnUserLevelDaemon(backend="warp")
+        with pytest.raises(SimulationError):
+            LfocSchedulerPlugin(backend="warp")
+        with pytest.raises(ClusteringError):
+            LfocPolicy(backend="warp")

@@ -399,6 +399,103 @@ class TestResume:
         assert StudyResult.load(path).rows() == result.rows()
 
 
+class TestTruncationFuzz:
+    """Crash-at-every-byte fuzz of the checkpoint resume path.
+
+    A crash can cut the file at *any* byte, not just at line boundaries.
+    For every possible truncation point of a valid two-scenario checkpoint,
+    resuming must (a) report exactly the scenarios whose durable end marker
+    survived — never a duplicate, never a dropped completed ID, always a
+    prefix of the completion order — and (b) after the repair-and-append
+    cycle, produce a checkpoint whose rows equal the uninterrupted study's.
+
+    The per-offset cycle drives the :class:`StudyCheckpoint` API directly
+    (``load_completed`` -> ``start(fresh=False)`` -> ``append`` of the
+    missing scenarios) so the whole sweep stays fast; a bounded set of
+    representative offsets additionally goes through the full
+    ``run_study(..., resume=True)`` integration below.
+    """
+
+    def _full_checkpoint(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        result = run_study(two_scenario_spec(), checkpoint=path)
+        data = path.read_bytes()
+        header, completed = StudyCheckpoint(path).load_completed()
+        assert sorted(completed) == ["first", "second"]
+        return result, data, header, completed
+
+    def test_every_byte_truncation_resumes_cleanly(self, tmp_path):
+        full, data, header, scenarios = self._full_checkpoint(tmp_path)
+        # End-marker byte offsets define which scenarios must survive a cut.
+        marker_ends = []
+        offset = 0
+        for line in data.decode("utf-8").splitlines(keepends=True):
+            offset += len(line.encode("utf-8"))
+            record = json.loads(line)
+            if record.get("record") == "scenario_end":
+                marker_ends.append((offset, record["scenario_id"]))
+        completion_order = [scenario_id for _, scenario_id in marker_ends]
+        assert completion_order == ["first", "second"]
+
+        path = tmp_path / "cut.jsonl"
+        for cut in range(len(data) + 1):
+            path.write_bytes(data[:cut])
+            checkpoint = StudyCheckpoint(path)
+            recovered_header, completed = checkpoint.load_completed()
+            # A marker survives once its JSON content is fully on disk; the
+            # trailing newline is optional (the lenient reader parses an
+            # unterminated-but-complete final line, and append() repairs the
+            # missing newline before writing more records).
+            expected = [
+                scenario_id for end, scenario_id in marker_ends if cut >= end - 1
+            ]
+            recovered = list(completed)
+            # Never a duplicate, never a dropped completed ID, and always a
+            # prefix of the completion order.
+            assert recovered == expected, f"cut at byte {cut}"
+            # Repair the file and append what a resumed study would rerun.
+            checkpoint.start(
+                name=header.get("name", "ckpt"),
+                description=header.get("description", ""),
+                spec=header.get("spec"),
+                fresh=False,
+            )
+            for scenario_id in completion_order:
+                if scenario_id not in completed:
+                    checkpoint.append(scenarios[scenario_id])
+            reloaded = StudyResult.load(path)
+            assert reloaded.scenario_ids() == ["first", "second"], f"byte {cut}"
+            assert reloaded.rows() == full.rows(), f"byte {cut}"
+
+    def test_representative_truncations_through_run_study(self, tmp_path):
+        """Full resume integration at crash points of every flavour."""
+        full, data, _header, _scenarios = self._full_checkpoint(tmp_path)
+        text = data.decode("utf-8")
+        first_line_end = text.index("\n") + 1
+        first_marker_end = text.index('"record": "scenario_end"')
+        first_marker_end = text.index("\n", first_marker_end) + 1
+        offsets = {
+            0,  # nothing on disk
+            first_line_end - 3,  # torn header
+            first_line_end,  # header only
+            first_line_end + 17,  # torn first scenario record
+            first_marker_end - 2,  # torn first end marker
+            first_marker_end,  # exactly one completed scenario
+            len(data) - 3,  # torn second end marker
+            len(data),  # clean file: nothing to recompute
+        }
+        spec = two_scenario_spec()
+        path = tmp_path / "resume.jsonl"
+        for cut in sorted(offsets):
+            path.write_bytes(data[:cut])
+            resumed = run_study(spec, checkpoint=path, resume=True)
+            ids = resumed.scenario_ids()
+            assert ids == ["first", "second"], f"cut at byte {cut}"
+            assert len(set(ids)) == len(ids), f"cut at byte {cut}"
+            assert resumed.rows() == full.rows(), f"cut at byte {cut}"
+            assert StudyResult.load(path).rows() == full.rows(), f"cut at byte {cut}"
+
+
 class TestFaultPaths:
     def test_failed_scenario_keeps_prior_checkpoint_records(self, tmp_path):
         path = tmp_path / "rows.jsonl"

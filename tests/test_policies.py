@@ -1,7 +1,11 @@
 """Tests for the static cache-allocation policies (LFOC, Dunn, KPart, UCP...)."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core import AppClass, ClusteringSolution, WayAllocation, classify_profile
 from repro.errors import ClusteringError
@@ -16,7 +20,10 @@ from repro.policies import (
     build_dendrogram,
     evaluate_level,
     kmeans_1d,
+    silhouette_1d,
+    silhouette_1d_reference,
 )
+from repro.policies.dunn import _kmeans_1d_reference, _seed_centroids
 from repro.simulator import ClusteringEstimator
 
 
@@ -240,6 +247,155 @@ class TestKPart:
         stock = estimator.evaluate_unpartitioned()
         kpart = estimator.evaluate(KPartPolicy().cluster(mix8, platform))
         assert kpart.stp >= stock.stp
+
+
+HYPOTHESIS_SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+unit_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def stall_vectors(draw):
+    """1-D stall-metric vectors, with duplicates and constants over-sampled."""
+    n = draw(st.integers(min_value=2, max_value=20))
+    values = draw(st.lists(unit_floats, min_size=n, max_size=n))
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 1:  # heavy duplicates
+        pool = values[: max(n // 3, 1)]
+        values = [pool[i % len(pool)] for i in range(n)]
+    elif shape == 2:  # constant vector
+        values = [values[0]] * n
+    return np.array(values, dtype=float)
+
+
+class TestDunnDecisionProperties:
+    """Hypothesis properties of the Dunn decision kernels (tentpole pinning)."""
+
+    @HYPOTHESIS_SETTINGS
+    @given(values=stall_vectors(), k=st.integers(min_value=1, max_value=6))
+    def test_kmeans_bit_identical_to_reference_and_deterministic(self, values, k):
+        k = min(k, values.size)
+        labels, centroids = kmeans_1d(values, k)
+        ref_labels, ref_centroids = _kmeans_1d_reference(values, k)
+        assert np.array_equal(labels, ref_labels)
+        assert np.array_equal(centroids, ref_centroids)
+        again_labels, again_centroids = kmeans_1d(values, k)
+        assert np.array_equal(labels, again_labels)
+        assert np.array_equal(centroids, again_centroids)
+        # Structural invariants: centroids ascending, labels in range.
+        assert np.all(np.diff(centroids) >= 0)
+        assert labels.min() >= 0 and labels.max() < k
+
+    @HYPOTHESIS_SETTINGS
+    @given(values=stall_vectors(), k=st.integers(min_value=1, max_value=6))
+    def test_seed_centroids_bit_identical_to_np_quantile(self, values, k):
+        k = min(k, values.size)
+        quantiles = np.linspace(0.0, 1.0, k + 2)[1:-1]
+        assert np.array_equal(
+            _seed_centroids(np.sort(values), k), np.quantile(values, quantiles)
+        )
+
+    @HYPOTHESIS_SETTINGS
+    @given(values=stall_vectors(), k=st.integers(min_value=2, max_value=6))
+    def test_silhouette_range_and_new_vs_old_equality(self, values, k):
+        k = min(k, values.size)
+        labels, _ = kmeans_1d(values, k)
+        fast = silhouette_1d(values, labels, k)
+        slow = silhouette_1d_reference(values, labels, k)
+        assert -1.0 <= fast <= 1.0
+        assert -1.0 <= slow <= 1.0
+        # Same math, different summation order: equal to rounding accuracy.
+        assert math.isclose(fast, slow, rel_tol=1e-9, abs_tol=1e-9)
+        # Determinism across repeated calls.
+        assert silhouette_1d(values, labels, k) == fast
+        assert silhouette_1d_reference(values, labels, k) == slow
+
+    @HYPOTHESIS_SETTINGS
+    @given(values=stall_vectors(), k=st.integers(min_value=2, max_value=6))
+    def test_silhouette_label_permutation_invariance(self, values, k):
+        k = min(k, values.size)
+        labels, _ = kmeans_1d(values, k)
+        permutation = np.roll(np.arange(k), 1)
+        permuted = permutation[labels]
+        assert silhouette_1d(values, permuted, k) == silhouette_1d(values, labels, k)
+        assert silhouette_1d_reference(values, permuted, k) == silhouette_1d_reference(
+            values, labels, k
+        )
+
+    @HYPOTHESIS_SETTINGS
+    @given(values=stall_vectors())
+    def test_choose_k_decisions_backend_independent(self, values):
+        k_inc, labels_inc = DunnPolicy(backend="incremental").choose_k(values)
+        k_ref, labels_ref = DunnPolicy(backend="reference").choose_k(values)
+        assert k_inc == k_ref
+        assert np.array_equal(labels_inc, labels_ref)
+        assert 1 <= k_inc <= values.size
+        assert labels_inc.shape == values.shape
+
+    @HYPOTHESIS_SETTINGS
+    @given(values=stall_vectors(), min_clusters=st.integers(min_value=1, max_value=8))
+    def test_choose_k_handles_n_below_min_clusters(self, values, min_clusters):
+        policy = DunnPolicy(max_clusters=max(min_clusters, 4), min_clusters=min_clusters)
+        k, labels = policy.choose_k(values)
+        # The sweep caps k at n even when the configured range exceeds it.
+        assert 1 <= k <= values.size
+        assert labels.size == values.size
+
+    def test_silhouette_k1_scores_minus_one(self):
+        values = np.array([0.1, 0.5, 0.9])
+        labels = np.zeros(3, dtype=int)
+        assert silhouette_1d(values, labels, 1) == -1.0
+        assert silhouette_1d_reference(values, labels, 1) == -1.0
+
+    def test_silhouette_all_duplicates_scores_zero(self):
+        # Two non-empty clusters of identical values: a = b = 0 -> score 0.0.
+        values = np.array([0.4, 0.4, 0.4, 0.4])
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_1d(values, labels, 2) == 0.0
+        assert silhouette_1d_reference(values, labels, 2) == 0.0
+
+
+class TestChooseKTieBreaking:
+    """The explicit degenerate/tie-breaking rule (regression for the old
+    inconsistency where a degenerate k>=2 clustering scored 0.0 while k=1
+    scored -1.0 and could win the sweep on duplicate-heavy data)."""
+
+    def test_constant_vector_collapses_to_single_cluster(self):
+        values = np.full(6, 0.25)
+        for backend in ("incremental", "reference"):
+            k, labels = DunnPolicy(backend=backend).choose_k(values)
+            assert k == 1
+            assert list(labels) == [0] * 6
+
+    def test_degenerate_candidates_cannot_beat_baseline(self):
+        # k-means on a constant vector assigns everything to cluster 0, an
+        # effective single cluster; with the explicit rule it scores -1.0
+        # (same as k = 1) and the smallest k wins the tie.
+        values = np.full(5, 0.7)
+        labels, _ = kmeans_1d(values, 2)
+        assert len(set(labels.tolist())) == 1  # the degenerate shape
+        k, chosen = DunnPolicy().choose_k(values)
+        assert k == 1 and list(chosen) == [0] * 5
+
+    def test_two_separated_groups_still_win_over_baseline(self):
+        values = np.array([0.05, 0.06, 0.07, 0.85, 0.9, 0.88])
+        k, labels = DunnPolicy().choose_k(values)
+        assert k == 2
+        assert list(labels) == [0, 0, 0, 1, 1, 1]
+
+    def test_constant_vector_allocation_spans_whole_cache(self, platform):
+        # Downstream effect of the fix: no ways are wasted on empty clusters.
+        apps = ["a", "b", "c"]
+        allocation = DunnPolicy().allocation_for_values(
+            apps, np.full(3, 0.5), platform
+        )
+        assert all(
+            allocation.ways_of(app) == platform.llc_ways for app in apps
+        )
 
 
 class TestBestStatic:
