@@ -22,9 +22,17 @@ file with no Python at all:
          --workloads P1 S1 --seeds 0 1 --out sweep.jsonl
 
 Execution is pluggable (see ``repro.runtime.executors``): ``run`` accepts
-``--executor serial|pool|tcp`` plus ``--workers``/``--bind``, and the
-``worker`` subcommand turns any host into a run worker for a ``tcp``
-coordinator:
+``--executor serial|pool|tcp|supervised`` plus ``--workers``/``--bind``.
+The ``supervised`` executor spawns and babysits its own local workers
+(crash → respawn with backoff), so a distributed study is one command:
+
+.. code-block:: console
+
+   $ lfoc-repro run study.toml --executor supervised --workers 2 \\
+         --checkpoint rows.jsonl
+
+For remote hosts, the ``worker`` subcommand still turns any machine into a
+run worker for a ``tcp`` coordinator:
 
 .. code-block:: console
 
@@ -33,8 +41,13 @@ coordinator:
          --bind 127.0.0.1:7070 --workers 2 \\
          --checkpoint rows.jsonl                           # terminal 3
 
+The wire protocol is schema-versioned and safe by default; the legacy
+pickle codec needs ``--unsafe-pickle`` on *both* sides.  ``--chaos`` takes
+a JSON fault plan for deterministic resilience drills.
+
 ``--checkpoint``/``--resume`` make long studies crash-safe: completed
-scenarios are appended durably and a re-run skips them.
+scenarios are appended durably (with per-line checksums) and a re-run
+skips them.
 """
 
 from __future__ import annotations
@@ -190,6 +203,38 @@ def build_parser() -> argparse.ArgumentParser:
         "seconds and resubmit it (default: no bound)",
     )
     run.add_argument(
+        "--heartbeat-grace",
+        type=float,
+        default=None,
+        metavar="S",
+        help="tcp: drop a worker whose ping goes unanswered for S seconds "
+        "(default: max(3 * heartbeat, 10))",
+    )
+    run.add_argument(
+        "--unsafe-pickle",
+        action="store_true",
+        help="tcp: use the legacy pickle wire codec (arbitrary code "
+        "execution; trusted networks only; workers need --unsafe-pickle too)",
+    )
+    run.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help="tcp: coordinator-side fault plan as JSON, e.g. "
+        '\'{"corrupt_frames": [1], "drop_frames": [3]}\' '
+        "(deterministic resilience drills)",
+    )
+    run.add_argument(
+        "--fault-tolerance",
+        default=None,
+        metavar="JSON",
+        help="retry/quarantine policy as JSON, e.g. "
+        '\'{"max_attempts": 3, "backoff_s": 0.5}\' (or "true" for the '
+        "defaults, \"false\" to disable): failed runs are retried with "
+        "backoff and then quarantined as structured failure records "
+        "instead of aborting the study",
+    )
+    run.add_argument(
         "--checkpoint",
         default=None,
         metavar="FILE",
@@ -230,6 +275,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fault injection: die without replying when run N+1 arrives "
         "(exercises the coordinator's retry path)",
+    )
+    worker.add_argument(
+        "--unsafe-pickle",
+        action="store_true",
+        help="speak the legacy pickle wire codec (arbitrary code execution; "
+        "trusted networks only; the coordinator must opt in too)",
+    )
+    worker.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help="worker-side fault plan as JSON, e.g. "
+        '\'{"kill_runs": [0], "duplicate_results": [2]}\'',
     )
     worker.add_argument(
         "--quiet", action="store_true", help="suppress per-run log lines"
@@ -301,6 +359,12 @@ def _print_study(result: StudyResult) -> None:
         print(f"# scenario {scenario.scenario_id} ({scenario.kind}, seed {scenario.seed})")
         rows = [[_format_cell(row.get(f, "")) for f in fields] for row in scenario.rows]
         print(format_table(list(fields), rows))
+        for failure in scenario.failures:
+            print(
+                f"! quarantined {failure.get('label')}: {failure.get('kind')} "
+                f"after {failure.get('attempts')} attempts — "
+                f"{failure.get('message')}"
+            )
         print()
     summary = result.aggregate()
     print("# aggregate (mean over workloads, scenarios and seeds)")
@@ -327,22 +391,51 @@ def _report_study(result: StudyResult, out: Optional[str]) -> int:
     return 0
 
 
+def _parse_chaos(text: Optional[str]):
+    if text is None:
+        return None
+    import json
+
+    from repro.errors import SpecError
+    from repro.runtime.executors import FaultPlan
+
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise SpecError(f"--chaos is not valid JSON: {exc}") from exc
+    return FaultPlan.from_dict(data)
+
+
 def _run_study_command(args: argparse.Namespace) -> int:
     from repro.errors import SpecError
 
     spec = load_study_spec(args.spec)
     executor = None
+    chaos = _parse_chaos(args.chaos)
     if args.executor is not None:
         executor = ExecutorSpec(
             name=args.executor,
             workers=args.workers,
             bind=args.bind,
             task_timeout_s=args.task_timeout,
+            heartbeat_grace_s=args.heartbeat_grace,
+            unsafe_pickle=args.unsafe_pickle,
+            chaos=chaos.to_dict() if chaos is not None else None,
         )
-    elif any(v is not None for v in (args.workers, args.bind, args.task_timeout)):
+    elif any(
+        v is not None
+        for v in (
+            args.workers,
+            args.bind,
+            args.task_timeout,
+            args.heartbeat_grace,
+            args.chaos,
+        )
+    ) or args.unsafe_pickle:
         raise SpecError(
-            "--workers/--bind/--task-timeout configure the executor selected "
-            "by --executor; pass --executor as well (or set them in the "
+            "--workers/--bind/--task-timeout/--heartbeat-grace/"
+            "--unsafe-pickle/--chaos configure the executor selected by "
+            "--executor; pass --executor as well (or set them in the "
             "spec's [executor] table)"
         )
     if args.resume and args.checkpoint is None:
@@ -353,6 +446,20 @@ def _run_study_command(args: argparse.Namespace) -> int:
     extra = dict(
         executor=executor, checkpoint=args.checkpoint, resume=args.resume
     )
+    if args.fault_tolerance is not None:
+        import json
+
+        from repro.experiments.specs import FaultToleranceSpec
+
+        try:
+            data = json.loads(args.fault_tolerance)
+        except ValueError as exc:
+            raise SpecError(
+                f"--fault-tolerance is not valid JSON: {exc}"
+            ) from exc
+        extra["fault_tolerance"] = FaultToleranceSpec.coerce(
+            data, where="--fault-tolerance"
+        )
     if args.jobs is None:
         result = run_study(spec, **extra)  # the spec's own jobs setting
     else:
@@ -362,12 +469,15 @@ def _run_study_command(args: argparse.Namespace) -> int:
 
 def _worker_command(args: argparse.Namespace) -> int:
     from repro.runtime.executors import run_worker
+    from repro.runtime.executors.framing import CODEC_PICKLE, CODEC_SAFE
 
     return run_worker(
         args.connect,
         max_runs=args.max_runs,
         crash_after=args.crash_after,
         quiet=args.quiet,
+        codec=CODEC_PICKLE if args.unsafe_pickle else CODEC_SAFE,
+        chaos=_parse_chaos(args.chaos),
     )
 
 

@@ -22,12 +22,28 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
+import zlib
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import SpecError
 
-__all__ = ["StudyCheckpoint"]
+__all__ = ["StudyCheckpoint", "record_crc"]
+
+
+def record_crc(record: Mapping[str, Any]) -> int:
+    """Checksum of a record's payload — everything but ``record``/``crc``.
+
+    Computed over the canonical JSON form (sorted keys), so it is stable
+    across a write/parse round-trip and across key insertion order.  Row and
+    failure records carry it as the ``crc`` field; a mismatch on read means
+    the line was corrupted *after* it was durably written (bit rot, partial
+    overwrite), which framing-level torn-tail handling cannot catch.
+    """
+    payload = {k: v for k, v in record.items() if k not in ("record", "crc")}
+    canonical = json.dumps(payload, sort_keys=True, ensure_ascii=True)
+    return zlib.crc32(canonical.encode("utf-8"))
 
 
 class StudyCheckpoint:
@@ -37,8 +53,8 @@ class StudyCheckpoint:
     :meth:`StudyResult.load` is the strict parser for finished result
     stores; this one is lenient (torn tails, unfinished scenarios, legacy
     marker-free files) and tracks byte offsets for truncation.  Keep the
-    record kinds (``study``/``scenario``/``row``/``scenario_end``) in sync
-    between the two.
+    record kinds (``study``/``scenario``/``row``/``failure``/
+    ``scenario_end``) in sync between the two.
     """
 
     def __init__(self, path) -> None:
@@ -76,6 +92,7 @@ class StudyCheckpoint:
             lines = handle.readlines()
         offset = 0
         torn = False
+        corrupt = False
         markers_seen = False
         self._resume_offset = 0
         for line_no, raw in enumerate(lines, start=1):
@@ -102,16 +119,36 @@ class StudyCheckpoint:
                         f"{self.path}:{line_no}: malformed scenario record: {exc}"
                     )
                 open_scenarios[scenario.scenario_id] = scenario
-            elif kind == "row":
-                scenario_id = record.pop("scenario_id", None)
+            elif kind in ("row", "failure"):
+                scenario_id = record.get("scenario_id")
                 scenario = open_scenarios.get(scenario_id)
                 if scenario is None:
                     raise SpecError(
-                        f"{self.path}:{line_no}: row references unknown scenario "
-                        f"{scenario_id!r}"
+                        f"{self.path}:{line_no}: {kind} references unknown "
+                        f"scenario {scenario_id!r}"
                     )
-                record["scenario_id"] = scenario_id
-                scenario.rows.append(record)
+                crc = record.pop("crc", None)
+                if crc is not None and crc != record_crc(record):
+                    # The line parsed but its payload changed since it was
+                    # written.  Treat the scenario (and everything after it)
+                    # as incomplete: it stays out of `completed`, the resume
+                    # offset stays at the last good scenario_end, and
+                    # start(fresh=False) truncates the damage away so the
+                    # affected scenarios are recomputed.
+                    warnings.warn(
+                        f"{self.path}:{line_no}: {kind} record failed its CRC "
+                        f"check (corrupted checkpoint line); scenario "
+                        f"{scenario_id!r} and everything after it will be "
+                        f"recomputed",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    corrupt = True
+                    break
+                if kind == "row":
+                    scenario.rows.append(record)
+                else:
+                    scenario.failures.append(record)
             elif kind == "scenario_end":
                 scenario_id = record.get("scenario_id")
                 scenario = open_scenarios.pop(scenario_id, None)
@@ -131,6 +168,7 @@ class StudyCheckpoint:
             open_scenarios
             and not markers_seen
             and not torn
+            and not corrupt
             and not header.get("checkpoint")
         ):
             # Scenario records, no end markers, no checkpoint header flag: a
@@ -194,14 +232,25 @@ class StudyCheckpoint:
             os.fsync(handle.fileno())
 
     def append(self, scenario) -> None:
-        """Durably append one completed scenario (records + end marker)."""
+        """Durably append one completed scenario (records + end marker).
+
+        Row and failure records are stamped with a :func:`record_crc`
+        checksum so the resume path can detect silent corruption of lines
+        that were already durably written.
+        """
         lines = [json.dumps({"record": "scenario", **scenario.meta()})]
         for row in scenario.rows:
-            lines.append(
-                json.dumps(
-                    {"record": "row", "scenario_id": scenario.scenario_id, **row}
-                )
-            )
+            record = {"record": "row", "scenario_id": scenario.scenario_id, **row}
+            record["crc"] = record_crc(record)
+            lines.append(json.dumps(record))
+        for failure in scenario.failures:
+            record = {
+                "record": "failure",
+                "scenario_id": scenario.scenario_id,
+                **failure,
+            }
+            record["crc"] = record_crc(record)
+            lines.append(json.dumps(record))
         lines.append(
             json.dumps(
                 {"record": "scenario_end", "scenario_id": scenario.scenario_id}

@@ -42,8 +42,8 @@ Factory conventions (all keyword arguments come from ``PolicySpec.params``):
 * **executors** — the factory receives the scenario-independent
   :class:`~repro.experiments.specs.ExecutorSpec` and returns a started
   :class:`~repro.runtime.executors.base.Executor` (``serial``, ``pool``,
-  ``tcp`` are built in; register your own to plug a new execution strategy
-  into every study and CLI invocation).
+  ``tcp`` and ``supervised`` are built in; register your own to plug a new
+  execution strategy into every study and CLI invocation).
 """
 
 from __future__ import annotations
@@ -272,15 +272,33 @@ def _pool_executor(spec):
     return PoolExecutor(jobs=spec.workers)
 
 
+def _tcp_kwargs(spec):
+    return dict(
+        min_workers=spec.workers or 1,
+        heartbeat_s=spec.heartbeat_s,
+        heartbeat_grace_s=spec.heartbeat_grace_s,
+        connect_timeout_s=spec.connect_timeout_s,
+        task_timeout_s=spec.task_timeout_s,
+        max_retries=spec.max_retries,
+        unsafe_pickle=spec.unsafe_pickle,
+        chaos=spec.fault_plan(),
+    )
+
+
 @register_executor("tcp")
 def _tcp_executor(spec):
     """Multi-host coordinator; workers join via ``repro.cli worker --connect``."""
     host, port = parse_address(spec.bind or "127.0.0.1:0")
-    return TCPExecutor(
-        (host, port),
-        min_workers=spec.workers or 1,
-        heartbeat_s=spec.heartbeat_s,
-        connect_timeout_s=spec.connect_timeout_s,
-        task_timeout_s=spec.task_timeout_s,
-        max_retries=spec.max_retries,
-    )
+    return TCPExecutor((host, port), **_tcp_kwargs(spec))
+
+
+@register_executor("supervised")
+def _supervised_executor(spec):
+    """TCP coordinator that spawns and babysits its own local workers.
+
+    ``workers`` local subprocesses are spawned, reaped on exit and respawned
+    with capped backoff behind a crash-loop circuit breaker — the
+    single-command replacement for the two-terminal tcp setup.
+    """
+    host, port = parse_address(spec.bind or "127.0.0.1:0")
+    return TCPExecutor((host, port), supervise=spec.workers or 1, **_tcp_kwargs(spec))

@@ -54,6 +54,7 @@ __all__ = [
     "EngineSpec",
     "SolverSpec",
     "ExecutorSpec",
+    "FaultToleranceSpec",
     "ScenarioSpec",
     "StudySpec",
     "resolve_policy",
@@ -499,21 +500,31 @@ class ExecutorSpec:
     runs execute.
 
     ``workers`` is the pool size (``pool``) or the number of workers that
-    must be connected before the first dispatch (``tcp``); ``bind`` is the
-    ``tcp`` coordinator's listen address (``"host:port"``, port ``0`` picks
-    a free port).  ``heartbeat_s`` / ``connect_timeout_s`` /
+    must be connected before the first dispatch (``tcp`` — and the number of
+    supervised local worker subprocesses for ``supervised``); ``bind`` is
+    the ``tcp``/``supervised`` coordinator's listen address
+    (``"host:port"``, port ``0`` picks a free port).  ``heartbeat_s`` /
+    ``heartbeat_grace_s`` (how long an unanswered ping is tolerated;
+    ``None`` = ``max(3 * heartbeat_s, 10)``) / ``connect_timeout_s`` /
     ``task_timeout_s`` (hard per-run bound on a busy worker; ``None`` = no
     bound) / ``max_retries`` tune the ``tcp`` fault handling and are ignored
-    elsewhere.
+    elsewhere.  ``unsafe_pickle`` opts the coordinator into the legacy
+    pickle wire codec (trusted networks only; workers must pass
+    ``--unsafe-pickle`` too), and ``chaos`` is an optional coordinator-side
+    :class:`~repro.runtime.executors.chaos.FaultPlan` as a mapping —
+    deterministic fault drills straight from a spec file.
     """
 
     name: str = "serial"
     workers: Optional[int] = None
     bind: Optional[str] = None
     heartbeat_s: float = 5.0
+    heartbeat_grace_s: Optional[float] = None
     connect_timeout_s: float = 60.0
     task_timeout_s: Optional[float] = None
     max_retries: int = 2
+    unsafe_pickle: bool = False
+    chaos: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -522,12 +533,28 @@ class ExecutorSpec:
             raise SpecError("executor workers must be >= 1")
         if self.heartbeat_s <= 0:
             raise SpecError("executor heartbeat_s must be > 0")
+        if self.heartbeat_grace_s is not None and self.heartbeat_grace_s <= 0:
+            raise SpecError("executor heartbeat_grace_s must be > 0")
         if self.connect_timeout_s <= 0:
             raise SpecError("executor connect_timeout_s must be > 0")
         if self.task_timeout_s is not None and self.task_timeout_s <= 0:
             raise SpecError("executor task_timeout_s must be > 0")
         if self.max_retries < 0:
             raise SpecError("executor max_retries must be >= 0")
+        if not isinstance(self.unsafe_pickle, bool):
+            raise SpecError("executor unsafe_pickle must be a boolean")
+        if self.chaos is not None:
+            object.__setattr__(self, "chaos", dict(self.fault_plan().to_dict()))
+
+    def fault_plan(self):
+        """The validated :class:`FaultPlan` behind the ``chaos`` mapping."""
+        from repro.errors import SimulationError
+        from repro.runtime.executors.chaos import FaultPlan
+
+        try:
+            return FaultPlan.from_dict(self.chaos)
+        except SimulationError as exc:
+            raise SpecError(f"executor chaos plan is invalid: {exc}") from exc
 
     def create(self):
         """Build the live :class:`~repro.runtime.executors.base.Executor`."""
@@ -551,9 +578,12 @@ class ExecutorSpec:
         "workers",
         "bind",
         "heartbeat_s",
+        "heartbeat_grace_s",
         "connect_timeout_s",
         "task_timeout_s",
         "max_retries",
+        "unsafe_pickle",
+        "chaos",
     )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -562,7 +592,7 @@ class ExecutorSpec:
         for key in self._KEYS[1:]:
             value = getattr(self, key)
             if value is not None and value != getattr(defaults, key):
-                out[key] = value
+                out[key] = dict(value) if isinstance(value, Mapping) else value
         return out
 
     @classmethod
@@ -576,6 +606,13 @@ class ExecutorSpec:
             heartbeat_s=_as_float(
                 data.get("heartbeat_s", defaults.heartbeat_s),
                 "ExecutorSpec.heartbeat_s",
+            ),
+            heartbeat_grace_s=(
+                None
+                if data.get("heartbeat_grace_s") is None
+                else _as_float(
+                    data["heartbeat_grace_s"], "ExecutorSpec.heartbeat_grace_s"
+                )
             ),
             connect_timeout_s=_as_float(
                 data.get("connect_timeout_s", defaults.connect_timeout_s),
@@ -592,9 +629,98 @@ class ExecutorSpec:
                 data.get("max_retries", defaults.max_retries),
                 "ExecutorSpec.max_retries",
             ),
+            unsafe_pickle=_as_bool(
+                data.get("unsafe_pickle", False), "ExecutorSpec.unsafe_pickle"
+            ),
+            chaos=data.get("chaos"),
         )
         EXECUTORS.resolve(spec.name)  # validate eagerly
         return spec
+
+
+# ---------------------------------------------------------------------------
+# FaultToleranceSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultToleranceSpec:
+    """Graceful-degradation policy for a study's runs.
+
+    With a fault-tolerance spec installed, :func:`~repro.experiments.study.run_study`
+    retries each failed run up to ``max_attempts`` total attempts with
+    exponential backoff (``backoff_s`` doubling up to ``backoff_max_s``)
+    and then — with ``quarantine=True`` — records the run as a structured
+    failure on the :class:`~repro.experiments.study.ScenarioResult` instead
+    of aborting the study; ``quarantine=False`` keeps the retries but still
+    aborts once a run exhausts its budget.  Without a spec (the default),
+    the first failure aborts the scenario, exactly as before.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.5
+    backoff_max_s: float = 5.0
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SpecError("fault_tolerance max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise SpecError("fault_tolerance backoff_s must be >= 0")
+        if self.backoff_max_s < self.backoff_s:
+            raise SpecError(
+                "fault_tolerance backoff_max_s must be >= backoff_s"
+            )
+        if not isinstance(self.quarantine, bool):
+            raise SpecError("fault_tolerance quarantine must be a boolean")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), capped."""
+        return min(self.backoff_s * (2.0 ** max(attempt - 1, 0)), self.backoff_max_s)
+
+    @classmethod
+    def coerce(cls, value: Any, where: str = "FaultToleranceSpec"):
+        if value is None or isinstance(value, FaultToleranceSpec):
+            return value
+        if isinstance(value, bool):
+            return cls() if value else None
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise SpecError(f"{where} must be a mapping or boolean, got {value!r}")
+
+    _KEYS = ("max_attempts", "backoff_s", "backoff_max_s", "quarantine")
+
+    def to_dict(self) -> Dict[str, Any]:
+        defaults = FaultToleranceSpec()
+        out: Dict[str, Any] = {}
+        for key in self._KEYS:
+            value = getattr(self, key)
+            if value != getattr(defaults, key):
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultToleranceSpec":
+        _check_keys(data, cls._KEYS, "FaultToleranceSpec")
+        defaults = cls()
+        return cls(
+            max_attempts=_as_int(
+                data.get("max_attempts", defaults.max_attempts),
+                "FaultToleranceSpec.max_attempts",
+            ),
+            backoff_s=_as_float(
+                data.get("backoff_s", defaults.backoff_s),
+                "FaultToleranceSpec.backoff_s",
+            ),
+            backoff_max_s=_as_float(
+                data.get("backoff_max_s", defaults.backoff_max_s),
+                "FaultToleranceSpec.backoff_max_s",
+            ),
+            quarantine=_as_bool(
+                data.get("quarantine", defaults.quarantine),
+                "FaultToleranceSpec.quarantine",
+            ),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -743,6 +869,10 @@ class StudySpec:
     #: registered backend name, or a mapping); ``None`` derives one from
     #: ``jobs``.  Results are independent of the choice.
     executor: Optional[ExecutorSpec] = None
+    #: Graceful-degradation policy (:class:`FaultToleranceSpec`, a mapping,
+    #: or ``True`` for the defaults); ``None`` keeps the historical
+    #: fail-fast behaviour.
+    fault_tolerance: Optional[FaultToleranceSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -752,6 +882,16 @@ class StudySpec:
                 self,
                 "executor",
                 ExecutorSpec.coerce(self.executor, where="StudySpec.executor"),
+            )
+        if self.fault_tolerance is not None and not isinstance(
+            self.fault_tolerance, FaultToleranceSpec
+        ):
+            object.__setattr__(
+                self,
+                "fault_tolerance",
+                FaultToleranceSpec.coerce(
+                    self.fault_tolerance, where="StudySpec.fault_tolerance"
+                ),
             )
         object.__setattr__(self, "scenarios", tuple(self.scenarios))
         if not self.scenarios:
@@ -776,7 +916,15 @@ class StudySpec:
                 seen[scenario_id] = scenario.name
             seen.setdefault(scenario.name, scenario.name)
 
-    _KEYS = ("schema", "name", "description", "jobs", "executor", "scenarios")
+    _KEYS = (
+        "schema",
+        "name",
+        "description",
+        "jobs",
+        "executor",
+        "fault_tolerance",
+        "scenarios",
+    )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -791,6 +939,8 @@ class StudySpec:
             out["jobs"] = 0 if self.jobs is None else self.jobs
         if self.executor is not None:
             out["executor"] = self.executor.to_dict()
+        if self.fault_tolerance is not None:
+            out["fault_tolerance"] = self.fault_tolerance.to_dict()
         return out
 
     @classmethod
@@ -819,6 +969,9 @@ class StudySpec:
             description=data.get("description", ""),
             jobs=jobs,
             executor=executor,
+            fault_tolerance=FaultToleranceSpec.coerce(
+                data.get("fault_tolerance"), where="StudySpec.fault_tolerance"
+            ),
         )
 
 

@@ -17,7 +17,12 @@ by deterministic scenario IDs, JSONL persistence (:meth:`StudyResult.save` /
 (:meth:`StudyResult.aggregate`) — and, via ``run_study(...,
 checkpoint=path)``, crash-safe incremental appends through
 :class:`~repro.experiments.checkpoint.StudyCheckpoint` with ``resume=True``
-skipping already-completed scenario IDs.
+skipping already-completed scenario IDs.  With a
+:class:`~repro.experiments.specs.FaultToleranceSpec` installed (on the spec
+or via ``run_study(..., fault_tolerance=...)``) failing runs are retried
+with backoff and finally *quarantined* as structured failure records on the
+:class:`ScenarioResult`, so one poisoned run degrades the study instead of
+aborting it.
 
 Row computation replicates the pre-refactor figure builders operation for
 operation, so ``fig6_static_study`` / ``fig7_dynamic_study`` delegating here
@@ -28,17 +33,19 @@ from __future__ import annotations
 
 import itertools
 import json
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError, SpecError
-from repro.experiments.checkpoint import StudyCheckpoint
+from repro.experiments.checkpoint import StudyCheckpoint, record_crc
 from repro.experiments.registry import WORKLOAD_SUITES
 from repro.experiments.specs import (
     EngineSpec,
     ExecutorSpec,
+    FaultToleranceSpec,
     PolicySpec,
     ScenarioSpec,
     SolverSpec,
@@ -55,6 +62,8 @@ from repro.runtime.executors import (
     PoolExecutor,
     RunSpec,
     SerialExecutor,
+    TaskError,
+    check_unique_workloads,
 )
 from repro.runtime.scheduler import StockLinuxDriver
 from repro.simulator import ClusteringEstimator
@@ -103,6 +112,11 @@ class ScenarioResult:
     seed: int
     workloads: List[str]
     rows: List[Dict[str, Any]]
+    #: Quarantined-run records from the fault-tolerance layer: plain dicts
+    #: (``label``/``workload``/``kind``/``message``/``attempts``), stamped
+    #: with ``scenario_id`` and ``seed`` like rows.  Empty when every run
+    #: succeeded or the study ran without a fault-tolerance spec.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
 
     def meta(self) -> Dict[str, Any]:
         return {
@@ -132,6 +146,15 @@ class StudyResult:
     def rows(self) -> List[Dict[str, Any]]:
         """All rows, flattened in scenario order."""
         return [row for scenario in self.scenarios for row in scenario.rows]
+
+    def failures(self) -> List[Dict[str, Any]]:
+        """All quarantined-run records, flattened in scenario order.
+
+        Non-empty means the study *degraded*: some runs exhausted their
+        retry budget and their rows are missing — check these records
+        before trusting aggregates.
+        """
+        return [f for scenario in self.scenarios for f in scenario.failures]
 
     def scenario_ids(self) -> List[str]:
         return [scenario.scenario_id for scenario in self.scenarios]
@@ -205,16 +228,21 @@ class StudyResult:
                     json.dumps({"record": "scenario", **scenario.meta()}) + "\n"
                 )
                 for row in scenario.rows:
-                    handle.write(
-                        json.dumps(
-                            {
-                                "record": "row",
-                                "scenario_id": scenario.scenario_id,
-                                **row,
-                            }
-                        )
-                        + "\n"
-                    )
+                    record = {
+                        "record": "row",
+                        "scenario_id": scenario.scenario_id,
+                        **row,
+                    }
+                    record["crc"] = record_crc(record)
+                    handle.write(json.dumps(record) + "\n")
+                for failure in scenario.failures:
+                    record = {
+                        "record": "failure",
+                        "scenario_id": scenario.scenario_id,
+                        **failure,
+                    }
+                    record["crc"] = record_crc(record)
+                    handle.write(json.dumps(record) + "\n")
                 handle.write(
                     json.dumps(
                         {"record": "scenario_end", "scenario_id": scenario.scenario_id}
@@ -265,14 +293,23 @@ class StudyResult:
                     scenario = ScenarioResult(rows=[], **record)
                     by_id[scenario.scenario_id] = scenario
                     result.scenarios.append(scenario)
-                elif kind == "row":
+                elif kind in ("row", "failure"):
                     scenario_id = record.get("scenario_id")
                     if scenario_id not in by_id:
                         raise SpecError(
-                            f"{path}:{line_no}: row references unknown scenario "
+                            f"{path}:{line_no}: {kind} references unknown scenario "
                             f"{scenario_id!r}"
                         )
-                    by_id[scenario_id].rows.append(record)
+                    crc = record.pop("crc", None)
+                    if crc is not None and crc != record_crc(record):
+                        raise SpecError(
+                            f"{path}:{line_no}: {kind} record failed its CRC "
+                            f"check — the file is corrupted"
+                        )
+                    if kind == "row":
+                        by_id[scenario_id].rows.append(record)
+                    else:
+                        by_id[scenario_id].failures.append(record)
                 elif kind == "scenario_end":
                     if record.get("scenario_id") not in by_id:
                         raise SpecError(
@@ -294,6 +331,86 @@ class StudyResult:
                     f"run_study(..., checkpoint=..., resume=True) before loading"
                 )
         return result
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+
+def _failure_record(spec: Any, error: TaskError, attempts: int) -> Dict[str, Any]:
+    """The structured quarantine record for one permanently-failed task."""
+    record: Dict[str, Any] = {
+        "label": error.label,
+        "kind": error.kind,
+        "message": error.message,
+        "attempts": attempts,
+    }
+    if isinstance(spec, Workload):
+        record["workload"] = spec.name
+    elif isinstance(spec, RunSpec):
+        record["workload"] = spec.workload.name
+    return record
+
+
+def _map_specs_resilient(
+    executor: Executor, specs: Sequence[Any], tolerance: FaultToleranceSpec
+) -> Tuple[List[Any], List[Dict[str, Any]]]:
+    """Ordered results with ``None`` holes, plus structured failure records.
+
+    The graceful-degradation twin of :meth:`Executor.map_specs`: every spec
+    is submitted, a failed run is resubmitted with exponential backoff until
+    it has consumed ``tolerance.max_attempts`` total attempts, and a run
+    that exhausts the budget is *quarantined* — its slot in the result list
+    stays ``None`` and a failure record takes its place in the second return
+    value, instead of the whole batch aborting.  With ``quarantine=False``
+    the exhausted run's error is raised (fail-fast, but with retries).
+
+    Resubmissions get fresh tickets; the ticket→index remap is what keeps
+    the returned list in spec order regardless of how many times each run
+    bounced.
+    """
+    specs = list(specs)
+    if not specs:
+        return [], []
+    if all(isinstance(spec, RunSpec) for spec in specs):
+        check_unique_workloads(specs)
+    index_of: Dict[int, int] = {}
+    attempts = [0] * len(specs)
+    results: List[Any] = [None] * len(specs)
+    failures: List[Dict[str, Any]] = []
+    for index, spec in enumerate(specs):
+        index_of[executor.submit(spec)] = index
+        attempts[index] = 1
+    pending = len(specs)
+    while pending:
+        progressed = False
+        for ticket, payload in executor.as_completed(raise_errors=False):
+            index = index_of.pop(ticket, None)
+            if index is None:
+                continue  # a co-tenant's ticket on a shared executor
+            progressed = True
+            if not isinstance(payload, TaskError):
+                results[index] = payload
+                pending -= 1
+            elif attempts[index] < tolerance.max_attempts:
+                time.sleep(tolerance.backoff_for(attempts[index]))
+                attempts[index] += 1
+                index_of[executor.submit(specs[index])] = index
+            else:
+                if not tolerance.quarantine:
+                    payload.raise_()
+                failures.append(
+                    _failure_record(specs[index], payload, attempts[index])
+                )
+                pending -= 1
+            if pending == 0:
+                break
+        if pending and not progressed:
+            raise SimulationError(
+                f"executor lost track of {pending} submitted runs"
+            )
+    return results, failures
 
 
 # ---------------------------------------------------------------------------
@@ -359,8 +476,11 @@ def _resolve_workloads(scenario: ScenarioSpec, seed: int) -> List[Workload]:
 
 
 def _run_static_scenario(
-    scenario: ScenarioSpec, seed: int, executor: Executor
-) -> List[Dict[str, Any]]:
+    scenario: ScenarioSpec,
+    seed: int,
+    executor: Executor,
+    tolerance: Optional[FaultToleranceSpec] = None,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
     platform = resolve_platform(scenario.platform)
     workloads = _resolve_workloads(scenario, seed)
     policies = [
@@ -368,13 +488,22 @@ def _run_static_scenario(
         for spec in scenario.policies
     ]
     executor.set_context(_static_scenario_worker, (platform, policies))
-    per_workload = executor.map_specs(workloads)
-    return [row for rows in per_workload for row in rows]
+    if tolerance is None:
+        per_workload = executor.map_specs(workloads)
+        return [row for rows in per_workload for row in rows], []
+    per_workload, failures = _map_specs_resilient(executor, workloads, tolerance)
+    # A quarantined workload leaves a None hole: its whole column of rows is
+    # missing (recorded in `failures`), the other workloads' rows survive.
+    rows = [row for rows in per_workload if rows is not None for row in rows]
+    return rows, failures
 
 
 def _run_dynamic_scenario(
-    scenario: ScenarioSpec, seed: int, executor: Executor
-) -> List[Dict[str, Any]]:
+    scenario: ScenarioSpec,
+    seed: int,
+    executor: Executor,
+    tolerance: Optional[FaultToleranceSpec] = None,
+) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
     platform = resolve_platform(scenario.platform)
     workloads = _resolve_workloads(scenario, seed)
     config = scenario.engine.to_config()
@@ -402,13 +531,22 @@ def _run_dynamic_scenario(
                 )
             )
     executor.prepare(platform, default_config=config)
-    results = executor.map_specs(specs)
+    if tolerance is None:
+        results = executor.map_specs(specs)
+        failures: List[Dict[str, Any]] = []
+    else:
+        results, failures = _map_specs_resilient(executor, specs, tolerance)
 
     rows: List[Dict[str, Any]] = []
     per_workload = 1 + len(drivers)
     for w_index, workload in enumerate(workloads):
         block = results[w_index * per_workload : (w_index + 1) * per_workload]
         baseline = block[0]
+        if baseline is None:
+            # The Stock-Linux baseline was quarantined: nothing to normalise
+            # against, so the whole workload's rows are dropped (the failure
+            # record names the baseline run that took them down).
+            continue
         base_metrics = baseline.metrics()
         rows.append(
             {
@@ -425,6 +563,8 @@ def _run_dynamic_scenario(
         )
         for offset, (label, _, _, _) in enumerate(drivers, start=1):
             result = block[offset]
+            if result is None:
+                continue  # quarantined driver run: its row alone is missing
             metrics = result.metrics()
             rows.append(
                 {
@@ -441,18 +581,21 @@ def _run_dynamic_scenario(
                     "sampling_entries": result.total_sampling_entries(),
                 }
             )
-    return rows
+    return rows, failures
 
 
 def _run_scenario(
-    scenario: ScenarioSpec, seed: int, executor: Executor
+    scenario: ScenarioSpec,
+    seed: int,
+    executor: Executor,
+    tolerance: Optional[FaultToleranceSpec] = None,
 ) -> ScenarioResult:
     scenario_id = scenario.scenario_id(seed)
     try:
         if scenario.kind == "static":
-            rows = _run_static_scenario(scenario, seed, executor)
+            rows, failures = _run_static_scenario(scenario, seed, executor, tolerance)
         else:
-            rows = _run_dynamic_scenario(scenario, seed, executor)
+            rows, failures = _run_dynamic_scenario(scenario, seed, executor, tolerance)
     except SimulationError as exc:
         raise SimulationError(f"scenario {scenario_id!r}: {exc}") from exc
     workload_names: List[str] = []
@@ -461,6 +604,9 @@ def _run_scenario(
         row["seed"] = seed
         if row["workload"] not in workload_names:
             workload_names.append(row["workload"])
+    for failure in failures:
+        failure["scenario_id"] = scenario_id
+        failure["seed"] = seed
     return ScenarioResult(
         scenario=scenario.name,
         scenario_id=scenario_id,
@@ -468,6 +614,7 @@ def _run_scenario(
         seed=seed,
         workloads=workload_names,
         rows=rows,
+        failures=failures,
     )
 
 
@@ -520,6 +667,7 @@ def run_study(
     executor: Any = None,
     checkpoint: Any = None,
     resume: bool = False,
+    fault_tolerance: Any = _UNSET,
 ) -> StudyResult:
     """Execute a study spec and collect every scenario's rows.
 
@@ -541,6 +689,16 @@ def run_study(
     scenario in flight).  With ``resume=True`` an existing checkpoint is
     read first and its completed scenario IDs are skipped — never recomputed,
     never duplicated; without it the file is started fresh.
+
+    ``fault_tolerance`` installs the graceful-degradation layer: a
+    :class:`~repro.experiments.specs.FaultToleranceSpec` (or ``True`` for
+    the defaults, a mapping, or ``None``/``False`` to disable).  Each failed
+    run is retried with exponential backoff up to ``max_attempts`` total
+    attempts, then quarantined — the study completes with the run's rows
+    missing and a structured failure record on its
+    :class:`ScenarioResult` (see :meth:`StudyResult.failures`) instead of
+    aborting.  When not passed, the spec's own ``fault_tolerance`` applies;
+    a completed-but-degraded scenario counts as completed for ``resume``.
     """
     if isinstance(spec, Mapping):
         spec = StudySpec.from_dict(spec)
@@ -548,6 +706,12 @@ def run_study(
         raise SpecError(f"run_study expects a StudySpec or mapping, got {spec!r}")
     jobs_explicit = jobs is not _UNSET
     effective_jobs = jobs if jobs_explicit else spec.jobs
+    if fault_tolerance is _UNSET:
+        tolerance = spec.fault_tolerance
+    else:
+        tolerance = FaultToleranceSpec.coerce(
+            fault_tolerance, where="run_study fault_tolerance"
+        )
     try:
         spec_dict: Optional[Dict[str, Any]] = spec.to_dict()
     except SpecError:
@@ -616,7 +780,12 @@ def run_study(
                 if done is not None:
                     scenarios.append(done)
                     continue
-                result = _run_scenario(scenario, seed, runner)
+                if tolerance is None:
+                    # Three-argument form kept for wrappers/monkeypatches of
+                    # the historical signature.
+                    result = _run_scenario(scenario, seed, runner)
+                else:
+                    result = _run_scenario(scenario, seed, runner, tolerance)
                 if writer is not None:
                     writer.append(result)
                 scenarios.append(result)

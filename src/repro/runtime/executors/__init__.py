@@ -5,7 +5,18 @@ Three backends ship in the box, all producing bit-identical results:
 * :class:`SerialExecutor` — in-process, the deterministic default;
 * :class:`PoolExecutor` — a local ``spawn`` process pool;
 * :class:`TCPExecutor` — a multi-host coordinator; workers join with
-  ``python -m repro.cli worker --connect host:port``.
+  ``python -m repro.cli worker --connect host:port``, or are spawned and
+  supervised by the coordinator itself (``supervise=N`` / the
+  ``supervised`` executor spec).
+
+The TCP wire protocol is schema-versioned and safe by default
+(:mod:`repro.runtime.executors.framing`); the legacy pickle codec is an
+explicit two-sided opt-in.  Resilience is testable: a seeded
+:class:`FaultPlan` (:mod:`repro.runtime.executors.chaos`) scripts frame
+corruption, drops, duplicates, worker kills and slow replies at exact
+points, and :class:`WorkerSupervisor`
+(:mod:`repro.runtime.executors.supervisor`) respawns dead workers with
+capped backoff behind a crash-loop circuit breaker.
 
 See :mod:`repro.runtime.executors.base` for the protocol
 (``submit`` / ``as_completed`` / ``map_specs``) and
@@ -26,8 +37,18 @@ from repro.runtime.executors.base import (
     task_label,
     worker_tables,
 )
+from repro.runtime.executors.chaos import FaultPlan
+from repro.runtime.executors.framing import (
+    CODEC_PICKLE,
+    CODEC_SAFE,
+    PROTOCOL_VERSION,
+    FrameProtocolError,
+    ProtocolError,
+    trust_modules,
+)
 from repro.runtime.executors.pool import PoolExecutor
 from repro.runtime.executors.serial import SerialExecutor
+from repro.runtime.executors.supervisor import WorkerSupervisor
 from repro.runtime.executors.tcp import TCPExecutor, parse_address
 from repro.runtime.executors.worker import run_worker
 
@@ -40,6 +61,14 @@ __all__ = [
     "SerialExecutor",
     "PoolExecutor",
     "TCPExecutor",
+    "WorkerSupervisor",
+    "FaultPlan",
+    "FrameProtocolError",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "CODEC_SAFE",
+    "CODEC_PICKLE",
+    "trust_modules",
     "execute_run",
     "worker_tables",
     "clear_worker_tables",

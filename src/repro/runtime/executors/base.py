@@ -332,12 +332,19 @@ class Executor(ABC):
         """Hook invoked after a task is enqueued."""
 
     @abstractmethod
-    def as_completed(self) -> Iterator[Tuple[Ticket, Any]]:
+    def as_completed(
+        self, *, raise_errors: bool = True
+    ) -> Iterator[Tuple[Ticket, Any]]:
         """Yield ``(ticket, result)`` for outstanding tasks, completion order.
 
-        A task failure raises :class:`~repro.errors.SimulationError` naming
-        the failing task's label; results yielded before the failure remain
-        valid with the caller.
+        With ``raise_errors=True`` (the default) a task failure raises
+        :class:`~repro.errors.SimulationError` naming the failing task's
+        label; results yielded before the failure remain valid with the
+        caller.  With ``raise_errors=False`` a failure is yielded as a
+        ``(ticket, TaskError)`` pair instead, and iteration continues — the
+        contract the study layer's retry/quarantine loop is built on.  Tasks
+        submitted while iterating (resubmissions) are picked up by the same
+        iterator.
         """
 
     @abstractmethod

@@ -125,17 +125,24 @@ class PoolExecutor(Executor):
             ticket, task = self._queue.popleft()
             yield _inline_entry(self._worker_fn, self._payload, ticket, task)
 
-    def as_completed(self) -> Iterator[Tuple[Ticket, Any]]:
+    def as_completed(
+        self, *, raise_errors: bool = True
+    ) -> Iterator[Tuple[Ticket, Any]]:
         if self._resolved_jobs() == 1 or (
             self._pool is None and len(self._queue) + len(self._in_flight) <= 1
         ):
-            for ticket, payload in self._run_inline():
-                if isinstance(payload, TaskError):
-                    payload.raise_()
-                yield ticket, payload
+            while self._queue:
+                for ticket, payload in self._run_inline():
+                    if isinstance(payload, TaskError) and raise_errors:
+                        payload.raise_()
+                    yield ticket, payload
             return
         self._dispatch()
-        while self._in_flight:
+        while self._in_flight or self._queue:
+            # Tasks submitted mid-iteration (the study layer resubmitting a
+            # failed run) are dispatched here, not only on entry.
+            if self._queue:
+                self._dispatch()
             ticket, future = self._results.get()
             self._in_flight.discard(ticket)
             try:
@@ -148,7 +155,7 @@ class PoolExecutor(Executor):
                     f"pool worker failed while executing ticket {ticket}: "
                     f"{type(exc).__name__}: {exc}"
                 ) from exc
-            if isinstance(payload, TaskError):
+            if isinstance(payload, TaskError) and raise_errors:
                 payload.raise_()
             yield ticket, payload
 

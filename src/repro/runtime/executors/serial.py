@@ -21,17 +21,24 @@ class SerialExecutor(Executor):
     def outstanding(self) -> int:
         return len(self._queue)
 
-    def as_completed(self) -> Iterator[Tuple[Ticket, Any]]:
+    def as_completed(
+        self, *, raise_errors: bool = True
+    ) -> Iterator[Tuple[Ticket, Any]]:
         while self._queue:
             ticket, task = self._queue.popleft()
             try:
                 result = self._worker_fn(self._payload, task)
             except Exception as exc:
+                error = TaskError.capture(ticket, task, exc)
+                if not raise_errors:
+                    # Resilient mode: hand the captured failure to the
+                    # caller (the study layer's retry/quarantine loop).
+                    yield ticket, error
+                    continue
                 # Re-queue nothing: the failure is deterministic.  Surface
                 # the failing task's label (the protocol contract, same as
                 # the pool and tcp backends); prior yields stay with the
                 # caller.
-                error = TaskError.capture(ticket, task, exc)
                 error.traceback = ""  # the cause is chained, not re-printed
                 try:
                     error.raise_()

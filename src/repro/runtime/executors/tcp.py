@@ -1,33 +1,58 @@
 """Multi-host TCP executor: an event-driven, single-threaded coordinator.
 
 The coordinator listens on a TCP address; workers (``repro.cli worker
---connect host:port``) dial in, receive the batch context exactly once, and
-then stream length-framed pickled :class:`~repro.runtime.executors.base.RunSpec`
-/ :class:`~repro.runtime.results.RunResult` frames.  The coordinator is a
+--connect host:port``) dial in, introduce themselves with a ``("hello",
+{...})`` frame carrying their protocol version and wire codec, receive the
+batch context exactly once, and then stream length-framed
+:class:`~repro.runtime.executors.base.RunSpec` /
+:class:`~repro.runtime.results.RunResult` frames.  The coordinator is a
 plain ``selectors`` loop — no threads — so scheduling is deterministic and
 easy to reason about: accept, read, dispatch, heartbeat, in that order.
 
 Fault model:
 
+* **handshake**: a worker only becomes *ready* (counted toward
+  ``min_workers``, eligible for dispatch) once its hello passes version and
+  codec negotiation; a mismatched worker is told why (``("reject",
+  reason)``) and dropped, and a connection that never completes the
+  handshake is dropped after the heartbeat grace period;
 * **worker loss** (process death, connection reset) is detected by EOF on
   the socket; the lost worker's in-flight run is resubmitted to another
   worker, up to ``max_retries`` times per run.  Runs are deterministic and
   idempotent, so a retry — or a duplicate result from a worker presumed
-  dead — can never change the study's rows;
+  dead — can never change the study's rows.  A run lost more than
+  ``max_retries`` times degrades into a ``WorkerLost``
+  :class:`~repro.runtime.executors.base.TaskError` instead of an exception
+  escaping the event loop, so the study layer can retry or quarantine it;
 * **heartbeat**: idle workers are pinged every ``heartbeat_s`` seconds and
-  dropped when silent for several intervals (a half-open connection, e.g.
-  after a network partition);  busy workers are covered by EOF detection
-  and, optionally, ``task_timeout_s``;
-* **starvation**: if work is outstanding and no worker has been connected
+  dropped when silent for ``heartbeat_grace_s`` (a half-open connection,
+  e.g. after a network partition); busy workers are covered by EOF
+  detection and, optionally, ``task_timeout_s``;
+* **starvation**: if work is outstanding and no worker has been ready
   for ``connect_timeout_s`` seconds, the batch fails loudly rather than
-  hanging forever.
+  hanging forever — naming recent drop reasons so the operator knows *why*
+  workers went away;
+* **supervision**: with ``supervise=N`` the coordinator spawns and babysits
+  N local worker subprocesses itself (see
+  :class:`~repro.runtime.executors.supervisor.WorkerSupervisor`): exits are
+  reaped and respawned with capped exponential backoff, and a crash-loop
+  trips a circuit breaker instead of respawning forever.
+
+Every drop is recorded in :attr:`TCPExecutor.drop_events` and summarised by
+:meth:`TCPExecutor.summary`.
 
 Determinism: :meth:`~repro.runtime.executors.base.Executor.map_specs` merges
 results in submission order, so the rows of a study are bit-identical no
-matter how many workers connect or in which order results arrive.
+matter how many workers connect or in which order results arrive.  The
+seeded :class:`~repro.runtime.executors.chaos.FaultPlan` hooks (scripted
+frame corruption/drops/delays/duplication) ride the same invariant — chaos
+changes retries and wall-clock, never rows.
 
-Security: frames are pickles.  Only run the coordinator and workers on
-machines and networks you trust.
+Security: frames use the schema-versioned safe codec by default
+(:mod:`repro.runtime.executors.framing`); the legacy pickle codec — which
+allows arbitrary code execution and must only cross trusted networks — is
+an explicit opt-in on *both* sides (``unsafe_pickle=True`` here,
+``--unsafe-pickle`` on the worker).
 """
 
 from __future__ import annotations
@@ -36,11 +61,19 @@ import selectors
 import socket
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.runtime.executors.base import Executor, TaskError, Ticket, task_label
-from repro.runtime.executors.framing import FrameReader, enable_keepalive, pack_frame
+from repro.runtime.executors.chaos import FaultPlan
+from repro.runtime.executors.framing import (
+    CODEC_PICKLE,
+    CODEC_SAFE,
+    PROTOCOL_VERSION,
+    FrameReader,
+    enable_keepalive,
+    pack_frame,
+)
 
 __all__ = ["TCPExecutor", "parse_address"]
 
@@ -62,6 +95,10 @@ class _WorkerLink:
     sock: socket.socket
     peer: str
     reader: FrameReader = field(default_factory=FrameReader)
+    #: True once the worker's hello passed version/codec negotiation; only
+    #: ready links count toward min_workers or receive work.
+    ready: bool = False
+    connected_at: float = 0.0
     in_flight: Optional[Ticket] = None
     dispatched_at: float = 0.0
     last_seen: float = 0.0
@@ -82,9 +119,15 @@ class TCPExecutor(Executor):
         *,
         min_workers: int = 1,
         heartbeat_s: float = 5.0,
+        heartbeat_grace_s: Optional[float] = None,
         connect_timeout_s: float = 60.0,
         task_timeout_s: Optional[float] = None,
         max_retries: int = 2,
+        unsafe_pickle: bool = False,
+        chaos: Optional[FaultPlan] = None,
+        supervise: int = 0,
+        supervise_extra: Sequence[str] = (),
+        supervise_first_extra: Sequence[str] = (),
     ) -> None:
         """
         Parameters
@@ -93,27 +136,66 @@ class TCPExecutor(Executor):
             ``(host, port)`` the coordinator listens on; port ``0`` picks a
             free port (read it back from :attr:`address`).
         min_workers:
-            How many workers must be connected before the first dispatch.
+            How many workers must be ready before the first dispatch.
         heartbeat_s:
             Ping cadence for idle workers.
+        heartbeat_grace_s:
+            How long an unanswered ping (or an unfinished handshake) is
+            tolerated before the worker is declared lost.  Defaults to
+            ``max(3 * heartbeat_s, 10.0)``.
         connect_timeout_s:
             How long to tolerate having outstanding work and zero workers.
         task_timeout_s:
             Optional hard per-run bound; a worker busy longer is declared
             lost and its run resubmitted (``None`` = no bound).
         max_retries:
-            How many times one run may be resubmitted after worker losses.
+            How many times one run may be resubmitted after worker losses
+            before it degrades into a ``WorkerLost`` task error.
+        unsafe_pickle:
+            Opt in to the legacy pickle wire codec: send pickle frames and
+            accept them from workers started with ``--unsafe-pickle``.
+            Arbitrary code execution — trusted networks only.
+        chaos:
+            Optional scripted coordinator-side fault plan (corrupt / drop /
+            delay / duplicate received result frames at exact indexes).
+        supervise:
+            Spawn and babysit this many local worker subprocesses (0 = the
+            classic bring-your-own-workers mode).
+        supervise_extra:
+            Extra ``repro.cli worker`` arguments for every supervised spawn.
+        supervise_first_extra:
+            Extra arguments for the *first* spawn of the *first* slot only —
+            the hook chaos drills use to give exactly one worker incarnation
+            a scripted failure without tripping the circuit breaker on its
+            replacements.
         """
         super().__init__()
         if min_workers < 1:
             raise SimulationError("min_workers must be >= 1")
+        if heartbeat_grace_s is not None and heartbeat_grace_s <= 0:
+            raise SimulationError("heartbeat_grace_s must be > 0")
+        if supervise < 0:
+            raise SimulationError("supervise must be >= 0")
         self.min_workers = min_workers
         self.heartbeat_s = heartbeat_s
+        self.heartbeat_grace_s = (
+            heartbeat_grace_s
+            if heartbeat_grace_s is not None
+            else max(3.0 * heartbeat_s, 10.0)
+        )
         self.connect_timeout_s = connect_timeout_s
         self.task_timeout_s = task_timeout_s
         self.max_retries = max_retries
+        self.codec = CODEC_PICKLE if unsafe_pickle else CODEC_SAFE
+        self.allow_pickle = unsafe_pickle
+        self.chaos = chaos or FaultPlan()
+        self.supervise = supervise
+        self.supervise_extra = tuple(supervise_extra)
+        self.supervise_first_extra = tuple(supervise_first_extra)
         #: Total resubmissions performed after worker losses (a statistic).
         self.retries = 0
+        #: Every dropped link as ``(peer, reason)``, oldest first.
+        self.drop_events: List[Tuple[str, str]] = []
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -132,6 +214,8 @@ class TCPExecutor(Executor):
         self._started = False
         self._no_worker_since: Optional[float] = None
         self._closed = False
+        self._chaos_frames = 0  # result/error frames seen, for chaos indexing
+        self._supervisor = None
 
     # -- addresses ---------------------------------------------------------------
 
@@ -140,14 +224,37 @@ class TCPExecutor(Executor):
         """The ``(host, port)`` workers should ``--connect`` to."""
         return self._listener.getsockname()
 
+    # -- observability -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Health counters for logs and error messages."""
+        out: Dict[str, Any] = {
+            "workers": sum(1 for link in self._links if link.ready),
+            "handshaking": sum(1 for link in self._links if not link.ready),
+            "retries": self.retries,
+            "drops": list(self.drop_events),
+        }
+        if self._supervisor is not None:
+            out["supervisor"] = self._supervisor.summary()
+        return out
+
+    def _recent_drops(self, limit: int = 3) -> str:
+        if not self.drop_events:
+            return ""
+        recent = "; ".join(
+            f"{peer}: {reason}" for peer, reason in self.drop_events[-limit:]
+        )
+        return f" (recent drops — {recent})"
+
     # -- context / submission hooks ----------------------------------------------
 
     def _context_changed(self) -> None:
         self._context_blob = pack_frame(
-            ("context", self._worker_fn, self._payload)
+            ("context", self._worker_fn, self._payload), codec=self.codec
         )
         for link in list(self._links):
-            self._send(link, self._context_blob)
+            if link.ready:
+                self._send(link, self._context_blob)
 
     def _submitted(self, ticket: Ticket, spec: Any) -> None:
         self._tasks[ticket] = spec
@@ -158,19 +265,22 @@ class TCPExecutor(Executor):
 
     # -- the event loop ----------------------------------------------------------
 
-    def as_completed(self) -> Iterator[Tuple[Ticket, Any]]:
+    def as_completed(
+        self, *, raise_errors: bool = True
+    ) -> Iterator[Tuple[Ticket, Any]]:
         while self.outstanding():
             if self._ready:
                 ticket, payload = self._ready.pop(0)
-                if isinstance(payload, TaskError):
+                if isinstance(payload, TaskError) and raise_errors:
                     payload.raise_()
                 yield ticket, payload
                 continue
             self._pump()
 
     def _pump(self) -> None:
-        """One iteration of accept / read / dispatch / heartbeat."""
+        """One iteration of supervise / accept / read / dispatch / heartbeat."""
         now = time.monotonic()
+        self._poll_supervisor(now)
         self._check_starvation(now)
         timeout = min(0.25, max(self.heartbeat_s / 4.0, 0.02))
         for key, _events in self._selector.select(timeout):
@@ -180,6 +290,21 @@ class TCPExecutor(Executor):
                 self._read_link(key.data)
         self._dispatch()
         self._heartbeat(time.monotonic())
+
+    def _poll_supervisor(self, now: float) -> None:
+        if self.supervise < 1:
+            return
+        if self._supervisor is None:
+            from repro.runtime.executors.supervisor import WorkerSupervisor
+
+            self._supervisor = WorkerSupervisor(
+                self.address,
+                count=self.supervise,
+                unsafe_pickle=self.allow_pickle,
+                extra_args=self.supervise_extra,
+                first_spawn_extra=self.supervise_first_extra,
+            )
+        self._supervisor.poll(now)
 
     def _accept_all(self) -> None:
         while True:
@@ -195,13 +320,15 @@ class TCPExecutor(Executor):
             # by the opt-in task_timeout_s — keepalive turns it into an
             # error the event loop sees within minutes.
             enable_keepalive(sock)
-            link = _WorkerLink(sock=sock, peer=f"{addr[0]}:{addr[1]}")
-            link.last_seen = time.monotonic()
+            link = _WorkerLink(
+                sock=sock,
+                peer=f"{addr[0]}:{addr[1]}",
+                reader=FrameReader(allow_pickle=self.allow_pickle),
+            )
+            link.connected_at = link.last_seen = time.monotonic()
             self._links.append(link)
             self._selector.register(sock, selectors.EVENT_READ, link)
-            self._no_worker_since = None
-            if self._context_blob is not None:
-                self._send(link, self._context_blob)
+            # The context is sent once the handshake completes, not here.
 
     def _read_link(self, link: _WorkerLink) -> None:
         try:
@@ -219,49 +346,129 @@ class TCPExecutor(Executor):
         try:
             frames = list(link.reader.feed(data))
         except Exception as exc:
+            # Torn frames merely wait for more bytes; an oversized, corrupt
+            # or refused (pickle without opt-in) frame lands here and costs
+            # the link, never the event loop.
             self._drop_link(link, reason=f"bad frame: {exc}")
             return
         for frame in frames:
             try:
                 self._handle_frame(link, frame)
             except (TypeError, ValueError, IndexError, KeyError, AttributeError) as exc:
-                # A well-pickled but wrong-shape frame (version-mismatched
-                # worker) costs that link, never the whole study.
+                # A well-formed but wrong-shape frame (buggy worker) costs
+                # that link, never the whole study.
                 self._drop_link(link, reason=f"malformed frame: {exc}")
                 return
+            if link not in self._links:
+                return  # a handler (or chaos) dropped the link
 
     def _handle_frame(self, link: _WorkerLink, frame: Any) -> None:
         tag = frame[0]
-        if tag == "result":
-            _, ticket, result = frame
-            if link.in_flight == ticket:
-                link.in_flight = None
-            if ticket not in self._done:
-                self._done.add(ticket)
-                self._tasks.pop(ticket, None)
-                self._ready.append((ticket, result))
-        elif tag == "error":
-            (_, error) = frame
-            if link.in_flight == error.ticket:
-                link.in_flight = None
-            if error.ticket not in self._done:
-                self._done.add(error.ticket)
-                self._tasks.pop(error.ticket, None)
-                self._ready.append((error.ticket, error))
-        elif tag in ("pong", "hello"):
+        if not link.ready and tag != "hello":
+            self._drop_link(
+                link, reason=f"frame {tag!r} before handshake completed"
+            )
+            return
+        if tag == "hello":
+            self._handle_hello(link, frame)
+        elif tag in ("result", "error"):
+            repeats = self._chaos_gate(link)
+            if repeats == 0:
+                return  # chaos discarded the frame (and the link)
+            for _ in range(repeats):
+                if tag == "result":
+                    _, ticket, result = frame
+                    if link.in_flight == ticket:
+                        link.in_flight = None
+                    if ticket not in self._done:
+                        self._done.add(ticket)
+                        self._tasks.pop(ticket, None)
+                        self._ready.append((ticket, result))
+                else:
+                    (_, error) = frame
+                    if link.in_flight == error.ticket:
+                        link.in_flight = None
+                    if error.ticket not in self._done:
+                        self._done.add(error.ticket)
+                        self._tasks.pop(error.ticket, None)
+                        self._ready.append((error.ticket, error))
+        elif tag == "pong":
             pass  # liveness already recorded via last_seen
         else:
             self._drop_link(link, reason=f"unknown frame {tag!r}")
 
+    def _handle_hello(self, link: _WorkerLink, frame: Any) -> None:
+        if link.ready:
+            self._drop_link(link, reason="duplicate hello")
+            return
+        info = frame[1]
+        protocol = info.get("protocol")
+        codec = info.get("codec")
+        reason = None
+        if protocol != PROTOCOL_VERSION:
+            reason = (
+                f"protocol version mismatch: worker speaks {protocol!r}, "
+                f"coordinator speaks {PROTOCOL_VERSION} — upgrade the older side"
+            )
+        elif codec not in (CODEC_SAFE, CODEC_PICKLE):
+            reason = f"unknown wire codec {codec!r}"
+        elif codec == CODEC_PICKLE and not self.allow_pickle:
+            reason = (
+                "worker uses the pickle codec but this coordinator did not "
+                "opt in (unsafe_pickle=False); drop --unsafe-pickle on the "
+                "worker or enable it on both sides"
+            )
+        if reason is not None:
+            # Best-effort courtesy: tell the worker why before dropping, so
+            # its exit status and log point at the real problem.
+            try:
+                link.sock.settimeout(5.0)
+                link.sock.sendall(pack_frame(("reject", reason), codec=CODEC_SAFE))
+            except OSError:
+                pass
+            self._drop_link(link, reason=f"handshake rejected: {reason}")
+            return
+        link.ready = True
+        self._no_worker_since = None
+        if self._context_blob is not None:
+            self._send(link, self._context_blob)
+
+    def _chaos_gate(self, link: _WorkerLink) -> int:
+        """Apply the scripted fault plan to one received result/error frame.
+
+        Returns how many times the frame should be processed: 0 (chaos ate
+        it — and dropped the link, as real corruption would), 1 (normal) or
+        2 (scripted duplicate, exercising the ticket dedup).  Indexes count
+        only result/error frames: hello/pong arrival order is timing-
+        dependent, result order under ``map_specs`` is not.
+        """
+        plan = self.chaos
+        if plan.is_empty():
+            return 1
+        index = self._chaos_frames
+        self._chaos_frames += 1
+        if index in plan.delay_frames:
+            time.sleep(plan.delay_s)
+        if index in plan.corrupt_frames:
+            self._drop_link(
+                link, reason=f"chaos: corrupted result frame #{index}"
+            )
+            return 0
+        if index in plan.drop_frames:
+            self._drop_link(link, reason=f"chaos: dropped result frame #{index}")
+            return 0
+        return 2 if index in plan.duplicate_frames else 1
+
     def _dispatch(self) -> None:
-        if not self._started and len(self._links) < self.min_workers:
+        ready_links = [link for link in self._links if link.ready]
+        if not self._started and len(ready_links) < self.min_workers:
             return
         while self._queue:
-            idle = next((l for l in self._links if l.in_flight is None), None)
+            idle = next((l for l in ready_links if l.in_flight is None), None)
             if idle is None:
                 return
             ticket, task = self._queue.popleft()
-            blob = pack_frame(("run", ticket, task))
+            blob = pack_frame(("run", ticket, task), codec=self.codec)
             idle.in_flight = ticket
             idle.dispatched_at = time.monotonic()
             self._started = True
@@ -270,14 +477,18 @@ class TCPExecutor(Executor):
             self._send(idle, blob)
 
     def _heartbeat(self, now: float) -> None:
-        grace = max(3.0 * self.heartbeat_s, 10.0)
+        grace = self.heartbeat_grace_s
         for link in list(self._links):
+            if not link.ready:
+                if now - link.connected_at > grace:
+                    self._drop_link(link, reason="handshake timeout")
+                continue
             if link.in_flight is None:
                 if now - link.last_ping >= self.heartbeat_s:
                     link.last_ping = now
                     if link.awaiting_pong_since is None:
                         link.awaiting_pong_since = now
-                    self._send(link, pack_frame(("ping",)))
+                    self._send(link, pack_frame(("ping",), codec=self.codec))
                 if (
                     link.awaiting_pong_since is not None
                     and now - link.awaiting_pong_since > grace
@@ -302,14 +513,15 @@ class TCPExecutor(Executor):
         """Fail loudly instead of waiting forever for workers.
 
         Two starved states, both bounded by ``connect_timeout_s``: no
-        workers at all with work outstanding, and fewer than ``min_workers``
-        connected before the first dispatch (the timer resets whenever a new
-        worker connects).
+        ready workers at all with work outstanding, and fewer than
+        ``min_workers`` ready before the first dispatch (the timer resets
+        whenever a worker completes its handshake).
         """
+        ready_count = sum(1 for link in self._links if link.ready)
         work_waiting = self.outstanding() > len(self._ready)
         starved = work_waiting and (
-            not self._links
-            or (not self._started and len(self._links) < self.min_workers)
+            ready_count == 0
+            or (not self._started and ready_count < self.min_workers)
         )
         if not starved:
             self._no_worker_since = None
@@ -320,10 +532,11 @@ class TCPExecutor(Executor):
             host, port = self.address
             raise SimulationError(
                 f"tcp executor at {host}:{port} waited "
-                f"{self.connect_timeout_s:.0f}s with only {len(self._links)} of "
+                f"{self.connect_timeout_s:.0f}s with only {ready_count} of "
                 f"{self.min_workers} required workers connected and "
                 f"{len(self._queue)} runs outstanding; start workers with "
                 f"`repro.cli worker --connect {host}:{port}`"
+                f"{self._recent_drops()}"
             )
 
     # -- link management ---------------------------------------------------------
@@ -345,6 +558,7 @@ class TCPExecutor(Executor):
         if link not in self._links:
             return
         self._links.remove(link)
+        self.drop_events.append((link.peer, reason))
         try:
             self._selector.unregister(link.sock)
         except (KeyError, ValueError):
@@ -363,11 +577,27 @@ class TCPExecutor(Executor):
         self.retries += 1
         task = self._tasks.get(ticket)
         if count > self.max_retries:
-            raise SimulationError(
-                f"run {task_label(task)!r} (ticket {ticket}) was lost "
-                f"{count} times (last worker {link.peer}: {reason}); "
-                f"giving up after max_retries={self.max_retries}"
+            # Graceful degradation: the run becomes a structured WorkerLost
+            # failure the caller sees in stream order, instead of an
+            # exception escaping the event loop mid-batch.
+            self._done.add(ticket)
+            self._tasks.pop(ticket, None)
+            self._ready.append(
+                (
+                    ticket,
+                    TaskError(
+                        ticket=ticket,
+                        label=task_label(task),
+                        kind="WorkerLost",
+                        message=(
+                            f"run was lost {count} times (last worker "
+                            f"{link.peer}: {reason}); giving up after "
+                            f"max_retries={self.max_retries}"
+                        ),
+                    ),
+                )
             )
+            return
         self._queue.appendleft((ticket, task))
 
     # -- lifecycle ---------------------------------------------------------------
@@ -376,7 +606,7 @@ class TCPExecutor(Executor):
         if self._closed:
             return
         self._closed = True
-        shutdown = pack_frame(("shutdown",))
+        shutdown = pack_frame(("shutdown",), codec=self.codec)
         for link in list(self._links):
             try:
                 link.sock.settimeout(5.0)
@@ -401,6 +631,9 @@ class TCPExecutor(Executor):
             self._listener.close()
         except OSError:
             pass
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         super().close()
 
     def __del__(self):  # pragma: no cover - belt and braces

@@ -1,24 +1,34 @@
 """The worker side of the TCP executor: ``repro.cli worker --connect``.
 
-A worker is a plain blocking loop: connect to the coordinator, receive the
-batch context once (``("context", worker_fn, payload)``), then execute
-``("run", ticket, task)`` frames one at a time, answering each with a
-``("result", ...)`` — or a shipped :class:`~repro.runtime.executors.base.TaskError`
-when the task raises.  ``("ping",)`` frames are answered with ``("pong",)``
-between runs; EOF, a ``("shutdown",)`` frame, or the coordinator dropping
-the connection mid-conversation all end the loop cleanly (exit code 0 — an
-in-flight run is requeued coordinator-side, so a dropped worker did nothing
-wrong).
+A worker is a plain blocking loop: connect to the coordinator, introduce
+itself with a ``("hello", {...})`` frame carrying its protocol version and
+codec, receive the batch context once (``("context", worker_fn, payload)``),
+then execute ``("run", ticket, task)`` frames one at a time, answering each
+with a ``("result", ...)`` — or a shipped
+:class:`~repro.runtime.executors.base.TaskError` when the task raises.
+``("ping",)`` frames are answered with ``("pong",)`` between runs; EOF, a
+``("shutdown",)`` frame, or the coordinator dropping the connection
+mid-conversation all end the loop cleanly (exit code 0 — an in-flight run is
+requeued coordinator-side, so a dropped worker did nothing wrong).  A
+``("reject", reason)`` reply to the hello — version mismatch, refused codec
+— is a protocol failure: the worker reports it and exits 1 so supervisors
+and scripts see it.
+
+The hello is always sent in the safe codec (which every coordinator
+accepts); the codec it *advertises* is what the worker uses for every frame
+after it.  Workers only accept pickle frames back when they themselves were
+started with the pickle codec (``--unsafe-pickle``).
 
 Workers keep per-process caches (phased profiles, evaluation tables) through
 the :class:`~repro.runtime.executors.base.RunContext` they receive; the
 table cache is reset on every context frame, so a long-lived worker serving
 many studies never accumulates stale table sets.
 
-Two fault-injection knobs support the resilience tests and chaos drills:
-``max_runs`` disconnects cleanly after N results, ``crash_after`` kills the
-process without replying when run N+1 arrives — exercising the
-coordinator's retry-on-worker-loss path.
+Fault injection for resilience tests and chaos drills: ``max_runs``
+disconnects cleanly after N results, ``crash_after`` kills the process
+without replying when run N+1 arrives, and a
+:class:`~repro.runtime.executors.chaos.FaultPlan` scripts kills, slow
+replies and duplicated results at exact run indexes.
 """
 
 from __future__ import annotations
@@ -30,7 +40,11 @@ from typing import Any, Callable, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.runtime.executors.base import TaskError, clear_worker_tables
+from repro.runtime.executors.chaos import FaultPlan
 from repro.runtime.executors.framing import (
+    CODEC_PICKLE,
+    CODEC_SAFE,
+    PROTOCOL_VERSION,
     FrameProtocolError,
     enable_keepalive,
     recv_frame,
@@ -68,15 +82,24 @@ def run_worker(
     connect_attempts: int = 40,
     connect_delay_s: float = 0.25,
     quiet: bool = False,
+    codec: str = CODEC_SAFE,
+    chaos: Optional[FaultPlan] = None,
 ) -> int:
     """Serve runs for the coordinator at ``address`` until told to stop.
 
     Returns a process exit code (0 on clean shutdown, including connection
-    loss).  ``address`` is ``"host:port"`` or a ``(host, port)`` tuple.
+    loss; 1 on protocol failure).  ``address`` is ``"host:port"`` or a
+    ``(host, port)`` tuple.  ``codec`` selects the wire codec for every
+    frame this worker sends (``"safe"`` or ``"pickle"``); pickle frames
+    from the coordinator are only accepted when the worker itself uses the
+    pickle codec.
     """
     from repro.runtime.executors.tcp import parse_address
 
+    if codec not in (CODEC_SAFE, CODEC_PICKLE):
+        raise SimulationError(f"unknown wire codec {codec!r}")
     host, port = parse_address(address) if isinstance(address, str) else address
+    chaos = chaos or FaultPlan()
 
     def log(message: str) -> None:
         if not quiet:
@@ -87,7 +110,14 @@ def run_worker(
     enable_keepalive(sock)
     log(f"connected to {host}:{port}")
     try:
-        return _serve(sock, log, max_runs=max_runs, crash_after=crash_after)
+        return _serve(
+            sock,
+            log,
+            max_runs=max_runs,
+            crash_after=crash_after,
+            codec=codec,
+            chaos=chaos,
+        )
     except (_ProtocolError, FrameProtocolError) as exc:
         # A version-mismatched or corrupt coordinator conversation is a real
         # failure, not a clean shutdown: orchestration watching exit codes
@@ -113,11 +143,21 @@ def _serve(
     *,
     max_runs: Optional[int],
     crash_after: Optional[int],
+    codec: str,
+    chaos: FaultPlan,
 ) -> int:
     context: Optional[Tuple[Any, Any]] = None
     runs_done = 0
+    allow_pickle = codec == CODEC_PICKLE
+    # The hello always travels in the safe codec — every coordinator accepts
+    # it — and advertises the codec used for all frames that follow.
+    send_frame(
+        sock,
+        ("hello", {"protocol": PROTOCOL_VERSION, "codec": codec, "pid": os.getpid()}),
+        codec=CODEC_SAFE,
+    )
     while True:
-        frame = recv_frame(sock)
+        frame = recv_frame(sock, allow_pickle=allow_pickle)
         if frame is None:
             log("coordinator closed the connection")
             return 0
@@ -127,14 +167,20 @@ def _serve(
             context = (worker_fn, payload)
             clear_worker_tables()  # fresh tables per context, like a pool
         elif tag == "ping":
-            send_frame(sock, ("pong",))
+            send_frame(sock, ("pong",), codec=codec)
         elif tag == "shutdown":
             log(f"shutdown after {runs_done} runs")
             return 0
+        elif tag == "reject":
+            reason = frame[1] if len(frame) > 1 else "no reason given"
+            raise _ProtocolError(f"coordinator rejected this worker: {reason}")
         elif tag == "run":
             _, ticket, task = frame
             if crash_after is not None and runs_done >= crash_after:
                 log(f"crash-after={crash_after} reached; dying mid-run")
+                os._exit(17)
+            if runs_done in chaos.kill_runs:
+                log(f"chaos: scripted kill at run index {runs_done}")
                 os._exit(17)
             if context is None:
                 send_frame(
@@ -148,15 +194,23 @@ def _serve(
                             message="worker received a run before any context",
                         ),
                     ),
+                    codec=codec,
                 )
                 continue
             worker_fn, payload = context
             try:
                 result = worker_fn(payload, task)
             except Exception as exc:
-                send_frame(sock, ("error", TaskError.capture(ticket, task, exc)))
+                reply = ("error", TaskError.capture(ticket, task, exc))
             else:
-                send_frame(sock, ("result", ticket, result))
+                reply = ("result", ticket, result)
+            if runs_done in chaos.slow_runs:
+                log(f"chaos: scripted slow reply at run index {runs_done}")
+                time.sleep(chaos.slow_s)
+            send_frame(sock, reply, codec=codec)
+            if runs_done in chaos.duplicate_results:
+                log(f"chaos: scripted duplicate reply at run index {runs_done}")
+                send_frame(sock, reply, codec=codec)
             runs_done += 1
             if max_runs is not None and runs_done >= max_runs:
                 log(f"max-runs={max_runs} reached; disconnecting")

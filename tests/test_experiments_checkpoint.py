@@ -524,3 +524,85 @@ class TestFaultPaths:
         assert sorted(completed) == ["good"]
         rows = completed["good"].rows
         assert rows and all(row["scenario_id"] == "good" for row in rows)
+
+
+def corrupt_first_row(path) -> int:
+    """Flip a row value in place without touching its CRC; returns the line no."""
+    lines = path.read_text().splitlines()
+    for line_no, line in enumerate(lines, start=1):
+        record = json.loads(line)
+        if record.get("record") == "row":
+            record["stp"] = record.get("stp", 0.0) + 1.0  # silent bit rot
+            lines[line_no - 1] = json.dumps(record)
+            path.write_text("\n".join(lines) + "\n")
+            return line_no
+    raise AssertionError("no row record found")
+
+
+class TestRecordCRC:
+    """Per-line checksums: corruption of durably-written rows is detected."""
+
+    def test_rows_and_failures_carry_checksums(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        run_study(two_scenario_spec(), checkpoint=path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        rows = [r for r in records if r["record"] == "row"]
+        assert rows and all(isinstance(r["crc"], int) for r in rows)
+        from repro.experiments.checkpoint import record_crc
+
+        for row in rows:
+            assert row["crc"] == record_crc(row)
+
+    def test_strict_load_rejects_corrupted_rows(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        run_study(two_scenario_spec(), checkpoint=path)
+        corrupt_first_row(path)
+        with pytest.raises(SpecError, match="CRC"):
+            StudyResult.load(path)
+
+    def test_resume_recomputes_from_the_corrupted_scenario(self, tmp_path):
+        """Lenient path: warn, drop the damaged scenario, recompute it."""
+        path = tmp_path / "rows.jsonl"
+        baseline = run_study(two_scenario_spec(), checkpoint=path)
+        corrupt_first_row(path)  # first scenario's first row
+        checkpoint = StudyCheckpoint(path)
+        with pytest.warns(RuntimeWarning, match="CRC"):
+            _header, completed = checkpoint.load_completed()
+        assert completed == {}  # nothing after the corruption is trusted
+        with pytest.warns(RuntimeWarning, match="CRC"):
+            resumed = run_study(
+                two_scenario_spec(), checkpoint=path, resume=True
+            )
+        assert resumed.rows() == baseline.rows()
+        # The repaired file is clean again.
+        assert StudyResult.load(path).rows() == baseline.rows()
+
+    def test_corruption_after_a_good_scenario_keeps_the_good_one(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        run_study(two_scenario_spec(), checkpoint=path)
+        lines = path.read_text().splitlines()
+        # Corrupt a row of the *second* scenario only.
+        for index in range(len(lines) - 1, -1, -1):
+            record = json.loads(lines[index])
+            if record.get("record") == "row":
+                record["stp"] = record.get("stp", 0.0) + 1.0
+                lines[index] = json.dumps(record)
+                break
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="CRC"):
+            _header, completed = StudyCheckpoint(path).load_completed()
+        assert sorted(completed) == ["first"]
+
+    def test_crc_stable_across_write_parse_round_trip(self, tmp_path):
+        from repro.experiments.checkpoint import record_crc
+
+        record = {
+            "record": "row",
+            "scenario_id": "s",
+            "stp": 7.437500000000001,
+            "label": "αβ",
+            "ways": [1, 2],
+        }
+        record["crc"] = record_crc(record)
+        parsed = json.loads(json.dumps(record))
+        assert parsed.pop("crc") == record_crc(parsed)

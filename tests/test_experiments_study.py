@@ -486,3 +486,105 @@ class TestWorkerTableCache:
             base_mod.worker_tables(platform, None)
             assert base_mod._TABLES_CACHE
         assert base_mod._TABLES_CACHE == {}
+
+
+class TestFaultTolerance:
+    """Graceful degradation: retry budgets, quarantine, failure records."""
+
+    FAILING_SPEC = {
+        "name": "degraded",
+        "scenarios": [
+            {
+                "name": "dyn",
+                "kind": "dynamic",
+                "workloads": [{"suite": "all", "names": ["S1"]}],
+                "policies": [
+                    {"name": "dunn"},
+                    {"name": "kaboom-driver", "label": "Bad"},
+                ],
+                "engine": {
+                    "instructions_per_run": 2.0e8,
+                    "min_completions": 1,
+                    "record_traces": False,
+                },
+            }
+        ],
+    }
+
+    @pytest.fixture(autouse=True, scope="class")
+    def kaboom_driver(self):
+        from repro.experiments.registry import DRIVERS, register_driver
+        from repro.runtime.scheduler import StockLinuxDriver
+
+        if "kaboom-driver" in DRIVERS:
+            return
+
+        class KaboomDriver(StockLinuxDriver):
+            name = "Kaboom"
+
+            def on_start(self, apps, platform):
+                raise RuntimeError("kaboom")
+
+        register_driver("kaboom-driver", KaboomDriver)
+
+    def test_quarantine_keeps_the_study_alive(self):
+        result = run_study(
+            self.FAILING_SPEC,
+            fault_tolerance={"max_attempts": 2, "backoff_s": 0.0},
+        )
+        # The healthy drivers' rows survive, the poison run is quarantined.
+        assert sorted({row["policy"] for row in result.rows()}) == [
+            "Dunn",
+            "Stock-Linux",
+        ]
+        (failure,) = result.failures()
+        assert failure["label"] == "Bad@S1"
+        assert failure["kind"] == "RuntimeError"
+        assert failure["message"] == "kaboom"
+        assert failure["attempts"] == 2
+        assert failure["workload"] == "S1"
+        assert failure["scenario_id"] == "dyn"
+
+    def test_failure_records_round_trip_through_the_store(self, tmp_path):
+        result = run_study(
+            self.FAILING_SPEC,
+            fault_tolerance={"max_attempts": 1, "backoff_s": 0.0},
+        )
+        path = tmp_path / "degraded.jsonl"
+        result.save(path)
+        loaded = StudyResult.load(path)
+        assert loaded.rows() == result.rows()
+        assert loaded.failures() == result.failures()
+
+    def test_spec_level_fault_tolerance_and_kwarg_override(self):
+        spec = dict(self.FAILING_SPEC)
+        spec["fault_tolerance"] = {"max_attempts": 1, "backoff_s": 0.0}
+        result = run_study(spec)
+        (failure,) = result.failures()
+        assert failure["attempts"] == 1
+        # The kwarg wins over the spec.
+        result = run_study(
+            spec, fault_tolerance={"max_attempts": 3, "backoff_s": 0.0}
+        )
+        (failure,) = result.failures()
+        assert failure["attempts"] == 3
+        # fault_tolerance=False disables the layer entirely: first error aborts.
+        with pytest.raises(Exception, match="kaboom"):
+            run_study(spec, fault_tolerance=False)
+
+    def test_quarantine_false_reraises_after_the_budget(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="kaboom"):
+            run_study(
+                self.FAILING_SPEC,
+                fault_tolerance={
+                    "max_attempts": 2,
+                    "backoff_s": 0.0,
+                    "quarantine": False,
+                },
+            )
+
+    def test_without_tolerance_failures_still_abort(self):
+        with pytest.raises(Exception, match="kaboom"):
+            run_study(self.FAILING_SPEC)
