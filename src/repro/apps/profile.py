@@ -21,7 +21,7 @@ as each application effectively owning a fractional number of ways.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -247,6 +247,29 @@ class FastProfileView:
         self.n_ways = profile.n_ways
         self.ipc_alone = profile.ipc_alone
         self.bytes_per_miss = profile.bytes_per_miss
+
+    @classmethod
+    def from_arrays(
+        cls, ipc: Sequence[float], llcmpkc: Sequence[float], bytes_per_miss: float
+    ) -> "FastProfileView":
+        """Rebuild a view from raw curve values (persisted-table warm start).
+
+        Equivalent to ``FastProfileView(AppProfile(...))`` over the same
+        curves: ``ipc_alone`` is the last IPC point, exactly as
+        :attr:`AppProfile.ipc_alone` reads it.
+        """
+        view = cls.__new__(cls)
+        view.ipc = [float(v) for v in ipc]
+        view.llcmpkc = [float(v) for v in llcmpkc]
+        if not view.ipc or len(view.ipc) != len(view.llcmpkc):
+            raise ProfileError(
+                "curve arrays must be non-empty and of equal length, got "
+                f"{len(view.ipc)} IPC / {len(view.llcmpkc)} LLCMPKC points"
+            )
+        view.n_ways = len(view.ipc)
+        view.ipc_alone = view.ipc[-1]
+        view.bytes_per_miss = float(bytes_per_miss)
+        return view
 
     def _interp(self, table: list, ways: float) -> float:
         if ways <= 0:

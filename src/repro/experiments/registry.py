@@ -243,6 +243,7 @@ register_workload_suite("dynamic_study", _suite(dynamic_study_workloads))
 
 register_backend("incremental", "incremental")
 register_backend("reference", "reference")
+register_backend("multirun", "multirun")
 
 register_solver_backend("tabulated", "tabulated")
 register_solver_backend("reference", "reference")

@@ -104,6 +104,14 @@ def _opt_int(value: Any, where: str) -> Optional[int]:
     return int(value)
 
 
+def _opt_str(value: Any, where: str) -> Optional[str]:
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise SpecError(f"{where} must be a non-empty string, got {value!r}")
+    return value
+
+
 def _as_int(value: Any, where: str) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
         raise SpecError(f"{where} must be an integer, got {value!r}")
@@ -366,6 +374,9 @@ class EngineSpec:
     max_simulated_seconds: float = 600.0
     backend: str = "incremental"
     max_table_entries: Optional[int] = None
+    #: Warm-start file for the shared evaluation tables (see
+    #: :attr:`EngineConfig.tables_path`); missing files mean a cold start.
+    tables_path: Optional[str] = None
 
     def to_config(self) -> EngineConfig:
         """Lower onto a concrete ``EngineConfig`` (validates every field)."""
@@ -378,6 +389,7 @@ class EngineSpec:
             max_simulated_seconds=self.max_simulated_seconds,
             backend=backend,
             max_table_entries=self.max_table_entries,
+            tables_path=self.tables_path,
         )
 
     @classmethod
@@ -390,6 +402,7 @@ class EngineSpec:
             max_simulated_seconds=config.max_simulated_seconds,
             backend=config.backend,
             max_table_entries=config.max_table_entries,
+            tables_path=config.tables_path,
         )
 
     _KEYS = (
@@ -400,6 +413,7 @@ class EngineSpec:
         "max_simulated_seconds",
         "backend",
         "max_table_entries",
+        "tables_path",
     )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -413,6 +427,8 @@ class EngineSpec:
         }
         if self.max_table_entries is not None:
             out["max_table_entries"] = self.max_table_entries
+        if self.tables_path is not None:
+            out["tables_path"] = self.tables_path
         return out
 
     @classmethod
@@ -440,6 +456,9 @@ class EngineSpec:
             backend=get("backend"),
             max_table_entries=_opt_int(
                 data.get("max_table_entries"), "EngineSpec.max_table_entries"
+            ),
+            tables_path=_opt_str(
+                data.get("tables_path"), "EngineSpec.tables_path"
             ),
         )
         spec.to_config()  # schema-validate eagerly (ranges, backend name)

@@ -65,6 +65,7 @@ from repro.runtime.executors import (
     TaskError,
     check_unique_workloads,
 )
+from repro.runtime.multirun import RunGroup, group_run_specs
 from repro.runtime.scheduler import StockLinuxDriver
 from repro.simulator import ClusteringEstimator
 from repro.workloads.generator import Workload
@@ -350,6 +351,10 @@ def _failure_record(spec: Any, error: TaskError, attempts: int) -> Dict[str, Any
         record["workload"] = spec.name
     elif isinstance(spec, RunSpec):
         record["workload"] = spec.workload.name
+    elif isinstance(spec, RunGroup):
+        record["workloads"] = sorted(
+            {member.workload.name for member in spec.members}
+        )
     return record
 
 
@@ -531,9 +536,28 @@ def _run_dynamic_scenario(
                 )
             )
     executor.prepare(platform, default_config=config)
-    if tolerance is None:
+    if config.backend == "multirun":
+        # Lower the flat batch onto stack-compatible groups; each group is
+        # one executor task yielding its members' results, scattered back
+        # into flat submission order so rows, scenario IDs and JSONL order
+        # are exactly the per-run path's.  A quarantined group drops all of
+        # its members' slots (the failure record lists the workloads).
+        check_unique_workloads(specs)
+        groups, scatter = group_run_specs(specs, jobs=executor.parallelism())
+        if tolerance is None:
+            grouped = executor.map_specs(groups)
+            failures: List[Dict[str, Any]] = []
+        else:
+            grouped, failures = _map_specs_resilient(executor, groups, tolerance)
+        results: List[Any] = [None] * len(specs)
+        for indices, payload in zip(scatter, grouped):
+            if payload is None:
+                continue
+            for flat_index, result in zip(indices, payload):
+                results[flat_index] = result
+    elif tolerance is None:
         results = executor.map_specs(specs)
-        failures: List[Dict[str, Any]] = []
+        failures = []
     else:
         results, failures = _map_specs_resilient(executor, specs, tolerance)
 

@@ -23,6 +23,7 @@ __all__ = [
     "normalised_series",
     "short_mean",
     "RollingMeanWindow",
+    "RollingMeanRing",
 ]
 
 
@@ -120,6 +121,105 @@ class RollingMeanWindow:
         if self.maxlen < self._PAIRWISE_CUTOVER:
             return self._partials[0] / n
         return short_mean(self._values)
+
+
+class RollingMeanRing:
+    """Multi-column :class:`RollingMeanWindow` in one flat ring buffer.
+
+    The online monitors track two rolling averages per application (LLCMPKC
+    and stall fraction) over the *same* window of samples.  Keeping two
+    independent :class:`RollingMeanWindow` deques doubles the bookkeeping and
+    rules out array-level batching, so this structure stores the samples and
+    the per-window-start partial sums for all ``columns`` side by side in two
+    ``(maxlen, columns)`` arrays laid out as a ring:
+
+    * slot ``(start + j) % maxlen`` holds the ``j``-th oldest live sample and
+      the partial sum of the window beginning at that sample;
+    * appending evicts the oldest partial when full, adds the new sample once
+      to every live partial (the same single float addition per window start
+      the deque loop performed, so every mean stays bit-identical to
+      ``np.mean`` over the window) and seeds a fresh partial with
+      ``0.0 + value`` (normalising -0.0, mirroring the reduction's
+      zero-initialised accumulator);
+    * ``means()`` is one vector divide: ``partials[start] / len``.
+
+    Windows of :data:`RollingMeanWindow._PAIRWISE_CUTOVER` (eight) or more
+    samples fall back to :func:`short_mean` per column per read, exactly like
+    the deque implementation, because NumPy's pairwise reduction cannot be
+    maintained incrementally.  The per-column equivalence with
+    :class:`RollingMeanWindow` is pinned by the test suite.
+    """
+
+    __slots__ = ("maxlen", "columns", "_values", "_partials", "_start", "_live")
+
+    _PAIRWISE_CUTOVER = RollingMeanWindow._PAIRWISE_CUTOVER
+
+    def __init__(self, maxlen: int, columns: int = 2) -> None:
+        if maxlen < 1:
+            raise ReproError(f"window length must be >= 1, got {maxlen}")
+        if columns < 1:
+            raise ReproError(f"column count must be >= 1, got {columns}")
+        self.maxlen = maxlen
+        self.columns = columns
+        self._values = np.zeros((maxlen, columns))
+        self._partials = np.zeros((maxlen, columns))
+        self._start = 0  # ring slot of the oldest live sample / partial
+        self._live = 0  # number of live samples (== live partials)
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def full(self) -> bool:
+        return self._live == self.maxlen
+
+    def append(self, sample: Sequence[float]) -> None:
+        """Ingest one sample row (one float per column)."""
+        row = np.asarray(sample, dtype=float)
+        maxlen = self.maxlen
+        if self._live == maxlen:
+            # The evicted sample's window start dies with it.
+            self._start = (self._start + 1) % maxlen
+            self._live -= 1
+        # One addition per live partial per column — identical arithmetic to
+        # the per-column deque loop.  The live slots form a contiguous range
+        # modulo maxlen, so at most two slice adds cover them.
+        start, live = self._start, self._live
+        end = start + live
+        if end <= maxlen:
+            self._partials[start:end] += row
+        else:
+            self._partials[start:] += row
+            self._partials[: end - maxlen] += row
+        slot = end % maxlen
+        self._partials[slot] = row + 0.0
+        self._values[slot] = row
+        self._live += 1
+
+    def clear(self) -> None:
+        self._start = 0
+        self._live = 0
+
+    def window(self, column: int) -> list:
+        """The live samples of ``column``, oldest first."""
+        order = (self._start + np.arange(self._live)) % self.maxlen
+        return [float(v) for v in self._values[order, column]]
+
+    def means(self) -> np.ndarray:
+        """Per-column means of the current window; raises when empty."""
+        if self._live == 0:
+            raise ReproError("mean of an empty window")
+        if self.maxlen < self._PAIRWISE_CUTOVER:
+            return self._partials[self._start] / self._live
+        return np.array([short_mean(self.window(c)) for c in range(self.columns)])
+
+    def mean(self, column: int) -> float:
+        """Mean of one column of the current window; raises when empty."""
+        if self._live == 0:
+            raise ReproError("mean of an empty window")
+        if self.maxlen < self._PAIRWISE_CUTOVER:
+            return float(self._partials[self._start, column]) / self._live
+        return short_mean(self.window(column))
 
 
 def geometric_mean(values: Sequence[float]) -> float:

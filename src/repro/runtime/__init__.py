@@ -10,6 +10,7 @@ from repro.runtime.scheduler import (
     StockLinuxDriver,
 )
 from repro.runtime.engine import EngineConfig, RuntimeEngine, alone_completion_time
+from repro.runtime.multirun import MultiRunEngine, RunGroup, group_run_specs
 from repro.runtime.results import AppRunStats, RepartitionEvent, RunResult, TracePoint
 from repro.runtime.executors import (
     Executor,
@@ -46,6 +47,9 @@ __all__ = [
     "StockLinuxDriver",
     "EngineConfig",
     "RuntimeEngine",
+    "MultiRunEngine",
+    "RunGroup",
+    "group_run_specs",
     "alone_completion_time",
     "AppRunStats",
     "RepartitionEvent",

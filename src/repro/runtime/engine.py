@@ -92,13 +92,22 @@ class EngineConfig:
     #: Safety cap on simulated time (seconds) to guarantee termination.
     max_simulated_seconds: float = 600.0
     #: Evaluation/event-loop backend: ``"incremental"`` (vectorized state,
-    #: cached estimates) or ``"reference"`` (original dict-based loop).
-    #: Both produce bit-identical results.
+    #: cached estimates), ``"reference"`` (original dict-based loop) or
+    #: ``"multirun"`` (incremental arithmetic, with ``run_study`` batching
+    #: compatible runs through :class:`~repro.runtime.multirun.MultiRunEngine`;
+    #: a single engine run under ``"multirun"`` takes the incremental path).
+    #: All produce bit-identical results.
     backend: str = "incremental"
     #: LRU bound on the shared evaluation tables' estimate cache (``None`` =
     #: unbounded; only meaningful with the ``incremental`` backend).  Evicted
     #: entries are recomputed on demand, so results are unaffected.
     max_table_entries: Optional[int] = None
+    #: Warm-start file for the shared evaluation tables (``None`` = start
+    #: cold).  When set, every worker process seeds its tables from this
+    #: :meth:`~repro.simulator.estimator.EvaluationTables.load` snapshot if
+    #: the file exists; cached values are pure functions of their keys, so
+    #: warm starts change wall clock only, never results.
+    tables_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.instructions_per_run <= 0:
@@ -109,7 +118,7 @@ class EngineConfig:
             raise SimulationError("partition_interval_s must be positive")
         if self.max_simulated_seconds <= 0:
             raise SimulationError("max_simulated_seconds must be positive")
-        if self.backend not in ("incremental", "reference"):
+        if self.backend not in ("incremental", "reference", "multirun"):
             raise SimulationError(f"unknown engine backend {self.backend!r}")
         if self.max_table_entries is not None and self.max_table_entries < 1:
             raise SimulationError(
@@ -204,7 +213,7 @@ class RuntimeEngine:
         self._alloc_token: Optional[tuple] = None
         self.tables: Optional[EvaluationTables] = None
         self._snapshot: Optional[ProfileSnapshot] = None
-        if self.config.backend == "incremental":
+        if self.config.backend in ("incremental", "multirun"):
             if tables is None:
                 tables = EvaluationTables(
                     platform, max_entries=self.config.max_table_entries
@@ -245,6 +254,9 @@ class RuntimeEngine:
         """Run the workload to completion and return the collected results."""
         if self.config.backend == "reference":
             return self._run_reference(workload_name)
+        # "multirun" on a single engine is the degenerate one-member group,
+        # which is exactly the incremental path (cross-run batching lives in
+        # repro.runtime.multirun and the study layer).
         return self._run_incremental(workload_name)
 
     # -- shared pieces ---------------------------------------------------------------
@@ -671,7 +683,7 @@ class RuntimeEngine:
         self.cat.apply_allocation(allocation.masks)
         self._allocation = allocation
         self._alloc_token = allocation_token(allocation)
-        if self.config.backend == "incremental":
+        if self.config.backend != "reference":
             self._alloc_id = self._alloc_ids.setdefault(
                 self._alloc_token, len(self._alloc_ids)
             )

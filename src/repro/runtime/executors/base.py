@@ -35,6 +35,7 @@ strategy as data.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
@@ -54,6 +55,7 @@ from typing import (
 from repro.errors import SimulationError
 from repro.hardware.platform import PlatformSpec
 from repro.runtime.engine import EngineConfig, RuntimeEngine
+from repro.runtime.multirun import MultiRunEngine, RunGroup
 from repro.runtime.results import RunResult
 from repro.simulator.estimator import EvaluationTables
 from repro.workloads.generator import Workload
@@ -120,6 +122,10 @@ def task_label(task: Any) -> str:
             task.driver_cls.__name__
         )
         return f"{label}@{task.workload.name}"
+    if isinstance(task, RunGroup):
+        workloads = sorted({member.workload.name for member in task.members})
+        preview = ",".join(workloads[:3]) + ("..." if len(workloads) > 3 else "")
+        return f"group[{len(task.members)}]@{preview}"
     text = repr(task)
     return text if len(text) <= 80 else text[:77] + "..."
 
@@ -137,25 +143,68 @@ def task_label(task: Any) -> str:
 # set_context/prepare starts from empty tables, matching the historical
 # per-batch reset, so long-lived processes never accumulate stale table sets.
 _TABLES_CACHE: Dict[
-    Tuple[int, Optional[int]], Tuple[PlatformSpec, EvaluationTables]
+    Tuple[int, Optional[int], Optional[str]], Tuple[PlatformSpec, EvaluationTables]
 ] = {}
 _TABLES_CACHE_MAX = 8
 
 
+# Loaded warm-start snapshots, keyed by the file's identity (path + stat)
+# and the parameter digest they were validated against.  Unlike
+# _TABLES_CACHE this survives context installs: a snapshot file is
+# immutable for a given (mtime, size), so re-reading it on every study in a
+# long-lived process would buy nothing — repeated studies and recycled pool
+# workers keep starting warm from the first load.  Entries only accumulate
+# extra estimates (pure functions of their keys), never study results.
+_SNAPSHOT_CACHE: Dict[tuple, EvaluationTables] = {}
+_SNAPSHOT_CACHE_MAX = 4
+
+
 def clear_worker_tables() -> None:
-    """Drop this process's table cache (called on every context install)."""
+    """Drop this process's table cache (called on every context install).
+
+    Warm-start snapshots (see ``_SNAPSHOT_CACHE``) are kept: they are
+    keyed by file identity and parameter digest, so a context change can
+    never alias them to the wrong study."""
     _TABLES_CACHE.clear()
 
 
 def worker_tables(
-    platform: PlatformSpec, max_entries: Optional[int] = None
+    platform: PlatformSpec,
+    max_entries: Optional[int] = None,
+    tables_path: Optional[str] = None,
 ) -> EvaluationTables:
-    """This process's shared evaluation tables for ``(platform, max_entries)``."""
-    key = (id(platform), max_entries)
+    """This process's shared evaluation tables for ``(platform, max_entries)``.
+
+    With ``tables_path`` naming an existing persisted-tables file, the first
+    lookup in this process warm-starts from it
+    (:meth:`EvaluationTables.load`); a missing file is the normal cold start
+    (the batch that writes the snapshot has not run yet), while a corrupt or
+    mismatched file raises — silently dropping a requested warm start would
+    hide a configuration error behind a slow run.
+    """
+    key = (id(platform), max_entries, tables_path)
     hit = _TABLES_CACHE.get(key)
     if hit is not None and hit[0] is platform:
         return hit[1]
-    tables = EvaluationTables(platform, max_entries=max_entries)
+    if tables_path is not None and os.path.exists(tables_path):
+        stat = os.stat(tables_path)
+        snap_key = (
+            os.path.abspath(tables_path),
+            stat.st_mtime_ns,
+            stat.st_size,
+            max_entries,
+            EvaluationTables(platform).params_signature(),
+        )
+        tables = _SNAPSHOT_CACHE.get(snap_key)
+        if tables is None:
+            tables = EvaluationTables.load(
+                tables_path, platform, max_entries=max_entries
+            )
+            if len(_SNAPSHOT_CACHE) >= _SNAPSHOT_CACHE_MAX:
+                _SNAPSHOT_CACHE.pop(next(iter(_SNAPSHOT_CACHE)))
+            _SNAPSHOT_CACHE[snap_key] = tables
+    else:
+        tables = EvaluationTables(platform, max_entries=max_entries)
     if len(_TABLES_CACHE) >= _TABLES_CACHE_MAX:
         _TABLES_CACHE.pop(next(iter(_TABLES_CACHE)))
     _TABLES_CACHE[key] = (platform, tables)
@@ -202,12 +251,22 @@ class RunContext:
         return profiles
 
 
-def execute_run(context: RunContext, spec: RunSpec) -> RunResult:
-    """The single-run kernel shared by every executor backend."""
+def execute_run(context: RunContext, spec: Any) -> Any:
+    """The per-task kernel shared by every executor backend.
+
+    A :class:`RunSpec` yields one :class:`RunResult`; a :class:`RunGroup`
+    yields the list of its members' results (in member order), produced by
+    one :class:`~repro.runtime.multirun.MultiRunEngine` over this worker's
+    shared tables.
+    """
+    if isinstance(spec, RunGroup):
+        return _execute_run_group(context, spec)
     config = spec.config or context.default_config or EngineConfig()
     tables = None
-    if config.backend == "incremental":
-        tables = worker_tables(context.platform, config.max_table_entries)
+    if config.backend in ("incremental", "multirun"):
+        tables = worker_tables(
+            context.platform, config.max_table_entries, config.tables_path
+        )
     driver = spec.make_driver()
     engine = RuntimeEngine(
         context.platform,
@@ -221,6 +280,31 @@ def execute_run(context: RunContext, spec: RunSpec) -> RunResult:
     # driver's own name exactly as the RunSpec docstring promises.
     result.label = spec.label or result.policy
     return result
+
+
+def _execute_run_group(context: RunContext, group: RunGroup) -> List[RunResult]:
+    """Run one stack-compatible group through a multi-run engine."""
+    config = group.config or context.default_config or EngineConfig()
+    tables = worker_tables(
+        context.platform, config.max_table_entries, config.tables_path
+    )
+    engine = MultiRunEngine(
+        context.platform,
+        [
+            (
+                member.workload.name,
+                context.profiles_for(member.workload),
+                member.make_driver(),
+            )
+            for member in group.members
+        ],
+        config,
+        tables=tables,
+    )
+    results = engine.run()
+    for member, result in zip(group.members, results):
+        result.label = member.label or result.policy
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -313,6 +397,15 @@ class Executor(ABC):
 
     def _context_changed(self) -> None:
         """Hook for backends that ship the context to remote workers."""
+
+    def parallelism(self) -> int:
+        """How many tasks this executor can usefully run at once.
+
+        A scheduling *hint* for callers shaping their batches (e.g. how many
+        multi-run groups to cut a study into) — never a correctness
+        property.  Serial backends report 1.
+        """
+        return 1
 
     # -- submission / collection -------------------------------------------------
 

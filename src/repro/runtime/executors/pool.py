@@ -85,6 +85,9 @@ class PoolExecutor(Executor):
             return max(mp.cpu_count() - 1, 1)
         return self.jobs
 
+    def parallelism(self) -> int:
+        return self._resolved_jobs()
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             # Never spawn more workers than there is queued work: the pool

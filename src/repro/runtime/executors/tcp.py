@@ -263,6 +263,11 @@ class TCPExecutor(Executor):
         in_flight = sum(1 for link in self._links if link.in_flight is not None)
         return len(self._queue) + in_flight + len(self._ready)
 
+    def parallelism(self) -> int:
+        # Connected workers when known; otherwise the floor the coordinator
+        # was told to wait for (workers may still be on their way).
+        return max(sum(1 for link in self._links if link.ready), self.min_workers)
+
     # -- the event loop ----------------------------------------------------------
 
     def as_completed(

@@ -20,19 +20,44 @@ every application and keeps, per application:
     intensive while its effective occupancy (from CMT) is smaller than its
     critical size, or when its LLCMPKC stays above the high threshold even
     with more space than the critical size.
+
+Two monitor implementations share these semantics:
+
+* :class:`AppMonitor` — the original scalar state machine, one object per
+  application.  It remains the **reference oracle**: every fused-path change
+  is pinned bit-identical against it (property tests in
+  ``tests/test_runtime_monitor_sampling.py`` plus the differential-oracle
+  grid, which runs the reference LFOC driver on plain ``AppMonitor``\\ s).
+* :class:`MonitorBank` — the fused struct-of-arrays kernel: all per-row
+  monitor state lives in NumPy arrays (warm-up countdowns, class codes,
+  sampling flags, and one 2-column LLCMPKC/stall ring buffer stacked along a
+  leading row axis), and :meth:`MonitorBank.observe_batch` ingests one sample
+  for many rows in a single vectorized call, returning the re-sampling
+  trigger mask.  The incremental LFOC driver stores its monitors in a bank
+  (exposed through :class:`BankMonitor` row views with the ``AppMonitor``
+  API), and the multi-run engine stacks the banks of grouped runs.
+
+A note on batching limits: inside one engine event batch a triggered sampling
+sweep reprograms the cache *between* two applications' samples, which changes
+the effective-ways input of every later sample in the batch.  Callers must
+therefore only pass rows to one ``observe_batch`` call when no reprogram can
+happen between them (the per-sample driver path ingests row by row; the
+arithmetic is identical either way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.classification import AppClass, ClassificationThresholds
 from repro.errors import SimulationError
 from repro.hardware.pmc import DerivedMetrics
-from repro.metrics.aggregate import RollingMeanWindow
+from repro.metrics.aggregate import RollingMeanRing, short_mean
 
-__all__ = ["MonitorConfig", "AppMonitor"]
+__all__ = ["MonitorConfig", "AppMonitor", "MonitorBank", "BankMonitor"]
 
 
 @dataclass(frozen=True)
@@ -55,18 +80,17 @@ class MonitorConfig:
 
 
 class AppMonitor:
-    """Online monitoring state machine for one application."""
+    """Online monitoring state machine for one application (scalar oracle)."""
 
     def __init__(self, name: str, config: Optional[MonitorConfig] = None) -> None:
         self.name = name
         self.config = config or MonitorConfig()
         self.app_class: AppClass = AppClass.UNKNOWN
         self.warmup_remaining = self.config.warmup_samples
-        # Rolling windows with O(1) mean reads (the phase-change heuristics
-        # consult both averages on every sample), bit-identical to the former
-        # short_mean full-window scans.
-        self._llcmpkc_history = RollingMeanWindow(self.config.history_window)
-        self._stall_history = RollingMeanWindow(self.config.history_window)
+        # Both rolling windows (LLCMPKC, stall fraction) live in one 2-column
+        # ring buffer with O(1) mean reads, bit-identical per column to the
+        # former pair of RollingMeanWindow deques (and to np.mean).
+        self._history = RollingMeanRing(self.config.history_window, 2)
         #: Slowdown table (indexed by way count - 1) built from the last
         #: sampling-mode sweep; only meaningful for sensitive applications.
         self.slowdown_table: Optional[List[float]] = None
@@ -91,14 +115,14 @@ class AppMonitor:
         return self.warmup_remaining == 0
 
     def average_llcmpkc(self) -> float:
-        if not self._llcmpkc_history:
+        if not len(self._history):
             return 0.0
-        return self._llcmpkc_history.mean()
+        return self._history.mean(0)
 
     def average_stall_fraction(self) -> float:
-        if not self._stall_history:
+        if not len(self._history):
             return 0.0
-        return self._stall_history.mean()
+        return self._history.mean(1)
 
     def set_classification(
         self,
@@ -134,13 +158,12 @@ class AppMonitor:
             # Warm-up samples are dropped entirely (cold-start spikes).
             self.warmup_remaining -= 1
             return False
-        self._llcmpkc_history.append(metrics.llcmpkc)
-        self._stall_history.append(metrics.stall_fraction)
+        self._history.append((metrics.llcmpkc, metrics.stall_fraction))
         if self.in_sampling_mode:
             return False
         if self.app_class is AppClass.UNKNOWN:
             return True
-        if len(self._llcmpkc_history) < self.config.history_window:
+        if len(self._history) < self.config.history_window:
             # Not enough history after the last decision to re-evaluate.
             return False
         thresholds = self.config.thresholds
@@ -167,9 +190,8 @@ class AppMonitor:
         """Mark the application as undergoing a sampling-mode sweep."""
         self.in_sampling_mode = True
         self.sampling_mode_entries += 1
-        # The rolling windows restart so post-sampling decisions use fresh data.
-        self._llcmpkc_history.clear()
-        self._stall_history.clear()
+        # The rolling window restarts so post-sampling decisions use fresh data.
+        self._history.clear()
 
     # -- reporting ----------------------------------------------------------------
 
@@ -183,3 +205,408 @@ class AppMonitor:
             "class_changes": float(self.class_changes),
             "sampling_entries": float(self.sampling_mode_entries),
         }
+
+
+# Class codes of the bank's int8 state column, in a fixed order so codes are
+# stable across banks (UNKNOWN must be 0: rows start unknown).
+_CLASS_ORDER = (AppClass.UNKNOWN, AppClass.LIGHT, AppClass.STREAMING, AppClass.SENSITIVE)
+_CLASS_CODE = {app_class: code for code, app_class in enumerate(_CLASS_ORDER)}
+
+
+class MonitorBank:
+    """Struct-of-arrays monitor state for many rows, with a fused observe.
+
+    One row per monitored application (and, when banks are stacked by the
+    multi-run engine, per run).  All numeric state is stored in arrays along
+    the leading row axis; :meth:`observe_batch` ingests one sample per
+    selected row in a single vectorized pass and returns the trigger mask.
+    Row views obtained from :meth:`monitor` expose the scalar
+    :class:`AppMonitor` API on top of the shared arrays, so driver code (and
+    tests) can keep addressing monitors individually.
+    """
+
+    def __init__(
+        self, names: Sequence[str], config: Optional[MonitorConfig] = None
+    ) -> None:
+        if not names:
+            raise SimulationError("a monitor bank needs at least one row")
+        self.names = list(names)
+        if len(set(self.names)) != len(self.names):
+            raise SimulationError(f"duplicate monitor names: {self.names}")
+        self.config = config or MonitorConfig()
+        rows = len(self.names)
+        window = self.config.history_window
+        self._row_of = {name: row for row, name in enumerate(self.names)}
+        self.warmup_remaining = np.full(rows, self.config.warmup_samples, dtype=np.int64)
+        self.samples_seen = np.zeros(rows, dtype=np.int64)
+        self.class_code = np.zeros(rows, dtype=np.int8)  # UNKNOWN
+        self.in_sampling_mode = np.zeros(rows, dtype=bool)
+        self.classification_version = np.zeros(rows, dtype=np.int64)
+        self.class_changes = np.zeros(rows, dtype=np.int64)
+        self.sampling_mode_entries = np.zeros(rows, dtype=np.int64)
+        #: Critical size as evaluated by the sensitive heuristic (1.0 when the
+        #: stored critical size is unset or zero, mirroring the scalar path).
+        self.critical_eval = np.ones(rows)
+        self.critical_size: List[Optional[int]] = [None] * rows
+        self.slowdown_tables: List[Optional[List[float]]] = [None] * rows
+        # The 2-column (LLCMPKC, stall) rolling windows of every row, stacked:
+        # ring slot (start[r] + j) % window holds row r's j-th oldest sample
+        # and the partial sum of the window starting there (see
+        # RollingMeanRing for the exactness argument).
+        self._win_values = np.zeros((rows, window, 2))
+        self._win_partials = np.zeros((rows, window, 2))
+        self._win_start = np.zeros(rows, dtype=np.int64)
+        self._win_live = np.zeros(rows, dtype=np.int64)
+
+    # -- row addressing ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def row_index(self, name: str) -> int:
+        try:
+            return self._row_of[name]
+        except KeyError:
+            raise SimulationError(f"unknown monitor row {name!r}") from None
+
+    def monitor(self, name: str) -> "BankMonitor":
+        """An :class:`AppMonitor`-compatible view of one row."""
+        return BankMonitor(self, self.row_index(name))
+
+    # -- fused ingestion --------------------------------------------------------
+
+    def observe_batch(
+        self,
+        llcmpkc: Sequence[float],
+        stall_fraction: Sequence[float],
+        effective_ways: Sequence[float],
+        rows: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Ingest one sample for every selected row; returns the trigger mask.
+
+        ``rows`` must not contain duplicates (each row ingests exactly one
+        sample per call).  The returned boolean array is aligned with
+        ``rows`` and reproduces :meth:`AppMonitor.observe` bit for bit on
+        every row — pinned by the property tests.
+        """
+        if rows is None:
+            rows = np.arange(len(self.names))
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+        llc = np.asarray(llcmpkc, dtype=float)
+        stl = np.asarray(stall_fraction, dtype=float)
+        eff = np.asarray(effective_ways, dtype=float)
+        if not (rows.shape == llc.shape == stl.shape == eff.shape):
+            raise SimulationError(
+                "observe_batch inputs must be 1-D and equally long, got "
+                f"rows{rows.shape} llcmpkc{llc.shape} stall{stl.shape} "
+                f"ways{eff.shape}"
+            )
+        self.samples_seen[rows] += 1
+        trigger = np.zeros(rows.shape[0], dtype=bool)
+        warm = self.warmup_remaining[rows] > 0
+        if warm.any():
+            # Warm-up samples are dropped entirely (cold-start spikes).
+            self.warmup_remaining[rows[warm]] -= 1
+            if warm.all():
+                return trigger
+            keep = ~warm
+            rows, llc, stl, eff = rows[keep], llc[keep], stl[keep], eff[keep]
+        else:
+            keep = None
+
+        means = self._append(rows, llc, stl)
+
+        # Decision masks replicate the scalar branch ladder; every comparison
+        # is the same float comparison the scalar path performs.
+        thresholds = self.config.thresholds
+        code = self.class_code[rows]
+        sampling = self.in_sampling_mode[rows]
+        enough = self.live_counts(rows) >= self.config.history_window
+        avg_mpkc = means[:, 0]
+        avg_stall = means[:, 1]
+        memory_intensive = (avg_mpkc > thresholds.streaming_llcmpkc) | (
+            avg_stall > thresholds.stall_fraction_high
+        )
+        decide = np.zeros(rows.shape[0], dtype=bool)
+        decide[code == _CLASS_CODE[AppClass.UNKNOWN]] = True
+        light = enough & (code == _CLASS_CODE[AppClass.LIGHT])
+        decide[light] = memory_intensive[light]
+        streaming = enough & (code == _CLASS_CODE[AppClass.STREAMING])
+        decide[streaming] = (avg_mpkc < thresholds.low_llcmpkc)[streaming]
+        sensitive = enough & (code == _CLASS_CODE[AppClass.SENSITIVE])
+        if sensitive.any():
+            critical = self.critical_eval[rows]
+            wants = (~memory_intensive & (eff < critical)) | (
+                (avg_mpkc > thresholds.streaming_llcmpkc) & (eff > critical)
+            )
+            decide[sensitive] = wants[sensitive]
+        decide &= ~sampling
+        if keep is None:
+            return decide
+        trigger[keep] = decide
+        return trigger
+
+    def observe_row(
+        self, row: int, llcmpkc: float, stall_fraction: float, effective_ways: float
+    ) -> bool:
+        """Scalar single-row ingestion, bit-identical to a one-row
+        :meth:`observe_batch`.
+
+        Driver counter-sample callbacks ingest one row at a time, where the
+        batch kernel's array plumbing (input coercion, mask allocation,
+        fancy indexing) would cost far more than the actual arithmetic.
+        Every float operation below — the ring partial additions, the
+        ``+ 0.0`` seed normalisation, the mean division, the threshold
+        comparisons — is the same IEEE-754 operation the batch path
+        performs, in the same order; the property suite pins the
+        equivalence against :meth:`observe_batch`.
+        """
+        self.samples_seen[row] += 1
+        if self.warmup_remaining[row] > 0:
+            self.warmup_remaining[row] -= 1
+            return False
+        window = self.config.history_window
+        start = int(self._win_start[row])
+        live = int(self._win_live[row])
+        if live == window:
+            start = (start + 1) % window
+            self._win_start[row] = start
+            live -= 1
+        partials = self._win_partials[row]
+        # The live slots are start..start+live-1 (mod window); each receives
+        # one independent addition, so updating them one by one produces the
+        # same bits as the batch kernel's masked add — without building the
+        # mask (windows are tiny: the default history is 5 slots).
+        for k in range(live):
+            slot = (start + k) % window
+            partials[slot, 0] += llcmpkc
+            partials[slot, 1] += stall_fraction
+        slot = (start + live) % window
+        partials[slot, 0] = llcmpkc + 0.0
+        partials[slot, 1] = stall_fraction + 0.0
+        values = self._win_values[row]
+        values[slot, 0] = llcmpkc
+        values[slot, 1] = stall_fraction
+        live += 1
+        self._win_live[row] = live
+        if window < RollingMeanRing._PAIRWISE_CUTOVER:
+            avg_mpkc = float(partials[start, 0]) / live
+            avg_stall = float(partials[start, 1]) / live
+        else:
+            avg_mpkc = short_mean(self.window(row, 0))
+            avg_stall = short_mean(self.window(row, 1))
+        thresholds = self.config.thresholds
+        code = int(self.class_code[row])
+        enough = live >= window
+        memory_intensive = (avg_mpkc > thresholds.streaming_llcmpkc) or (
+            avg_stall > thresholds.stall_fraction_high
+        )
+        if code == _CLASS_CODE[AppClass.UNKNOWN]:
+            decide = True
+        elif not enough:
+            decide = False
+        elif code == _CLASS_CODE[AppClass.LIGHT]:
+            decide = memory_intensive
+        elif code == _CLASS_CODE[AppClass.STREAMING]:
+            decide = avg_mpkc < thresholds.low_llcmpkc
+        elif code == _CLASS_CODE[AppClass.SENSITIVE]:
+            critical = float(self.critical_eval[row])
+            decide = ((not memory_intensive) and effective_ways < critical) or (
+                (avg_mpkc > thresholds.streaming_llcmpkc)
+                and effective_ways > critical
+            )
+        else:  # pragma: no cover - no further class codes exist
+            decide = False
+        if self.in_sampling_mode[row]:
+            return False
+        return bool(decide)
+
+    def live_counts(self, rows: np.ndarray) -> np.ndarray:
+        return self._win_live[rows]
+
+    def _append(self, rows: np.ndarray, llc: np.ndarray, stl: np.ndarray) -> np.ndarray:
+        """Ring-append one (llcmpkc, stall) sample per row; returns the new
+        per-row column means (same division as the scalar mean reads)."""
+        window = self.config.history_window
+        full = self._win_live[rows] == window
+        if full.any():
+            # The evicted sample's window start dies with it.
+            evict = rows[full]
+            self._win_start[evict] = (self._win_start[evict] + 1) % window
+            self._win_live[evict] -= 1
+        start = self._win_start[rows]
+        live = self._win_live[rows]
+        sample = np.stack((llc, stl), axis=1)  # (k, 2)
+        # One true addition per live partial (invalid slots receive + 0.0,
+        # which leaves their unused contents numerically intact).
+        valid = ((np.arange(window)[None, :] - start[:, None]) % window) < live[:, None]
+        self._win_partials[rows] += np.where(valid[:, :, None], sample[:, None, :], 0.0)
+        slot = (start + live) % window
+        # Seed with sample + 0.0 (not sample) to mirror the reduction's
+        # zero-initialised accumulator (normalises -0.0 to +0.0).
+        self._win_partials[rows, slot] = sample + 0.0
+        self._win_values[rows, slot] = sample
+        self._win_live[rows] += 1
+        live = self._win_live[rows]
+        if window < RollingMeanRing._PAIRWISE_CUTOVER:
+            return self._win_partials[rows, self._win_start[rows]] / live[:, None]
+        return np.array(
+            [
+                [short_mean(self.window(int(row), column)) for column in (0, 1)]
+                for row in rows
+            ]
+        )
+
+    # -- scalar row operations --------------------------------------------------
+
+    def window(self, row: int, column: int) -> List[float]:
+        """Row ``row``'s live samples of ``column``, oldest first."""
+        window = self.config.history_window
+        order = (self._win_start[row] + np.arange(self._win_live[row])) % window
+        return [float(v) for v in self._win_values[row, order, column]]
+
+    def row_mean(self, row: int, column: int) -> float:
+        live = int(self._win_live[row])
+        if live == 0:
+            return 0.0
+        if self.config.history_window < RollingMeanRing._PAIRWISE_CUTOVER:
+            return float(self._win_partials[row, self._win_start[row], column]) / live
+        return short_mean(self.window(row, column))
+
+    def begin_sampling(self, row: int) -> None:
+        self.in_sampling_mode[row] = True
+        self.sampling_mode_entries[row] += 1
+        self._win_start[row] = 0
+        self._win_live[row] = 0
+
+    def set_classification(
+        self,
+        row: int,
+        app_class: AppClass,
+        slowdown_table: Optional[List[float]] = None,
+        critical_size: Optional[int] = None,
+    ) -> None:
+        if (
+            app_class is not AppClass.UNKNOWN
+            and _CLASS_CODE[app_class] != self.class_code[row]
+        ):
+            self.class_changes[row] += 1
+        self.class_code[row] = _CLASS_CODE[app_class]
+        self.slowdown_tables[row] = (
+            list(slowdown_table) if slowdown_table is not None else None
+        )
+        self.critical_size[row] = critical_size
+        self.critical_eval[row] = float(critical_size) if critical_size else 1.0
+        self.in_sampling_mode[row] = False
+        self.classification_version[row] += 1
+
+    def snapshot(self, row: int) -> Dict[str, float]:
+        return {
+            "class": _CLASS_ORDER[self.class_code[row]].value,
+            "avg_llcmpkc": self.row_mean(row, 0),
+            "avg_stall_fraction": self.row_mean(row, 1),
+            "critical_size": float(self.critical_size[row] or 0),
+            "samples_seen": float(self.samples_seen[row]),
+            "class_changes": float(self.class_changes[row]),
+            "sampling_entries": float(self.sampling_mode_entries[row]),
+        }
+
+
+class BankMonitor:
+    """One :class:`MonitorBank` row behind the :class:`AppMonitor` API.
+
+    The incremental LFOC driver hands these out as ``driver.monitors[app]``;
+    all state lives in the bank's arrays, so per-row reads/writes and the
+    fused :meth:`MonitorBank.observe_batch` always agree.
+    """
+
+    __slots__ = ("bank", "row")
+
+    def __init__(self, bank: MonitorBank, row: int) -> None:
+        self.bank = bank
+        self.row = row
+
+    # -- identity / config ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.bank.names[self.row]
+
+    @property
+    def config(self) -> MonitorConfig:
+        return self.bank.config
+
+    # -- mirrored scalar state --------------------------------------------------
+
+    @property
+    def app_class(self) -> AppClass:
+        return _CLASS_ORDER[self.bank.class_code[self.row]]
+
+    @property
+    def warmup_remaining(self) -> int:
+        return int(self.bank.warmup_remaining[self.row])
+
+    @property
+    def warmed_up(self) -> bool:
+        return self.warmup_remaining == 0
+
+    @property
+    def in_sampling_mode(self) -> bool:
+        return bool(self.bank.in_sampling_mode[self.row])
+
+    @property
+    def classification_version(self) -> int:
+        return int(self.bank.classification_version[self.row])
+
+    @property
+    def samples_seen(self) -> int:
+        return int(self.bank.samples_seen[self.row])
+
+    @property
+    def class_changes(self) -> int:
+        return int(self.bank.class_changes[self.row])
+
+    @property
+    def sampling_mode_entries(self) -> int:
+        return int(self.bank.sampling_mode_entries[self.row])
+
+    @property
+    def slowdown_table(self) -> Optional[List[float]]:
+        return self.bank.slowdown_tables[self.row]
+
+    @property
+    def critical_size(self) -> Optional[int]:
+        return self.bank.critical_size[self.row]
+
+    # -- behaviour --------------------------------------------------------------
+
+    def average_llcmpkc(self) -> float:
+        return self.bank.row_mean(self.row, 0)
+
+    def average_stall_fraction(self) -> float:
+        return self.bank.row_mean(self.row, 1)
+
+    def observe(self, metrics: DerivedMetrics, effective_ways: float) -> bool:
+        return self.bank.observe_row(
+            self.row, metrics.llcmpkc, metrics.stall_fraction, float(effective_ways)
+        )
+
+    def begin_sampling(self) -> None:
+        self.bank.begin_sampling(self.row)
+
+    def set_classification(
+        self,
+        app_class: AppClass,
+        slowdown_table: Optional[List[float]] = None,
+        critical_size: Optional[int] = None,
+    ) -> None:
+        self.bank.set_classification(
+            self.row, app_class, slowdown_table=slowdown_table, critical_size=critical_size
+        )
+
+    def reset_for_restart(self) -> None:
+        """Restarts keep classification state (see AppMonitor.reset_for_restart)."""
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.bank.snapshot(self.row)

@@ -40,7 +40,7 @@ from repro.hardware.pmc import DerivedMetrics
 from repro.metrics.aggregate import short_mean
 from repro.policies.base import ClusteringPolicy
 from repro.policies.dunn import DunnPolicy
-from repro.runtime.monitor import AppMonitor, MonitorConfig
+from repro.runtime.monitor import AppMonitor, MonitorBank, MonitorConfig
 from repro.runtime.sampling import SamplingConfig, SamplingOutcome, SamplingSession
 
 __all__ = [
@@ -138,10 +138,15 @@ class LfocSchedulerPlugin(PolicyDriver):
             ``"incremental"`` (default) skips the Algorithm 1 re-run at
             partitioning intervals whose per-application classifications are
             unchanged (a monitor-version fast path backed by a
-            fingerprint-keyed :class:`~repro.core.lfoc.LfocDecisionCache`);
-            ``"reference"`` recomputes the clustering every interval, as the
-            original driver did.  Both produce bit-identical allocations —
-            the differential-oracle suite pins them against each other.
+            fingerprint-keyed :class:`~repro.core.lfoc.LfocDecisionCache`),
+            and stores its per-application monitors in a fused
+            :class:`~repro.runtime.monitor.MonitorBank` (struct-of-arrays
+            state, ``driver.monitors`` holds bank row views);
+            ``"reference"`` recomputes the clustering every interval and
+            keeps one scalar :class:`~repro.runtime.monitor.AppMonitor` per
+            application, as the original driver did.  Both produce
+            bit-identical allocations — the differential-oracle suite pins
+            them against each other.
         """
         if backend not in ("incremental", "reference"):
             raise SimulationError(f"unknown LFOC driver backend {backend!r}")
@@ -150,6 +155,7 @@ class LfocSchedulerPlugin(PolicyDriver):
         self.sampling_config = sampling_config or SamplingConfig()
         self.backend = backend
         self.monitors: Dict[str, AppMonitor] = {}
+        self._monitor_bank: Optional[MonitorBank] = None
         self._platform: Optional[PlatformSpec] = None
         self._apps: List[str] = []
         self._active_sampling: Optional[SamplingSession] = None
@@ -170,9 +176,19 @@ class LfocSchedulerPlugin(PolicyDriver):
     def on_start(self, apps: Sequence[str], platform: PlatformSpec) -> WayAllocation:
         self._platform = platform
         self._apps = list(apps)
-        self.monitors = {
-            app: AppMonitor(app, self.monitor_config) for app in self._apps
-        }
+        if self.backend == "incremental":
+            # Fused monitor state: one bank row per application, exposed
+            # through AppMonitor-compatible views (bit-identical to the
+            # scalar monitors the reference backend keeps).
+            self._monitor_bank = MonitorBank(self._apps, self.monitor_config)
+            self.monitors = {
+                app: self._monitor_bank.monitor(app) for app in self._apps
+            }
+        else:
+            self._monitor_bank = None
+            self.monitors = {
+                app: AppMonitor(app, self.monitor_config) for app in self._apps
+            }
         # The version fast path must not carry a previous run's allocation
         # across on_start: fresh monitors all report version 0, which would
         # match a first-partitioning version vector recorded before any
@@ -353,6 +369,24 @@ class DunnUserLevelDaemon(PolicyDriver):
             scores are exactly tied or separated by more than the ~1e-12
             implementation discrepancy (see :mod:`repro.policies.dunn`);
             the differential-oracle suite pins the equivalence.
+
+        A note on when the two caches can actually hit (the fig7 benchmark
+        records zero hits for both, which is structural, not a bug):
+
+        * the *interval fast path* fires only when **no** counter sample
+          arrived since the last decision.  Counter samples land every
+          ~100 M instructions (tens of simulated milliseconds) while
+          partitioning intervals are 500 ms apart, so in the paper's
+          configuration every interval sees fresh samples and the fast path
+          can only fire when ``partition_interval_s`` is pushed *below* the
+          sampling period;
+        * the *allocation cache* keys on the exact bytes of the rolling-mean
+          stall vector.  Means recur bit-for-bit only when the underlying
+          windows do — e.g. a stationary phase emitting identical samples —
+          which real fig7 runs (windows accumulated over varying event
+          chunks) essentially never produce.  Both situations are exercised
+          by the repeated-window test in
+          ``tests/test_driver_differential.py``.
         """
         if backend not in ("incremental", "reference"):
             raise SimulationError(f"unknown Dunn driver backend {backend!r}")
@@ -449,11 +483,19 @@ class DunnUserLevelDaemon(PolicyDriver):
         return allocation
 
     def decision_stats(self) -> Dict[str, int]:
-        """Decision-layer counters (for the driver benchmark and tests)."""
+        """Decision-layer counters (for the driver benchmark and tests).
+
+        The daemon deliberately does **not** report the underlying
+        ``DunnPolicy.choose_k`` cache counters: its allocation cache keys on
+        the same ``(apps, stall values)`` fingerprint and sits in front of
+        ``choose_k``, so within one daemon those counters could only ever
+        show hits after the 4096-entry allocation LRU evicted — they read as
+        permanently-zero dead weight in benchmark records.  The ``choose_k``
+        cache itself stays (and is still counted on :class:`DunnPolicy`,
+        where the static policy path exercises it).
+        """
         return {
             "intervals_computed": self.intervals_computed,
             "interval_fast_hits": self.interval_fast_hits,
             "allocation_cache_hits": self.allocation_cache_hits,
-            "choose_k_computed": self._template.decisions_computed,
-            "choose_k_cache_hits": self._template.decision_cache_hits,
         }

@@ -24,9 +24,15 @@ The slowdown of an application combines two effects:
 
 from __future__ import annotations
 
+import hashlib
+import json
+import struct
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.apps.phases import PhasedProfile
 from repro.apps.profile import AppProfile, FastProfileView
@@ -221,6 +227,12 @@ class EvaluationTables:
         self._token_refs: List[AppProfile] = []
         self._token_by_value: Dict[tuple, int] = {}
         self._views: Dict[int, FastProfileView] = {}
+        # Engine-facing scratch: rate/advance vectors derived from estimates,
+        # keyed purely by content ((app names, allocation token, per-app
+        # phase tokens)) so any engine sharing these tables — across runs,
+        # groups, even repeated studies — reuses them.  Populated by the
+        # multi-run engine; never persisted.
+        self.engine_vectors: Dict[tuple, tuple] = {}
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -270,6 +282,312 @@ class EvaluationTables:
     def clear(self) -> None:
         self._estimates.clear()
         self.occupancy_cache.clear()
+        self.engine_vectors.clear()
+
+    # -- persistence -------------------------------------------------------------
+    #
+    # On-disk layout (one file):
+    #
+    #   bytes 0..7    magic  b"REPROTAB"
+    #   bytes 8..15   header length (little-endian uint64)
+    #   then          JSON header (UTF-8)
+    #   then          zero padding to the next 64-byte boundary
+    #   then          float64 payload, mapped read-only with np.memmap
+    #
+    # The header carries the structure (token curve lengths, trajectory keys,
+    # estimate keys) plus a CRC32 of the payload and a digest of
+    # params_signature(); every float lives in the payload, so values
+    # round-trip bit for bit.  Sections appear in payload order — token
+    # registry, occupancy trajectories, full estimates — and are consumed
+    # sequentially on load.
+
+    _MAGIC = b"REPROTAB"
+    _FORMAT_VERSION = 1
+    _PAYLOAD_ALIGN = 64
+
+    def _params_digest(self) -> str:
+        """Stable digest of :meth:`params_signature` for the file header.
+
+        The signature is a nest of dataclasses, floats and ints whose
+        ``repr`` is value-determined (float repr round-trips), so hashing the
+        repr detects any platform or model-parameter mismatch.
+        """
+        return hashlib.sha256(repr(self.params_signature()).encode()).hexdigest()
+
+    def save(self, path: str) -> None:
+        """Persist the tables so a later process can start warm.
+
+        Writes the token registry (per-token IPC/LLCMPKC curves and bytes per
+        miss — enough to re-derive the value fingerprints and rebuild the
+        :class:`FastProfileView`\\ s), every cached occupancy trajectory and
+        every cached full estimate.  :meth:`load` restores all three
+        bit-identically; profile *objects* interned later re-attach to the
+        restored tokens through their value fingerprints.
+        """
+        chunks: List[np.ndarray] = []
+
+        def put(values) -> None:
+            chunks.append(
+                np.ascontiguousarray(np.asarray(values, dtype=np.float64)).ravel()
+            )
+
+        tokens_meta = []
+        for token in range(len(self._token_by_value)):
+            view = self._views[token]
+            put(view.ipc)
+            put(view.llcmpkc)
+            put([view.bytes_per_miss])
+            tokens_meta.append({"n_ways": view.n_ways})
+
+        trajectories_meta = []
+        for key, state in self.occupancy_cache.export_entries():
+            length = len(state["eff"])
+            put(state["eff"])  # (length, members)
+            if length > 1:
+                # pressures[0] is the empty initial-guess placeholder.
+                put(state["pressures"][1:])  # (length - 1, members)
+            put(state["deltas"])  # (length,)
+            trajectories_meta.append(
+                {
+                    "key": [[int(token), int(mask)] for token, mask in key],
+                    "length": length,
+                    "fixed_at": int(state["fixed_at"]),
+                }
+            )
+
+        estimates_meta = []
+        for (_, tokens), estimate in self._estimates.items():
+            apps = estimate.allocation.apps()
+            put([estimate.slowdowns[app] for app in apps])
+            put([estimate.ipcs[app] for app in apps])
+            put([estimate.effective_ways[app] for app in apps])
+            put([estimate.occupancy.pressures[app] for app in apps])
+            put([estimate.bandwidth.demand_gbs[app] for app in apps])
+            put([estimate.bandwidth.slowdown_factors[app] for app in apps])
+            put([estimate.bandwidth.total_demand_gbs, estimate.bandwidth.peak_gbs])
+            metrics = estimate.metrics
+            put([metrics.unfairness, metrics.stp, metrics.antt, metrics.jain])
+            estimates_meta.append(
+                {
+                    "apps": list(apps),
+                    "masks": [int(estimate.allocation.masks[app]) for app in apps],
+                    "total_ways": int(estimate.allocation.total_ways),
+                    "tokens": [int(token) for token in tokens],
+                    "iterations": int(estimate.occupancy.iterations),
+                    "converged": bool(estimate.occupancy.converged),
+                }
+            )
+
+        payload = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
+        )
+        header = {
+            "format_version": self._FORMAT_VERSION,
+            "params_sha256": self._params_digest(),
+            "payload_count": int(payload.size),
+            "payload_crc32": zlib.crc32(payload.tobytes()) & 0xFFFFFFFF,
+            "tokens": tokens_meta,
+            "trajectories": trajectories_meta,
+            "estimates": estimates_meta,
+        }
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        padding = (-(16 + len(header_bytes))) % self._PAYLOAD_ALIGN
+        with open(path, "wb") as handle:
+            handle.write(self._MAGIC)
+            handle.write(struct.pack("<Q", len(header_bytes)))
+            handle.write(header_bytes)
+            handle.write(b"\0" * padding)
+            handle.write(payload.tobytes())
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        platform: PlatformSpec,
+        *,
+        occupancy_model: Optional[OccupancyModel] = None,
+        bandwidth_model: Optional[BandwidthModel] = None,
+        max_entries: Optional[int] = None,
+    ) -> "EvaluationTables":
+        """Rebuild saved tables, bit-identical to the instance that saved them.
+
+        The caller supplies the platform and models (they are code-level
+        objects, not data); the stored ``params_signature`` digest must match
+        theirs, so tables can never silently warm-start a differently
+        configured study.  The float payload is mapped read-only with
+        ``np.memmap``; the CRC of the payload and the structural cursor are
+        both verified, and any mismatch (magic, version, parameters, CRC,
+        truncation) raises :class:`~repro.errors.SimulationError`.
+        """
+        tables = cls(
+            platform,
+            occupancy_model=occupancy_model,
+            bandwidth_model=bandwidth_model,
+            max_entries=max_entries,
+        )
+        try:
+            with open(path, "rb") as handle:
+                magic = handle.read(8)
+                if magic != cls._MAGIC:
+                    raise SimulationError(
+                        f"{path!r} is not an evaluation-tables file "
+                        f"(bad magic {magic!r})"
+                    )
+                (header_length,) = struct.unpack("<Q", handle.read(8))
+                header_bytes = handle.read(header_length)
+                if len(header_bytes) != header_length:
+                    raise SimulationError(f"truncated evaluation-tables header in {path!r}")
+                header = json.loads(header_bytes.decode("utf-8"))
+        except OSError as exc:
+            raise SimulationError(f"cannot read evaluation tables {path!r}: {exc}")
+        except (struct.error, ValueError) as exc:
+            raise SimulationError(f"corrupt evaluation-tables header in {path!r}: {exc}")
+        if header.get("format_version") != cls._FORMAT_VERSION:
+            raise SimulationError(
+                f"unsupported evaluation-tables format version "
+                f"{header.get('format_version')!r} in {path!r}"
+            )
+        if header.get("params_sha256") != tables._params_digest():
+            raise SimulationError(
+                f"evaluation tables {path!r} were built for different platform "
+                "or model parameters"
+            )
+        count = int(header["payload_count"])
+        payload_offset = 16 + header_length
+        payload_offset += (-payload_offset) % cls._PAYLOAD_ALIGN
+        if count:
+            try:
+                payload = np.memmap(
+                    path,
+                    dtype=np.float64,
+                    mode="r",
+                    offset=payload_offset,
+                    shape=(count,),
+                )
+            except (OSError, ValueError) as exc:
+                raise SimulationError(
+                    f"cannot map evaluation-tables payload of {path!r}: {exc}"
+                )
+        else:
+            payload = np.empty(0, dtype=np.float64)
+        # One sequential read of the mapped payload serves both the CRC and
+        # the reconstruction below; slicing the memmap itself would fault
+        # pages element by element through the dict/tuple comprehensions.
+        raw = payload.tobytes()
+        if (zlib.crc32(raw) & 0xFFFFFFFF) != header["payload_crc32"]:
+            raise SimulationError(f"evaluation-tables payload CRC mismatch in {path!r}")
+        data = np.frombuffer(raw, dtype=np.float64)
+
+        cursor = 0
+
+        def take(n: int) -> np.ndarray:
+            nonlocal cursor
+            if cursor + n > count:
+                raise SimulationError(
+                    f"evaluation-tables payload of {path!r} is shorter than "
+                    "its header describes"
+                )
+            chunk = data[cursor : cursor + n]
+            cursor += n
+            return chunk
+
+        for token, meta in enumerate(header["tokens"]):
+            n_ways = int(meta["n_ways"])
+            ipc = np.array(take(n_ways))
+            llcmpkc = np.array(take(n_ways))
+            bytes_per_miss = float(take(1)[0])
+            fingerprint = (ipc.tobytes(), llcmpkc.tobytes(), bytes_per_miss)
+            tables._token_by_value[fingerprint] = token
+            tables._views[token] = FastProfileView.from_arrays(
+                ipc.tolist(), llcmpkc.tolist(), bytes_per_miss
+            )
+
+        for meta in header["trajectories"]:
+            key = tuple((int(token), int(mask)) for token, mask in meta["key"])
+            members = len(key)
+            length = int(meta["length"])
+            eff = np.array(take(length * members)).reshape(length, members)
+            if length > 1:
+                pressures = np.array(take((length - 1) * members)).reshape(
+                    length - 1, members
+                )
+            else:
+                pressures = np.empty((0, members))
+            deltas = np.array(take(length))
+            try:
+                views = [tables._views[token] for token, _ in key]
+            except KeyError as exc:
+                raise SimulationError(
+                    f"trajectory in {path!r} references unknown profile token "
+                    f"{exc.args[0]!r}"
+                )
+            tables.occupancy_cache.restore_entry(
+                key,
+                views,
+                eff.tolist(),
+                [()] + [tuple(row) for row in pressures.tolist()],
+                deltas.tolist(),
+                int(meta["fixed_at"]),
+            )
+
+        for meta in header["estimates"]:
+            apps = [str(app) for app in meta["apps"]]
+            n = len(apps)
+            slowdown_row = take(n).tolist()
+            ipc_row = take(n).tolist()
+            effective_row = take(n).tolist()
+            pressure_row = take(n).tolist()
+            demand_row = take(n).tolist()
+            factor_row = take(n).tolist()
+            bandwidth_scalars = take(2).tolist()
+            metric_scalars = take(4).tolist()
+            allocation = WayAllocation(
+                masks={app: int(mask) for app, mask in zip(apps, meta["masks"])},
+                total_ways=int(meta["total_ways"]),
+            )
+            slowdowns = {app: float(v) for app, v in zip(apps, slowdown_row)}
+            occupancy = OccupancyResult(
+                effective_ways={app: float(v) for app, v in zip(apps, effective_row)},
+                pressures={app: float(v) for app, v in zip(apps, pressure_row)},
+                iterations=int(meta["iterations"]),
+                converged=bool(meta["converged"]),
+            )
+            bandwidth = BandwidthResult(
+                demand_gbs={app: float(v) for app, v in zip(apps, demand_row)},
+                total_demand_gbs=float(bandwidth_scalars[0]),
+                peak_gbs=float(bandwidth_scalars[1]),
+                slowdown_factors={app: float(v) for app, v in zip(apps, factor_row)},
+            )
+            metrics = WorkloadMetrics(
+                slowdowns=dict(slowdowns),
+                unfairness=float(metric_scalars[0]),
+                stp=float(metric_scalars[1]),
+                antt=float(metric_scalars[2]),
+                jain=float(metric_scalars[3]),
+            )
+            estimate = ClusterEstimate(
+                allocation=allocation,
+                slowdowns=slowdowns,
+                ipcs={app: float(v) for app, v in zip(apps, ipc_row)},
+                effective_ways=dict(occupancy.effective_ways),
+                bandwidth=bandwidth,
+                occupancy=occupancy,
+                metrics=metrics,
+            )
+            key = (
+                (tuple(allocation.masks.items()), allocation.total_ways),
+                tuple(int(token) for token in meta["tokens"]),
+            )
+            tables._estimates[key] = estimate
+            if max_entries is not None and len(tables._estimates) > max_entries:
+                tables._estimates.popitem(last=False)
+
+        if cursor != count:
+            raise SimulationError(
+                f"evaluation-tables payload of {path!r} is longer than its "
+                "header describes"
+            )
+        return tables
 
     # -- evaluation --------------------------------------------------------------
 

@@ -319,6 +319,61 @@ class OccupancyTrajectoryCache:
         self._trajectories.clear()
         self._decompositions.clear()
 
+    # -- persistence -------------------------------------------------------------
+
+    def export_entries(self) -> List[Tuple[tuple, dict]]:
+        """Plain-data snapshot of every cached trajectory, for persistence.
+
+        Each entry is ``(key, state)`` where ``key`` is the component's
+        ``((token, relative_mask), ...)`` identity and ``state`` holds the
+        recorded iterations verbatim: ``eff`` and ``pressures`` are lists of
+        per-member tuples (``pressures[0]`` is the empty placeholder of the
+        initial guess), ``deltas`` the per-iteration stop-condition values and
+        ``fixed_at`` the freeze point (0 when the trajectory is still live).
+        """
+        return [
+            (
+                key,
+                {
+                    "eff": list(trajectory.eff),
+                    "pressures": list(trajectory.pressures),
+                    "deltas": list(trajectory.deltas),
+                    "fixed_at": trajectory.fixed_at,
+                },
+            )
+            for key, trajectory in self._trajectories.items()
+        ]
+
+    def restore_entry(
+        self,
+        key: tuple,
+        views: Sequence[FastProfileView],
+        eff: Sequence[Sequence[float]],
+        pressures: Sequence[Sequence[float]],
+        deltas: Sequence[float],
+        fixed_at: int,
+    ) -> None:
+        """Re-install one exported trajectory (inverse of :meth:`export_entries`).
+
+        ``views`` must evaluate the same curves the component was recorded
+        with (one per member, in key order); the member way lists are decoded
+        from the relative masks in ``key``, which enumerate ways in ascending
+        order exactly as the decomposition built them.  The restored
+        trajectory replays bit-identically because the recorded iterations are
+        reinstated verbatim and any further extension runs the same arithmetic
+        on the same curves.
+        """
+        way_lists = [
+            [w for w in range(int(mask).bit_length()) if (int(mask) >> w) & 1]
+            for _, mask in key
+        ]
+        trajectory = _ComponentTrajectory(list(views), way_lists)
+        trajectory.eff = [tuple(float(v) for v in row) for row in eff]
+        trajectory.pressures = [tuple(float(v) for v in row) for row in pressures]
+        trajectory.deltas = [float(d) for d in deltas]
+        trajectory.fixed_at = int(fixed_at)
+        self._trajectories[key] = trajectory
+
     def _decompose(
         self, allocation: WayAllocation, alloc_token: tuple
     ) -> List[Tuple[List[str], List[List[int]]]]:

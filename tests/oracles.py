@@ -16,6 +16,10 @@ runs) are made of:
   exactly-comparable structure covering everything a run records
   (completion times, traces, repartition reasons and masks, final
   allocation, per-app stats);
+* :func:`differential_group_run` — the same batch through grouped
+  :class:`~repro.runtime.multirun.MultiRunEngine` execution (the
+  ``multirun`` backend's cross-run stacking), flat-ordered for member-by-
+  member comparison against serial runs;
 * :func:`assert_identical` — strict equality with a readable diff pointing
   at the first field that diverged;
 * :func:`random_stall_vector` — adversarial 1-D stall-metric vectors
@@ -55,6 +59,7 @@ __all__ = [
     "make_driver",
     "run_fields",
     "differential_run",
+    "differential_group_run",
     "assert_identical",
     "random_stall_vector",
     "dunn_reference",
@@ -80,10 +85,13 @@ ORACLE_MONITOR = MonitorConfig(warmup_samples=2, history_window=3)
 DRIVER_NAMES = ("dunn", "lfoc", "stock")
 
 #: Engine/driver backend pairs compared against the all-reference baseline.
+#: ``multirun`` on a single RuntimeEngine exercises the degenerate one-run
+#: path; the grouped cross-run path is pinned by differential_group_run.
 BACKEND_COMBINATIONS = (
     ("incremental", "incremental"),
     ("incremental", "reference"),
     ("reference", "incremental"),
+    ("multirun", "incremental"),
 )
 
 
@@ -169,6 +177,50 @@ def differential_run(
         replace(config, backend=engine_backend),
     )
     return run_fields(engine.run(workload.name))
+
+
+def differential_group_run(
+    workloads,
+    driver_names,
+    *,
+    platform=None,
+    config: EngineConfig = ORACLE_CONFIG,
+    driver_backend: str = "incremental",
+):
+    """Every (workload, driver) pair through grouped multi-run engines.
+
+    Groups the flat batch by application count — exactly the study layer's
+    stacking criterion — runs each group through one
+    :class:`~repro.runtime.multirun.MultiRunEngine` over shared tables, and
+    returns the reduced run fields in flat (workload-major, driver-minor)
+    order for comparison against per-run :func:`differential_run` results.
+    """
+    from collections import defaultdict
+
+    from repro.runtime import MultiRunEngine
+
+    platform = platform or skylake_gold_6138()
+    members = []
+    sizes = []
+    for workload in workloads:
+        profiles = workload.phased_profiles(platform.llc_ways)
+        for driver_name in driver_names:
+            members.append(
+                (workload.name, profiles, make_driver(driver_name, driver_backend))
+            )
+            sizes.append(workload.size)
+    buckets = defaultdict(list)
+    for index, size in enumerate(sizes):
+        buckets[size].append(index)
+    results = [None] * len(members)
+    group_config = replace(config, backend="multirun")
+    for indices in buckets.values():
+        engine = MultiRunEngine(
+            platform, [members[i] for i in indices], group_config
+        )
+        for index, result in zip(indices, engine.run()):
+            results[index] = run_fields(result)
+    return results
 
 
 def assert_identical(candidate: Dict, baseline: Dict, context: str) -> None:

@@ -52,6 +52,99 @@ class TestEngineDriverCrossProduct:
             assert again.has_phased_benchmarks()
 
 
+class TestMultiRunGroupOracle:
+    """Grouped multi-run execution must match serial incremental bit for bit."""
+
+    def test_grouped_runs_bit_identical_to_serial(self, oracle_seeds):
+        workloads = [oracles.random_phased_workload(seed) for seed in oracle_seeds]
+        grouped = oracles.differential_group_run(workloads, oracles.DRIVER_NAMES)
+        index = 0
+        for workload in workloads:
+            for driver_name in oracles.DRIVER_NAMES:
+                baseline = oracles.differential_run(
+                    workload, driver_name, "incremental", "incremental"
+                )
+                oracles.assert_identical(
+                    grouped[index],
+                    baseline,
+                    f"{workload.name}/{driver_name} (multirun group)",
+                )
+                index += 1
+
+    def test_study_rows_identical_under_multirun_backend(self, platform):
+        from repro.analysis import fig7_dynamic_study
+        from repro.runtime import EngineConfig
+
+        workloads = [
+            Workload("f7-mr-a", ("mcf06", "lbm06", "xalancbmk06", "gamess06")),
+            Workload("f7-mr-b", ("soplex06", "omnetpp06", "namd06", "sjeng06")),
+        ]
+        config = EngineConfig(
+            instructions_per_run=6.0e8, min_completions=1, record_traces=False
+        )
+        per_run = fig7_dynamic_study(
+            workloads, engine_config=config, platform=platform, backend="incremental"
+        )
+        multirun = fig7_dynamic_study(
+            workloads, engine_config=config, platform=platform, backend="multirun"
+        )
+        assert multirun == per_run
+
+    def test_mixed_size_stack_bit_identical_to_serial(self, platform):
+        """Workloads of different application counts share one padded stack."""
+        from repro.analysis import fig7_dynamic_study
+        from repro.runtime import EngineConfig
+
+        workloads = [
+            Workload("f7-mix-a", ("mcf06", "lbm06", "xalancbmk06", "gamess06")),
+            Workload(
+                "f7-mix-b",
+                (
+                    "soplex06",
+                    "omnetpp06",
+                    "namd06",
+                    "sjeng06",
+                    "mcf06",
+                    "lbm06",
+                ),
+            ),
+        ]
+        config = EngineConfig(
+            instructions_per_run=6.0e8, min_completions=1, record_traces=False
+        )
+        per_run = fig7_dynamic_study(
+            workloads, engine_config=config, platform=platform, backend="incremental"
+        )
+        multirun = fig7_dynamic_study(
+            workloads, engine_config=config, platform=platform, backend="multirun"
+        )
+        assert multirun == per_run
+
+    def test_grouping_merges_configs_and_chunks_for_parallelism(self):
+        from dataclasses import dataclass
+
+        from repro.runtime import EngineConfig, group_run_specs
+
+        @dataclass(frozen=True)
+        class Spec:
+            config: EngineConfig
+
+        a = EngineConfig(instructions_per_run=1.0e8)
+        b = EngineConfig(instructions_per_run=2.0e8)
+        specs = [Spec(a), Spec(a), Spec(b), Spec(a), Spec(b)]
+
+        groups, scatter = group_run_specs(specs)
+        assert [g.config for g in groups] == [a, b]
+        assert scatter == [[0, 1, 3], [2, 4]]
+
+        groups, scatter = group_run_specs(specs, jobs=2)
+        # Each config's bucket splits into balanced contiguous chunks.
+        assert [len(g.members) for g in groups] == [1, 2, 1, 1]
+        assert scatter == [[0], [1, 3], [2], [4]]
+        flat = sorted(i for part in scatter for i in part)
+        assert flat == list(range(len(specs)))
+
+
 class TestStudyRowsDifferential:
     """The fig6/fig7 analysis rows must not depend on the backend."""
 
@@ -169,8 +262,61 @@ class TestLfocPartitioningOracle:
         assert stats["partition_fast_hits"] + stats["decision_cache_hits"] > 0
 
 
+def _stall_metrics(stall):
+    from repro.hardware.pmc import DerivedMetrics
+
+    return DerivedMetrics(
+        ipc=1.0,
+        llcmpkc=5.0,
+        llcmpki=5.0,
+        stall_fraction=stall,
+        instructions=100e6,
+        cycles=100e6,
+    )
+
+
 class TestDecisionCacheSoundness:
     """The caches must change cost, never results."""
+
+    def test_dunn_caches_hit_on_repeated_windows(self, platform):
+        # Repeated-window scenario through the *public* driver interface.
+        # Real fig7 runs record zero hits for both Dunn caches, which is
+        # structural (samples always arrive between 500 ms intervals, and
+        # windows accumulated over varying event chunks never bit-recur);
+        # this drives the two situations where hits are possible:
+        # an interval with no intervening samples (version fast path), and
+        # windows refilled with identical values, whose rolling means — and
+        # therefore the allocation-cache fingerprint — recur exactly.
+        daemon = DunnUserLevelDaemon(backend="incremental", history_window=3)
+        daemon.on_start(["a", "b", "c"], platform)
+        stalls = {"a": 0.1, "b": 0.7, "c": 0.75}
+        for app, value in stalls.items():
+            daemon.on_sample(app, _stall_metrics(value), 11.0, 0.0)
+        assert daemon.on_interval(0.5) is not None
+        assert daemon.decision_stats()["intervals_computed"] == 1
+        # No sample since the decision: the window version is unchanged.
+        daemon.on_interval(1.0)
+        assert daemon.decision_stats()["interval_fast_hits"] == 1
+        # Fill every window with a constant value (stationary phase)...
+        for _ in range(3):
+            for app, value in stalls.items():
+                daemon.on_sample(app, _stall_metrics(value), 11.0, 1.2)
+        first = daemon.on_interval(1.5)
+        assert daemon.decision_stats()["allocation_cache_hits"] == 0
+        # ...then refill it identically: versions advanced (no fast path),
+        # but the means are bit-identical, so the fingerprint cache hits.
+        for _ in range(3):
+            for app, value in stalls.items():
+                daemon.on_sample(app, _stall_metrics(value), 11.0, 1.7)
+        again = daemon.on_interval(2.0)
+        assert again is first
+        stats = daemon.decision_stats()
+        assert stats["allocation_cache_hits"] == 1
+        assert stats["interval_fast_hits"] == 1
+        # The daemon no longer reports the DunnPolicy choose_k counters: its
+        # allocation cache shares their key and fronts them, so they could
+        # never hit through the daemon (dead weight in benchmark records).
+        assert "choose_k_cache_hits" not in stats
 
     def test_dunn_interval_fast_path_returns_same_allocation(self, platform):
         daemon = DunnUserLevelDaemon(backend="incremental")

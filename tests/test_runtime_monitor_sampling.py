@@ -1,11 +1,15 @@
 """Tests for the online monitor (Section 4.2 heuristics) and the sampling mode."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import AppClass, ClassificationThresholds
 from repro.errors import SimulationError
 from repro.hardware.pmc import DerivedMetrics
 from repro.runtime import AppMonitor, MonitorConfig, SamplingConfig, SamplingSession
+from repro.runtime.monitor import BankMonitor, MonitorBank
 
 
 def metrics(ipc=1.0, llcmpkc=1.0, stall=0.05):
@@ -103,6 +107,150 @@ class TestAppMonitor:
             MonitorConfig(warmup_samples=-1)
         with pytest.raises(SimulationError):
             MonitorConfig(history_window=0)
+
+
+_CLASSES = (AppClass.UNKNOWN, AppClass.LIGHT, AppClass.STREAMING, AppClass.SENSITIVE)
+
+# Values clustered around the Section 4.2 thresholds (streaming_llcmpkc=10,
+# stall_fraction_high=0.25, low_llcmpkc=3) so the trigger comparisons are
+# exercised on both sides of — and exactly at — every boundary.
+_VALUES = st.one_of(
+    st.sampled_from([0.0, 0.05, 0.249, 0.25, 0.251, 2.99, 3.0, 9.99, 10.0, 10.01, 30.0]),
+    st.floats(min_value=0.0, max_value=60.0, allow_nan=False, width=64),
+)
+
+
+@st.composite
+def _monitor_scripts(draw):
+    n_apps = draw(st.integers(min_value=1, max_value=4))
+    config = MonitorConfig(
+        warmup_samples=draw(st.integers(min_value=0, max_value=4)),
+        # 8/9 cross the pairwise cutover (short_mean fallback per read).
+        history_window=draw(st.sampled_from([1, 2, 3, 5, 8, 9])),
+    )
+    sample = st.tuples(_VALUES, _VALUES, _VALUES)  # (llcmpkc, stall, ways)
+    step = st.one_of(
+        st.tuples(
+            st.just("observe"),
+            st.lists(sample, min_size=n_apps, max_size=n_apps),
+            st.lists(st.booleans(), min_size=n_apps, max_size=n_apps),
+        ),
+        st.tuples(st.just("begin"), st.integers(0, n_apps - 1)),
+        st.tuples(
+            st.just("classify"),
+            st.integers(0, n_apps - 1),
+            st.sampled_from(_CLASSES),
+            st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
+        ),
+    )
+    steps = draw(st.lists(step, min_size=1, max_size=40))
+    return n_apps, config, steps
+
+
+class TestMonitorBankEquivalence:
+    """The fused bank must reproduce the scalar AppMonitor bit for bit."""
+
+    @staticmethod
+    def _assert_rows_match(bank, monitors):
+        for name, monitor in monitors.items():
+            view = bank.monitor(name)
+            assert isinstance(view, BankMonitor)
+            assert view.name == monitor.name
+            assert view.app_class is monitor.app_class
+            assert view.warmup_remaining == monitor.warmup_remaining
+            assert view.warmed_up == monitor.warmed_up
+            assert view.in_sampling_mode == monitor.in_sampling_mode
+            assert view.samples_seen == monitor.samples_seen
+            assert view.class_changes == monitor.class_changes
+            assert view.sampling_mode_entries == monitor.sampling_mode_entries
+            assert view.classification_version == monitor.classification_version
+            assert view.slowdown_table == monitor.slowdown_table
+            assert view.critical_size == monitor.critical_size
+            # Window contents and means, bit for bit.
+            row = bank.row_index(name)
+            assert bank.window(row, 0) == monitor._history.window(0)
+            assert bank.window(row, 1) == monitor._history.window(1)
+            assert view.average_llcmpkc() == monitor.average_llcmpkc()
+            assert view.average_stall_fraction() == monitor.average_stall_fraction()
+            assert view.snapshot() == monitor.snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(_monitor_scripts())
+    def test_observe_batch_bit_identical_to_scalar_observe(self, script):
+        n_apps, config, steps = script
+        names = [f"app{i}" for i in range(n_apps)]
+        monitors = {name: AppMonitor(name, config) for name in names}
+        bank = MonitorBank(names, config)
+        for step in steps:
+            if step[0] == "observe":
+                _, samples, included = step
+                rows = [i for i in range(n_apps) if included[i]]
+                if not rows:
+                    continue
+                scalar = [
+                    monitors[names[i]].observe(
+                        metrics(llcmpkc=samples[i][0], stall=samples[i][1]),
+                        samples[i][2],
+                    )
+                    for i in rows
+                ]
+                fused = bank.observe_batch(
+                    [samples[i][0] for i in rows],
+                    [samples[i][1] for i in rows],
+                    [samples[i][2] for i in rows],
+                    rows=rows,
+                )
+                assert list(fused) == scalar
+            elif step[0] == "begin":
+                _, i = step
+                monitors[names[i]].begin_sampling()
+                bank.monitor(names[i]).begin_sampling()
+            else:
+                _, i, app_class, critical = step
+                table = [1.2] * 4 if app_class is AppClass.SENSITIVE else None
+                monitors[names[i]].set_classification(
+                    app_class, slowdown_table=table, critical_size=critical
+                )
+                bank.monitor(names[i]).set_classification(
+                    app_class, slowdown_table=table, critical_size=critical
+                )
+            self._assert_rows_match(bank, monitors)
+
+    def test_warmup_boundary_and_sampling_reset_and_short_window(self):
+        # The three named edge cases, deterministically: a sample batch that
+        # straddles the warm-up boundary, a sampling-mode reset that clears
+        # the window mid-run, and decisions taken while the history is still
+        # shorter than the window.
+        config = MonitorConfig(warmup_samples=2, history_window=5)
+        names = ["a", "b"]
+        monitors = {name: AppMonitor(name, config) for name in names}
+        bank = MonitorBank(names, config)
+        monitors["b"].set_classification(AppClass.LIGHT)
+        bank.monitor("b").set_classification(AppClass.LIGHT)
+        for sample_index in range(8):
+            llc = [0.5 + sample_index, 30.0]
+            stl = [0.01 * sample_index, 0.6]
+            eff = [4.0, 4.0]
+            scalar = [
+                monitors[name].observe(metrics(llcmpkc=llc[i], stall=stl[i]), eff[i])
+                for i, name in enumerate(names)
+            ]
+            assert list(bank.observe_batch(llc, stl, eff)) == scalar
+            if sample_index == 5:  # reset mid-run: window restarts from empty
+                monitors["a"].begin_sampling()
+                bank.monitor("a").begin_sampling()
+        self._assert_rows_match(bank, monitors)
+
+    def test_bank_rejects_bad_inputs(self):
+        bank = MonitorBank(["a", "b"])
+        with pytest.raises(SimulationError):
+            bank.observe_batch([1.0], [0.1], [2.0, 3.0], rows=[0])
+        with pytest.raises(SimulationError):
+            bank.row_index("nope")
+        with pytest.raises(SimulationError):
+            MonitorBank([])
+        with pytest.raises(SimulationError):
+            MonitorBank(["a", "a"])
 
 
 class TestSamplingSession:
