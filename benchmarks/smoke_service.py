@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI smoke: the online partitioning service, clean and under chaos.
+
+Two supervised daemon sessions (real subprocess agents over real sockets,
+spawned and babysat by the daemon's own supervisor), each pinned against
+the socket-free offline replay oracle on the same seeded trace:
+
+* **clean** — the live mask-decision log must be bit-identical per host to
+  the golden offline replay, with zero frame errors;
+* **chaos** — the first incarnation of one agent dies mid-trace under a
+  scripted ``FaultPlan`` (``agent_kill_batches``); the supervisor must
+  respawn it, the session must advance to a new epoch, no frame error may
+  leak (a kill is a clean EOF at the daemon), and the final masks of every
+  host must converge to the golden run's.
+
+Usage:  PYTHONPATH=src python benchmarks/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments import ServiceSpec  # noqa: E402
+from repro.service import ReplayLog, offline_replay  # noqa: E402
+
+WORKLOAD = "S1"
+BATCHES = 24
+SEED = 3
+HOSTS = ["host0", "host1"]
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def serve(log_path: str, *, agent_chaos=None) -> dict:
+    spec = ServiceSpec(
+        supervise=len(HOSTS),
+        workload=WORKLOAD,
+        batches=BATCHES,
+        seed=SEED,
+        agent_chaos=agent_chaos,
+        replay_log=log_path,
+    )
+    return spec.run(max_seconds=300)
+
+
+def main() -> None:
+    golden = offline_replay(HOSTS, WORKLOAD, batches=BATCHES, seed=SEED)
+    check(len(golden) > 0, f"offline oracle produced {len(golden)} mask decisions")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_log = str(Path(tmp) / "clean.jsonl")
+        summary = serve(clean_log)
+        check(summary["frame_errors"] == 0, "clean run leaked no frame errors")
+        live = ReplayLog.load(clean_log)
+        for host in HOSTS:
+            check(
+                live.signature(host) == golden.signature(host),
+                f"live {host} decision log bit-identical to the offline oracle "
+                f"({len(live.for_host(host))} decisions)",
+            )
+
+        chaos_log = str(Path(tmp) / "chaos.jsonl")
+        summary = serve(chaos_log, agent_chaos={"agent_kill_batches": [3]})
+        check(
+            summary["supervisor"]["restarts"] >= 1,
+            f"supervisor respawned the killed agent "
+            f"(restarts={summary['supervisor']['restarts']})",
+        )
+        check(
+            summary["frame_errors"] == 0,
+            "scripted kill surfaced as a clean EOF, not a frame error",
+        )
+        check(
+            summary["sessions"]["host0"]["epoch"] >= 2,
+            f"killed host re-registered under a new epoch "
+            f"(epoch={summary['sessions']['host0']['epoch']})",
+        )
+        survived = ReplayLog.load(chaos_log)
+        for host in HOSTS:
+            check(
+                survived.final_masks(host) == golden.final_masks(host),
+                f"{host} final masks converged to the golden run's",
+            )
+
+    print("service smoke OK")
+
+
+if __name__ == "__main__":
+    main()

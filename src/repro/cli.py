@@ -45,6 +45,17 @@ The wire protocol is schema-versioned and safe by default; the legacy
 pickle codec needs ``--unsafe-pickle`` on *both* sides.  ``--chaos`` takes
 a JSON fault plan for deterministic resilience drills.
 
+The online partitioning service (see ``repro.service``) reuses the same
+wire stack as a long-lived control plane: ``serve`` runs the daemon,
+``agent`` a per-host client, and ``serve --supervise N --workload S1``
+spawns and babysits N local agents in one command:
+
+.. code-block:: console
+
+   $ lfoc-repro serve --bind 127.0.0.1:7080                # terminal 1
+   $ lfoc-repro agent --connect 127.0.0.1:7080 \\
+         --host-id host0 --workload S1 --batches 50        # terminal 2
+
 ``--checkpoint``/``--resume`` make long studies crash-safe: completed
 scenarios are appended durably (with per-line checksums) and a re-run
 skips them.
@@ -293,6 +304,127 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-run log lines"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the online partitioning daemon (long-lived control plane)",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="listen address (default 127.0.0.1:0 = any free port, printed "
+        "at startup); host agents join with `agent --connect HOST:PORT`",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("lfoc", "dunn"),
+        default="lfoc",
+        help="online partitioning policy driving mask decisions",
+    )
+    serve.add_argument(
+        "--ways", type=int, default=None, metavar="N", help="LLC way count"
+    )
+    serve.add_argument(
+        "--supervise",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn and babysit N local host agents (crash -> respawn with "
+        "backoff); requires --workload",
+    )
+    serve.add_argument(
+        "--workload",
+        default=None,
+        metavar="W",
+        help="workload the supervised agents simulate (S7, P12...)",
+    )
+    serve.add_argument(
+        "--batches",
+        type=int,
+        default=50,
+        metavar="N",
+        help="monitoring batches each supervised agent streams",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="seed for the supervised agents"
+    )
+    serve.add_argument(
+        "--agent-chaos",
+        default=None,
+        metavar="JSON",
+        help="fault plan handed to the FIRST supervised agent incarnation "
+        'only, e.g. \'{"agent_kill_batches": [3]}\' (its respawn comes up '
+        "clean — a deterministic supervision drill)",
+    )
+    serve.add_argument(
+        "--replay-log",
+        default=None,
+        metavar="FILE",
+        help="save the mask-decision log as JSONL on exit",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="without --supervise: exit after the first host session "
+        "completes (with --supervise the daemon always exits once every "
+        "supervised agent finished)",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="hard deadline for the whole serve run",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+
+    agent = sub.add_parser(
+        "agent",
+        help="run one simulated-host agent against a partitioning daemon",
+    )
+    agent.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="daemon address to join (from `serve`)",
+    )
+    agent.add_argument(
+        "--host-id",
+        default="host0",
+        metavar="ID",
+        help="stable host identity; reconnections under the same id resume "
+        "the daemon-side session with a bumped epoch",
+    )
+    agent.add_argument(
+        "--workload",
+        required=True,
+        metavar="W",
+        help="workload this host simulates (S7, P12...)",
+    )
+    agent.add_argument(
+        "--batches",
+        type=int,
+        default=50,
+        metavar="N",
+        help="monitoring batches to stream before the orderly host_bye",
+    )
+    agent.add_argument("--seed", type=int, default=0, help="run seed")
+    agent.add_argument(
+        "--ways", type=int, default=None, metavar="N", help="LLC way count"
+    )
+    agent.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help="agent-side fault plan as JSON, e.g. "
+        '\'{"agent_kill_batches": [3], "agent_corrupt_frames": [5]}\'',
+    )
+    agent.add_argument(
+        "--quiet", action="store_true", help="suppress the summary line"
+    )
+
     sweep = sub.add_parser(
         "sweep", help="run a policy x workload x ways x seeds parameter sweep"
     )
@@ -481,6 +613,66 @@ def _worker_command(args: argparse.Namespace) -> int:
     )
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    from repro.runtime.executors.tcp import parse_address
+    from repro.service.daemon import PartitionDaemon
+
+    chaos = _parse_chaos(args.agent_chaos)
+    daemon = PartitionDaemon(
+        parse_address(args.bind),
+        policy=args.policy,
+        n_ways=args.ways,
+        supervise=args.supervise,
+        workload=args.workload,
+        batches=args.batches,
+        seed=args.seed,
+        agent_chaos=chaos.to_dict() if chaos is not None else None,
+        quiet=args.quiet,
+    )
+    host, port = daemon.address
+    if not args.quiet:
+        print(f"partitioning daemon listening on {host}:{port}", flush=True)
+    if daemon.supervise:
+        until: Optional[int] = daemon.supervise  # exit when every agent finished
+    elif args.once:
+        until = 1
+    else:
+        until = None  # serve until --max-seconds or Ctrl-C
+    try:
+        summary = daemon.run(until_byes=until, max_seconds=args.max_seconds)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        summary = daemon.summary()
+    finally:
+        if args.replay_log:
+            daemon.replay.save(args.replay_log)
+        daemon.close()
+    if not args.quiet:
+        print(
+            f"served {summary['hosts']} host(s), {summary['decisions']} mask "
+            f"decisions, {summary['frame_errors']} frame errors"
+        )
+        if args.replay_log:
+            print(f"saved replay log to {args.replay_log}")
+    return 0
+
+
+def _agent_command(args: argparse.Namespace) -> int:
+    from repro.runtime.executors.tcp import parse_address
+    from repro.service.agent import run_agent
+
+    chaos = _parse_chaos(args.chaos)
+    return run_agent(
+        parse_address(args.connect),
+        host_id=args.host_id,
+        workload=args.workload,
+        batches=args.batches,
+        seed=args.seed,
+        n_ways=args.ways,
+        chaos=chaos.to_dict() if chaos is not None else None,
+        quiet=args.quiet,
+    )
+
+
 def _sweep_command(args: argparse.Namespace) -> int:
     engine = EngineSpec(
         instructions_per_run=args.instructions,
@@ -586,6 +778,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_study_command(args)
     elif args.command == "worker":
         return _worker_command(args)
+    elif args.command == "serve":
+        return _serve_command(args)
+    elif args.command == "agent":
+        return _agent_command(args)
     elif args.command == "sweep":
         return _sweep_command(args)
     else:  # pragma: no cover - argparse enforces the choices

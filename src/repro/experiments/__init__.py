@@ -66,6 +66,7 @@ from repro.experiments.specs import (
     SCHEMA_VERSION,
     EngineSpec,
     ExecutorSpec,
+    ServiceSpec,
     PolicySpec,
     ScenarioSpec,
     SolverSpec,
@@ -96,6 +97,7 @@ __all__ = [
     "EngineSpec",
     "SolverSpec",
     "ExecutorSpec",
+    "ServiceSpec",
     "ScenarioResult",
     "StudyResult",
     "StudyCheckpoint",

@@ -54,6 +54,7 @@ __all__ = [
     "EngineSpec",
     "SolverSpec",
     "ExecutorSpec",
+    "ServiceSpec",
     "FaultToleranceSpec",
     "ScenarioSpec",
     "StudySpec",
@@ -655,6 +656,160 @@ class ExecutorSpec:
         )
         EXECUTORS.resolve(spec.name)  # validate eagerly
         return spec
+
+
+# ---------------------------------------------------------------------------
+# ServiceSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A declarative online-partitioning service session.
+
+    Mirrors the knobs of ``repro.cli serve`` so a whole supervised service
+    run — daemon policy, agent fleet, trace length, scripted chaos — lives
+    in one TOML/JSON file (see ``examples/service_session.toml``).
+    :meth:`create` builds the live
+    :class:`~repro.service.daemon.PartitionDaemon`; :meth:`run` drives it to
+    completion and returns its summary.
+    """
+
+    bind: str = "127.0.0.1:0"
+    policy: str = "lfoc"
+    ways: Optional[int] = None
+    #: Local host agents the daemon spawns and babysits (0 = external agents).
+    supervise: int = 0
+    workload: Optional[str] = None
+    batches: int = 50
+    seed: int = 0
+    #: Fault plan for the first supervised agent incarnation only.
+    agent_chaos: Optional[Mapping[str, Any]] = None
+    #: Where to save the mask-decision log (JSONL); None keeps it in memory.
+    replay_log: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("lfoc", "dunn"):
+            raise SpecError(
+                f"service policy must be 'lfoc' or 'dunn', got {self.policy!r}"
+            )
+        if self.ways is not None and self.ways < 1:
+            raise SpecError("service ways must be >= 1")
+        if self.supervise < 0:
+            raise SpecError("service supervise must be >= 0")
+        if self.batches < 1:
+            raise SpecError("service batches must be >= 1")
+        if self.supervise and not self.workload:
+            raise SpecError("a supervised service spec needs a workload")
+        if self.agent_chaos is not None:
+            object.__setattr__(self, "agent_chaos", dict(self.fault_plan().to_dict()))
+
+    def fault_plan(self):
+        """The validated :class:`FaultPlan` behind ``agent_chaos``."""
+        from repro.errors import SimulationError
+        from repro.runtime.executors.chaos import FaultPlan
+
+        try:
+            return FaultPlan.from_dict(self.agent_chaos)
+        except SimulationError as exc:
+            raise SpecError(f"service agent_chaos plan is invalid: {exc}") from exc
+
+    def create(self, *, quiet: bool = True):
+        """Build the live :class:`~repro.service.daemon.PartitionDaemon`."""
+        from repro.runtime.executors.tcp import parse_address
+        from repro.service.daemon import PartitionDaemon
+
+        return PartitionDaemon(
+            parse_address(self.bind),
+            policy=self.policy,
+            n_ways=self.ways,
+            supervise=self.supervise,
+            workload=self.workload,
+            batches=self.batches,
+            seed=self.seed,
+            agent_chaos=self.agent_chaos,
+            quiet=quiet,
+        )
+
+    def run(self, *, max_seconds: Optional[float] = None, quiet: bool = True):
+        """Serve one supervised session end to end; returns the summary."""
+        daemon = self.create(quiet=quiet)
+        try:
+            summary = daemon.run(
+                until_byes=self.supervise or None, max_seconds=max_seconds
+            )
+        finally:
+            if self.replay_log:
+                daemon.replay.save(self.replay_log)
+            daemon.close()
+        return summary
+
+    _KEYS = (
+        "bind",
+        "policy",
+        "ways",
+        "supervise",
+        "workload",
+        "batches",
+        "seed",
+        "agent_chaos",
+        "replay_log",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        defaults = ServiceSpec()
+        out: Dict[str, Any] = {}
+        for key in self._KEYS:
+            value = getattr(self, key)
+            if value is not None and value != getattr(defaults, key):
+                out[key] = dict(value) if isinstance(value, Mapping) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceSpec":
+        _check_keys(data, cls._KEYS, "ServiceSpec")
+        defaults = cls()
+        return cls(
+            bind=data.get("bind", defaults.bind),
+            policy=data.get("policy", defaults.policy),
+            ways=_opt_int(data.get("ways"), "ServiceSpec.ways"),
+            supervise=_as_int(
+                data.get("supervise", defaults.supervise), "ServiceSpec.supervise"
+            ),
+            workload=_opt_str(data.get("workload"), "ServiceSpec.workload"),
+            batches=_as_int(
+                data.get("batches", defaults.batches), "ServiceSpec.batches"
+            ),
+            seed=_as_int(data.get("seed", defaults.seed), "ServiceSpec.seed"),
+            agent_chaos=data.get("agent_chaos"),
+            replay_log=_opt_str(data.get("replay_log"), "ServiceSpec.replay_log"),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ServiceSpec":
+        """Read a spec from a ``.toml`` or ``.json`` file.
+
+        TOML files may put the keys at the top level or under a
+        ``[service]`` table (so a service spec can ride along in a larger
+        config file).
+        """
+        import json as _json
+        from pathlib import Path as _Path
+
+        text = _Path(path).read_text(encoding="utf-8")
+        if str(path).endswith(".json"):
+            data = _json.loads(text)
+        else:
+            try:
+                import tomllib  # noqa: PLC0415 - py311 stdlib
+            except ModuleNotFoundError as exc:  # pragma: no cover - py310
+                raise SpecError(
+                    "reading TOML service specs needs Python >= 3.11 (tomllib)"
+                ) from exc
+            data = tomllib.loads(text)
+        if isinstance(data, Mapping) and isinstance(data.get("service"), Mapping):
+            data = data["service"]
+        return cls.from_dict(data)
 
 
 # ---------------------------------------------------------------------------

@@ -10,7 +10,14 @@ chaos test is as reproducible as any other run:
   ``delay_frames`` stalls the event loop briefly, exercising timeouts);
 * **worker-side** faults key on the index of runs a worker process
   executes (``kill_runs`` dies mid-run without replying, ``slow_runs``
-  sleeps before answering, ``duplicate_results`` answers twice).
+  sleeps before answering, ``duplicate_results`` answers twice);
+* **service-loop** faults key on indexes in a partitioning-service host
+  agent's frame/batch stream (``agent_kill_batches`` dies right before
+  sending the N-th ``monitor_samples`` batch, exercising supervision and
+  re-registration; ``agent_corrupt_frames`` flips a byte of the N-th frame
+  the agent sends, exercising the daemon's drop-and-reconnect path;
+  ``agent_delay_batches`` stalls a batch by ``delay_s``, exercising
+  stale-sample handling).
 
 Plans travel as plain dictionaries — through
 :class:`~repro.experiments.specs.ExecutorSpec` (``chaos={...}`` injects
@@ -67,6 +74,10 @@ class FaultPlan:
     duplicate_results: Tuple[int, ...] = ()
     slow_runs: Tuple[int, ...] = ()
     slow_s: float = 0.2
+    # -- service-loop (indexes into a host agent's batch/frame stream) --
+    agent_kill_batches: Tuple[int, ...] = ()
+    agent_corrupt_frames: Tuple[int, ...] = ()
+    agent_delay_batches: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -77,6 +88,9 @@ class FaultPlan:
             "kill_runs",
             "duplicate_results",
             "slow_runs",
+            "agent_kill_batches",
+            "agent_corrupt_frames",
+            "agent_delay_batches",
         ):
             object.__setattr__(
                 self, name, _index_tuple(getattr(self, name), f"FaultPlan.{name}")
@@ -94,6 +108,9 @@ class FaultPlan:
                 self.kill_runs,
                 self.duplicate_results,
                 self.slow_runs,
+                self.agent_kill_batches,
+                self.agent_corrupt_frames,
+                self.agent_delay_batches,
             )
         )
 
@@ -107,6 +124,13 @@ class FaultPlan:
 
     def worker_faults(self) -> bool:
         return bool(self.kill_runs or self.duplicate_results or self.slow_runs)
+
+    def agent_faults(self) -> bool:
+        return bool(
+            self.agent_kill_batches
+            or self.agent_corrupt_frames
+            or self.agent_delay_batches
+        )
 
     @classmethod
     def seeded(
@@ -123,12 +147,16 @@ class FaultPlan:
         slow: int = 0,
         delay_s: float = 0.05,
         slow_s: float = 0.2,
+        batches: int = 0,
+        agent_kills: int = 0,
+        agent_corrupt: int = 0,
+        agent_delays: int = 0,
     ) -> "FaultPlan":
         """A scripted plan drawn deterministically from ``seed``.
 
-        ``frames``/``runs`` bound the index spaces the fault points are
-        sampled from; the counts say how many of each fault to script.  The
-        same seed always yields the same plan.
+        ``frames``/``runs``/``batches`` bound the index spaces the fault
+        points are sampled from; the counts say how many of each fault to
+        script.  The same seed always yields the same plan.
         """
         rng = random.Random(seed)
 
@@ -147,6 +175,9 @@ class FaultPlan:
             slow_runs=sample(slow, runs),
             delay_s=delay_s,
             slow_s=slow_s,
+            agent_kill_batches=sample(agent_kills, batches),
+            agent_corrupt_frames=sample(agent_corrupt, batches),
+            agent_delay_batches=sample(agent_delays, batches),
         )
 
     # -- dict round-trip (ExecutorSpec / CLI) -----------------------------------

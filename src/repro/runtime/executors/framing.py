@@ -1,5 +1,12 @@
 """Schema-versioned, length-framed wire codec for the TCP executor.
 
+The partitioning service (:mod:`repro.service`) speaks the same codec and
+negotiates the same :data:`PROTOCOL_VERSION` in its ``host_hello``
+handshake; its message kinds (``host_hello``, ``app_arrive``,
+``app_depart``, ``monitor_samples``, ``mask_update``, ``host_bye``) are
+defined and validated in :mod:`repro.service.protocol` on top of this
+framing layer.
+
 Every message on the wire is::
 
     [4-byte big-endian length][1-byte codec tag][payload]

@@ -12,6 +12,14 @@ surfaces as a loud ``BrokenProcessPool``-backed error instead of a hang.
 With ``jobs=1`` (or a single task) the pool is skipped entirely and tasks run
 inline — byte-for-byte the serial path, preserving the historical contract
 that results are independent of the ``jobs`` knob.
+
+Installing a *new* context keeps the spawned workers alive: every submitted
+job carries the executor's context **generation**, and a worker that sees a
+newer generation than the one it holds installs the context shipped with
+the job and clears its per-process caches — an in-band ``reset_context``.
+Re-spawning the pool (the historical behaviour) paid a full interpreter +
+import start-up per worker per batch; warm reuse makes multi-study sessions
+pay it once.  Worker PIDs surviving a context swap is pinned by a test.
 """
 
 from __future__ import annotations
@@ -22,24 +30,47 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Iterator, Optional, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.runtime.executors.base import Executor, TaskError, Ticket
+from repro.runtime.executors.base import (
+    Executor,
+    TaskError,
+    Ticket,
+    clear_worker_tables,
+)
 
 __all__ = ["PoolExecutor"]
 
 
 # The worker context lives in a module-level slot populated once per worker
 # process by the pool initializer (spawned workers inherit nothing, so the
-# shared inputs travel through initargs exactly once instead of once per task).
+# shared inputs travel through initargs exactly once instead of once per
+# task), together with the context generation the slot currently holds.
 _WORKER_CONTEXT: Optional[tuple] = None
+_WORKER_GENERATION: int = -1
 
 
-def _init_pool_worker(context: tuple) -> None:
-    global _WORKER_CONTEXT
+def _init_pool_worker(context: tuple, generation: int) -> None:
+    global _WORKER_CONTEXT, _WORKER_GENERATION
     _WORKER_CONTEXT = context
+    _WORKER_GENERATION = generation
 
 
-def _pool_entry(job: Tuple[Ticket, Any]) -> Tuple[Ticket, Any]:
-    ticket, task = job
+def _reset_pool_context(context: tuple, generation: int) -> None:
+    """Worker-side ``reset_context``: install the new shared inputs and drop
+    per-process caches, without the process ever exiting."""
+    global _WORKER_CONTEXT, _WORKER_GENERATION
+    _WORKER_CONTEXT = context
+    _WORKER_GENERATION = generation
+    clear_worker_tables()
+
+
+def _pool_entry(
+    job: Tuple[Ticket, Any, int, Optional[tuple]]
+) -> Tuple[Ticket, Any]:
+    ticket, task, generation, context = job
+    if generation != _WORKER_GENERATION:
+        # This worker was spawned (or last reset) under an older context; the
+        # job ships the current one precisely for this case.
+        _reset_pool_context(context, generation)
     worker_fn, payload = _WORKER_CONTEXT
     try:
         return ticket, worker_fn(payload, task)
@@ -72,13 +103,20 @@ class PoolExecutor(Executor):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._in_flight: Set[Ticket] = set()
         self._results: "queue.Queue[Tuple[Ticket, Future]]" = queue.Queue()
+        #: Bumped on every context install; jobs are tagged with it so live
+        #: workers can detect (and absorb) a context swap in-band.
+        self._generation = 0
+        #: The generation the current pool's initializer delivered.
+        self._pool_generation = 0
 
     # -- context -----------------------------------------------------------------
 
     def _context_changed(self) -> None:
-        # A pool's initializer runs once per worker, so a new context needs a
-        # new pool (matching the historical one-pool-per-batch behaviour).
-        self._stop_pool()
+        # Warm reuse: keep the spawned processes and let the next dispatched
+        # job carry the new context (a worker-side reset_context).  The pool
+        # is only created lazily, so with no pool there is nothing to do —
+        # _ensure_pool ships the fresh context through its initializer.
+        self._generation += 1
 
     def _resolved_jobs(self) -> int:
         if self.jobs is None:
@@ -99,8 +137,9 @@ class PoolExecutor(Executor):
                 max_workers=processes,
                 mp_context=mp.get_context("spawn"),
                 initializer=_init_pool_worker,
-                initargs=((self._worker_fn, self._payload),),
+                initargs=((self._worker_fn, self._payload), self._generation),
             )
+            self._pool_generation = self._generation
         return self._pool
 
     def _stop_pool(self) -> None:
@@ -115,10 +154,19 @@ class PoolExecutor(Executor):
 
     def _dispatch(self) -> None:
         pool = self._ensure_pool()
+        # Ship the context with each job only after a swap left the pool's
+        # initializer stale; in steady state the tag alone travels.
+        context = (
+            (self._worker_fn, self._payload)
+            if self._generation != self._pool_generation
+            else None
+        )
         while self._queue:
             ticket, task = self._queue.popleft()
             self._in_flight.add(ticket)
-            future = pool.submit(_pool_entry, (ticket, task))
+            future = pool.submit(
+                _pool_entry, (ticket, task, self._generation, context)
+            )
             future.add_done_callback(
                 lambda f, t=ticket: self._results.put((t, f))
             )

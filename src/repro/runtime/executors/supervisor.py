@@ -1,8 +1,10 @@
 """Coordinator-side worker supervision: spawn, reap, respawn, circuit-break.
 
-:class:`WorkerSupervisor` owns N local worker subprocesses (``repro.cli
-worker --connect``), turning the two-terminal TCP setup into a single
-self-contained ``supervised`` executor.  It is deliberately passive — no
+:class:`WorkerSupervisor` owns N local subprocesses speaking to a
+coordinator (``repro.cli worker --connect`` by default; the partitioning
+service points ``subcommand`` at ``agent`` to babysit host agents the same
+way), turning the two-terminal TCP setup into a single self-contained
+``supervised`` executor.  It is deliberately passive — no
 threads, no signals: the coordinator's event loop calls :meth:`poll` once
 per pump and the supervisor reaps exits, schedules respawns with capped
 exponential backoff, and trips a crash-loop circuit breaker when a slot's
@@ -60,7 +62,9 @@ class WorkerSupervisor:
         *,
         count: int = 1,
         unsafe_pickle: bool = False,
+        subcommand: Sequence[str] = ("worker",),
         extra_args: Sequence[str] = (),
+        slot_extra: Sequence[Sequence[str]] = (),
         first_spawn_extra: Sequence[str] = (),
         backoff_initial_s: float = 0.25,
         backoff_max_s: float = 5.0,
@@ -72,6 +76,13 @@ class WorkerSupervisor:
             raise SimulationError("a supervisor needs at least one worker slot")
         if breaker_threshold < 1:
             raise SimulationError("breaker_threshold must be >= 1")
+        if not subcommand:
+            raise SimulationError("subcommand must name a repro.cli subcommand")
+        if slot_extra and len(slot_extra) != count:
+            raise SimulationError(
+                f"slot_extra must provide one argument tuple per slot "
+                f"({count}), got {len(slot_extra)}"
+            )
         if isinstance(address, str):
             from repro.runtime.executors.tcp import parse_address
 
@@ -79,7 +90,13 @@ class WorkerSupervisor:
         self.address = address
         self.count = count
         self.unsafe_pickle = unsafe_pickle
+        self.subcommand = tuple(subcommand)
         self.extra_args = tuple(extra_args)
+        #: Per-slot arguments appended on *every* spawn of that slot (unlike
+        #: ``first_spawn_extra``, which only decorates slot 0's first
+        #: incarnation).  The service uses this to give each supervised host
+        #: agent a stable ``--host-id`` that survives respawns.
+        self.slot_extra = tuple(tuple(args) for args in slot_extra)
         self.first_spawn_extra = tuple(first_spawn_extra)
         self.backoff_initial_s = backoff_initial_s
         self.backoff_max_s = backoff_max_s
@@ -99,7 +116,7 @@ class WorkerSupervisor:
             sys.executable,
             "-m",
             "repro.cli",
-            "worker",
+            *self.subcommand,
             "--connect",
             f"{host}:{port}",
             "--quiet",
@@ -107,6 +124,8 @@ class WorkerSupervisor:
         if self.unsafe_pickle:
             cmd.append("--unsafe-pickle")
         cmd.extend(self.extra_args)
+        if self.slot_extra:
+            cmd.extend(self.slot_extra[slot.index])
         if slot.index == 0 and slot.spawn_count == 0:
             cmd.extend(self.first_spawn_extra)
         return cmd

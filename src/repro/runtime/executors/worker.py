@@ -22,7 +22,9 @@ started with the pickle codec (``--unsafe-pickle``).
 Workers keep per-process caches (phased profiles, evaluation tables) through
 the :class:`~repro.runtime.executors.base.RunContext` they receive; the
 table cache is reset on every context frame, so a long-lived worker serving
-many studies never accumulates stale table sets.
+many studies never accumulates stale table sets.  A ``("reset_context",)``
+frame clears those caches without replacing the context, letting a
+coordinator recycle live workers across batches.
 
 Fault injection for resilience tests and chaos drills: ``max_runs``
 disconnects cleanly after N results, ``crash_after`` kills the process
@@ -166,6 +168,11 @@ def _serve(
             _, worker_fn, payload = frame
             context = (worker_fn, payload)
             clear_worker_tables()  # fresh tables per context, like a pool
+        elif tag == "reset_context":
+            # Drop worker-side caches without replacing the installed
+            # context (or the process): the warm-reuse half of a context
+            # swap, so coordinators can recycle live workers.
+            clear_worker_tables()
         elif tag == "ping":
             send_frame(sock, ("pong",), codec=codec)
         elif tag == "shutdown":

@@ -140,13 +140,28 @@ class AppMonitor:
         self.classification_version += 1
 
     def reset_for_restart(self) -> None:
-        """Called when the benchmark is restarted.
+        """Reset the *transient* monitoring state for a restarted application.
 
-        The paper restarts programs in place (same PID from the scheduler's
-        point of view), so the classification state is kept; only the rolling
-        histories continue to evolve.
+        Two restart flavours share this hook.  The paper's engine restarts
+        programs in place (same PID from the scheduler's point of view), so
+        the classification, its slowdown table and the critical size are
+        kept — re-deriving them would waste a sampling sweep on an answer
+        already known.  What must **not** survive is the short-term state: a
+        freshly (re)started program goes through cold-start miss spikes
+        again, so the warm-up countdown restarts and the rolling windows are
+        cleared; stale pre-restart samples must never feed the phase-change
+        heuristics of the new incarnation.  The partitioning service calls
+        this when an application departs and later re-arrives on the same
+        host (session churn), which is exactly such a restart.
+
+        Cumulative counters (``samples_seen``, ``class_changes``,
+        ``sampling_mode_entries``) and ``classification_version`` keep
+        counting across restarts: they describe the application's lifetime,
+        not one incarnation.
         """
-        # Intentionally a no-op besides documentation: state survives restarts.
+        self.warmup_remaining = self.config.warmup_samples
+        self._history.clear()
+        self.in_sampling_mode = False
 
     # -- the heart: one monitoring sample ------------------------------------------
 
@@ -501,6 +516,15 @@ class MonitorBank:
         self.in_sampling_mode[row] = False
         self.classification_version[row] += 1
 
+    def reset_for_restart(self, row: int) -> None:
+        """Row-level :meth:`AppMonitor.reset_for_restart`: drop the warm-up
+        countdown back to its initial value, clear the rolling window and
+        leave classification state and lifetime counters untouched."""
+        self.warmup_remaining[row] = self.config.warmup_samples
+        self._win_start[row] = 0
+        self._win_live[row] = 0
+        self.in_sampling_mode[row] = False
+
     def snapshot(self, row: int) -> Dict[str, float]:
         return {
             "class": _CLASS_ORDER[self.class_code[row]].value,
@@ -606,7 +630,9 @@ class BankMonitor:
         )
 
     def reset_for_restart(self) -> None:
-        """Restarts keep classification state (see AppMonitor.reset_for_restart)."""
+        """See :meth:`AppMonitor.reset_for_restart` (classification is kept,
+        warm-up and rolling windows restart)."""
+        self.bank.reset_for_restart(self.row)
 
     def snapshot(self) -> Dict[str, float]:
         return self.bank.snapshot(self.row)

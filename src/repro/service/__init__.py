@@ -1,0 +1,51 @@
+"""Online partitioning service: the paper's scheduler as a control plane.
+
+Everything else in this repository is batch-shaped — a study executes a
+fixed scenario list and exits.  This package lifts the LFOC/Dunn online
+decision layer into a **long-lived multi-tenant service**:
+
+* :mod:`repro.service.daemon` — ``repro.cli serve``: a single-threaded
+  selectors event loop (no thread races, deterministic and replayable —
+  the same non-threaded design the TCP executor uses) that accepts host
+  agents, keeps per-host tenant state and pushes CAT mask updates;
+* :mod:`repro.service.agent` — ``repro.cli agent``: the per-host client
+  that registers applications, streams monitor samples and applies pushed
+  masks, reconnecting with full state re-registration after a drop;
+* :mod:`repro.service.session` — the transport-free core: per-host
+  sessions with an :class:`~repro.runtime.monitor.AppMonitor` per
+  registered application, fed through the incremental decision layer
+  (fingerprint-keyed :class:`~repro.core.lfoc.LfocDecisionCache`, Dunn's
+  LRU allocation cache) so re-deciding is O(changed apps);
+* :mod:`repro.service.protocol` — the message schema (``host_hello``,
+  ``app_arrive``, ``app_depart``, ``monitor_samples``, ``mask_update``,
+  ``host_bye``) spoken over the safe wire codec under
+  ``PROTOCOL_VERSION`` negotiation;
+* :mod:`repro.service.replay` — the append-only decision log plus the
+  offline replay oracle that pins live daemon decisions bit-identical to
+  a socket-free run on the same trace;
+* :mod:`repro.service.simhost` — a profile-backed simulated host, so the
+  whole control loop is testable offline.
+"""
+
+from repro.service.agent import HostAgent, run_agent
+from repro.service.daemon import PartitionDaemon
+from repro.service.protocol import SERVICE_KINDS, ServiceProtocolError
+from repro.service.replay import MaskDecision, ReplayLog, offline_replay
+from repro.service.session import HostSession, ServiceCore
+from repro.service.simhost import SimulatedHost, churn_schedule, host_seed
+
+__all__ = [
+    "HostAgent",
+    "run_agent",
+    "PartitionDaemon",
+    "SERVICE_KINDS",
+    "ServiceProtocolError",
+    "MaskDecision",
+    "ReplayLog",
+    "offline_replay",
+    "HostSession",
+    "ServiceCore",
+    "SimulatedHost",
+    "churn_schedule",
+    "host_seed",
+]

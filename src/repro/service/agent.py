@@ -1,0 +1,364 @@
+"""Host agent: the per-machine client of the partitioning service.
+
+One agent represents one host.  It registers the host's applications
+with the daemon, streams one ``monitor_samples`` batch per monitoring
+interval, applies every pushed ``mask_update`` to the host's CAT
+controller, and answers the daemon's classification-sweep requests.
+
+The protocol is **lockstep**: each sequenced frame waits for its
+``mask_update`` reply before the next is sent.  That sacrifices nothing
+at monitoring-interval granularity (the paper samples every 400 ms; a
+round trip is microseconds) and buys exact replayability — the offline
+oracle can drive the very same loop with no sockets and land on a
+bit-identical decision log.
+
+Two transports implement the loop's contract:
+
+* :class:`LocalTransport` — calls the
+  :class:`~repro.service.session.ServiceCore` directly; used by
+  :func:`~repro.service.replay.offline_replay` to produce golden logs.
+* :class:`HostAgent` — the real client: safe-codec frames over TCP,
+  validation of every reply, and a reconnect loop.  A drop (daemon
+  restart, corrupted frame costing the link) makes the *next* step fail;
+  :func:`drive_host` then reconnects with a fresh ``boot`` token and
+  re-registers the full live application set, after which the daemon's
+  session epoch has advanced and sequence numbers restart from zero.
+
+Chaos hooks (``FaultPlan.agent_*``) live in :class:`HostAgent` only — the
+offline oracle stays pristine.  A scripted kill is ``os._exit`` right
+before a ``monitor_samples`` send, exactly what a supervised respawn
+drill needs; a scripted corruption flips a byte of one outbound frame,
+which the daemon detects, charges to the link, and answers by dropping
+it — forcing this agent through the reconnect path.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.runtime.executors.chaos import FaultPlan
+from repro.runtime.executors.framing import (
+    enable_keepalive,
+    pack_frame,
+    recv_frame,
+)
+from repro.service import protocol
+from repro.service.protocol import SEQUENCED_KINDS, ServiceProtocolError, check_frame
+from repro.service.session import ServiceCore
+from repro.service.simhost import SimulatedHost, churn_schedule, host_seed
+
+__all__ = [
+    "TransportDropped",
+    "LocalTransport",
+    "HostAgent",
+    "drive_host",
+    "run_agent",
+]
+
+
+class TransportDropped(SimulationError):
+    """The daemon link died mid-session; reconnect and re-register."""
+
+
+class LocalTransport:
+    """In-process transport: the offline oracle's direct line to the core."""
+
+    def __init__(self, core: ServiceCore, host_id: str) -> None:
+        self.core = core
+        self.host_id = host_id
+        self._boot = 0
+
+    def hello(self) -> Tuple[int, int]:
+        self._boot += 1
+        _, payload = protocol.host_hello(self.host_id, self._boot, 0)
+        kind, reply = check_frame(self.core.handle_hello(payload))
+        return reply["epoch"], reply["last_seq"]
+
+    def exchange(self, frame: Tuple[str, Dict[str, Any]]) -> Tuple[str, Any]:
+        kind, payload = check_frame(frame)
+        if kind not in SEQUENCED_KINDS:
+            raise ServiceProtocolError(f"cannot exchange non-sequenced frame {kind!r}")
+        return check_frame(self.core.handle(self.host_id, kind, payload))
+
+    def close(self) -> None:
+        pass
+
+
+class HostAgent:
+    """Wire transport: safe-codec frames over TCP with reconnect and chaos."""
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        host_id: str,
+        *,
+        chaos: Optional[FaultPlan] = None,
+        connect_attempts: int = 40,
+        connect_delay_s: float = 0.25,
+        io_timeout_s: float = 30.0,
+    ) -> None:
+        self.address = address
+        self.host_id = host_id
+        self.plan = chaos or FaultPlan()
+        self.connect_attempts = connect_attempts
+        self.connect_delay_s = connect_delay_s
+        self.io_timeout_s = io_timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._connections = 0
+        self._frames_sent = 0
+        self._batches_sent = 0
+        self.reconnects = 0
+
+    # -- connection management ----------------------------------------------------
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def hello(self) -> Tuple[int, int]:
+        """(Re)connect and handshake; returns the daemon's ``(epoch, last_seq)``.
+
+        Every call uses a fresh ``boot`` token, so the daemon treats the
+        connection as a host restart and expects full re-registration.
+        """
+        self._close_socket()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.connect_attempts):
+            if attempt:
+                time.sleep(self.connect_delay_s)
+            try:
+                sock = socket.create_connection(self.address, timeout=self.io_timeout_s)
+            except OSError as exc:
+                last_error = exc
+                continue
+            enable_keepalive(sock)
+            sock.settimeout(self.io_timeout_s)
+            self._sock = sock
+            self._connections += 1
+            if self._connections > 1:
+                self.reconnects += 1
+            boot = ((os.getpid() & 0x7FFFFF) << 8) | (self._connections & 0xFF)
+            try:
+                kind, payload = self._roundtrip(
+                    protocol.host_hello(self.host_id, boot, os.getpid())
+                )
+            except TransportDropped as exc:
+                last_error = exc
+                self._close_socket()
+                continue
+            if kind == "reject":
+                raise SimulationError(
+                    f"daemon at {self.address[0]}:{self.address[1]} rejected "
+                    f"host {self.host_id!r}: {payload}"
+                )
+            if kind != "hello_ack":
+                raise ServiceProtocolError(
+                    f"expected hello_ack, daemon answered {kind!r}"
+                )
+            protocol.check_protocol(payload, "hello_ack")
+            return payload["epoch"], payload["last_seq"]
+        raise SimulationError(
+            f"agent {self.host_id!r} could not reach the daemon at "
+            f"{self.address[0]}:{self.address[1]} after {self.connect_attempts} "
+            f"attempts: {last_error}"
+        )
+
+    # -- the lockstep exchange ----------------------------------------------------
+
+    def exchange(self, frame: Tuple[str, Dict[str, Any]]) -> Tuple[str, Any]:
+        if self._sock is None:
+            raise TransportDropped("not connected")
+        if frame[0] == "monitor_samples":
+            batch = self._batches_sent
+            self._batches_sent += 1
+            if batch in self.plan.agent_delay_batches:
+                time.sleep(self.plan.delay_s)
+            if batch in self.plan.agent_kill_batches:
+                # Die abruptly, mid-protocol, without unwinding — the exit
+                # code marks a scripted chaos kill for the supervisor logs.
+                os._exit(17)
+        return self._roundtrip(frame)
+
+    def _roundtrip(self, frame: Tuple[str, Any]) -> Tuple[str, Any]:
+        data = pack_frame(frame)
+        index = self._frames_sent
+        self._frames_sent += 1
+        if index in self.plan.agent_corrupt_frames:
+            data = self._corrupt(data)
+        assert self._sock is not None
+        try:
+            self._sock.sendall(data)
+            reply = recv_frame(self._sock)
+        except (OSError, SimulationError) as exc:
+            # Connection loss, a reset, a torn or garbled reply: the link is
+            # gone either way.  The daemon is trusted, so a malformed reply
+            # means the stream desynchronised, not that the peer is hostile —
+            # reconnecting restores a clean boundary.
+            self._close_socket()
+            raise TransportDropped(f"daemon link lost: {exc}") from exc
+        if reply is None:
+            self._close_socket()
+            raise TransportDropped("daemon closed the connection")
+        try:
+            return check_frame(reply)
+        except ServiceProtocolError as exc:
+            self._close_socket()
+            raise TransportDropped(f"daemon sent an invalid frame: {exc}") from exc
+
+    @staticmethod
+    def _corrupt(data: bytes) -> bytes:
+        """Flip one byte inside the frame payload (deterministic position).
+
+        Offset 9 lands in the safe envelope's JSON header, which the
+        daemon's decoder is guaranteed to refuse — the scripted fault always
+        costs this link, never silently passes.
+        """
+        blob = bytearray(data)
+        pos = 9 if len(blob) > 9 else len(blob) - 1
+        blob[pos] ^= 0xFF
+        return bytes(blob)
+
+    def close(self) -> None:
+        self._close_socket()
+
+
+# -- the shared control loop ---------------------------------------------------------
+
+
+def drive_host(
+    host: SimulatedHost,
+    transport: Union[LocalTransport, HostAgent],
+    *,
+    batches: int,
+    churn: Sequence[Tuple[int, str, str]] = (),
+) -> None:
+    """Run one host's full session against a transport, to orderly ``host_bye``.
+
+    The same loop serves the offline oracle (:class:`LocalTransport`) and
+    the live agent (:class:`HostAgent`); the transport is the *only*
+    difference between a golden replay and a real run, which is what makes
+    the determinism pin meaningful.  On :class:`TransportDropped` the loop
+    reconnects and re-registers every live application under a fresh boot
+    (sequence numbers restart at zero), then resumes the batch that failed.
+    """
+    events: Dict[int, List[Tuple[str, str]]] = {}
+    for batch_index, op, app in churn:
+        events.setdefault(batch_index, []).append((op, app))
+    live: List[str] = list(host.apps)
+    pending: List[Dict[str, Any]] = []
+    seq = 0
+
+    def apply_reply(reply: Tuple[str, Any]) -> None:
+        kind, payload = reply
+        if kind != "mask_update":
+            raise ServiceProtocolError(
+                f"expected mask_update in lockstep reply, got {kind!r}"
+            )
+        if payload["masks"] is not None:
+            host.apply_masks(payload["masks"])
+        for app in payload["sample"]:
+            pending.append(host.classify(app))
+
+    def register() -> None:
+        nonlocal seq
+        while True:
+            try:
+                transport.hello()
+                seq = 0
+                for app in live:
+                    apply_reply(transport.exchange(protocol.app_arrive(seq + 1, app)))
+                    seq += 1
+                return
+            except TransportDropped:
+                continue
+
+    def step(build: Callable[[int], Tuple[str, Dict[str, Any]]]) -> None:
+        nonlocal seq
+        while True:
+            try:
+                reply = transport.exchange(build(seq + 1))
+            except TransportDropped:
+                register()
+                continue
+            seq += 1
+            apply_reply(reply)
+            return
+
+    register()
+    for batch in range(batches):
+        for op, app in events.get(batch, ()):
+            if op == "depart":
+                if app in live:
+                    live.remove(app)
+                step(lambda s, a=app: protocol.app_depart(s, a))
+            else:
+                if app not in live:
+                    live.append(app)
+                step(lambda s, a=app: protocol.app_arrive(s, a))
+        samples = [host.sample(app, batch) for app in live]
+        classify = list(pending)
+        pending.clear()
+        step(lambda s: protocol.monitor_samples(s, samples, classify))
+    # The bye reply never carries masks, but must still arrive (lockstep).
+    while True:
+        try:
+            reply = transport.exchange(protocol.host_bye(seq + 1))
+        except TransportDropped:
+            register()
+            continue
+        kind, _ = reply
+        if kind != "mask_update":
+            raise ServiceProtocolError(f"expected mask_update ack for bye, got {kind!r}")
+        break
+    transport.close()
+
+
+# -- the CLI entry point --------------------------------------------------------------
+
+
+def run_agent(
+    address: Tuple[str, int],
+    *,
+    host_id: str,
+    workload: str,
+    batches: int,
+    seed: int = 0,
+    n_ways: Optional[int] = None,
+    chaos: Optional[Mapping[str, Any]] = None,
+    connect_attempts: int = 40,
+    connect_delay_s: float = 0.25,
+    quiet: bool = True,
+) -> int:
+    """``repro.cli agent``: drive one simulated host against a live daemon.
+
+    The host seed, churn schedule and sample jitter derive from
+    ``(seed, host_id)`` exactly as in
+    :func:`~repro.service.replay.offline_replay`, so a clean live run is
+    comparable frame for frame with the offline oracle.
+    """
+    plan = FaultPlan.from_dict(chaos)
+    host = SimulatedHost(workload, seed=host_seed(seed, host_id), n_ways=n_ways)
+    churn = churn_schedule(host.apps, batches, host_seed(seed, host_id))
+    agent = HostAgent(
+        address,
+        host_id,
+        chaos=plan,
+        connect_attempts=connect_attempts,
+        connect_delay_s=connect_delay_s,
+    )
+    drive_host(host, agent, batches=batches, churn=churn)
+    if not quiet:
+        print(
+            f"agent {host_id}: {batches} batches, {len(host.apps)} apps, "
+            f"{host.masks_applied} mask programmings, "
+            f"{agent.reconnects} reconnects"
+        )
+    return 0

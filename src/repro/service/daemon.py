@@ -1,0 +1,361 @@
+"""The partitioning daemon: a long-lived control plane over TCP.
+
+``repro.cli serve`` runs one :class:`PartitionDaemon`: a single-threaded
+``selectors`` event loop — the same non-threaded design as the TCP
+executor coordinator, and for the same reasons: no locks, no races, and
+every run of the loop over the same frame sequence is deterministic,
+which the replay pin depends on.
+
+Each accepted connection must open with a validated ``host_hello``
+(version-negotiated; a mismatch is answered with a courtesy ``reject``
+before the drop).  After the handshake the link is bound to its host id
+and every sequenced frame is fed to the
+:class:`~repro.service.session.ServiceCore`, whose reply — always exactly
+one ``mask_update`` — goes straight back on the wire.  Failure policy is
+inherited from the executor transport: **corruption or protocol
+violations cost the link, never the event loop.**  A torn frame waits
+for more bytes; a garbled one raises out of
+:class:`~repro.runtime.executors.framing.FrameReader` and is charged to
+``frame_errors``; the agent reconnects with a fresh boot and
+re-registers, and the session's epoch/sequence machinery makes whatever
+was in flight idempotent.
+
+With ``supervise=N`` the daemon babysits its own host agents through
+:class:`~repro.runtime.executors.supervisor.WorkerSupervisor`
+(``subcommand=("agent",)``): each slot gets a stable ``--host-id`` that
+survives respawns, and a scripted
+:class:`~repro.runtime.executors.chaos.FaultPlan` can be handed to the
+first incarnation only (``first_spawn_extra``) so one agent dies
+mid-trace and its replacement comes up clean — the chaos drill CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.lfoc import DEFAULT_PARAMS, LfocParams
+from repro.errors import SimulationError
+from repro.runtime.executors.framing import (
+    FrameProtocolError,
+    FrameReader,
+    enable_keepalive,
+    pack_frame,
+)
+from repro.service import protocol
+from repro.service.protocol import SEQUENCED_KINDS, ServiceProtocolError, check_frame
+from repro.service.replay import ReplayLog
+from repro.service.session import ServiceCore
+
+__all__ = ["PartitionDaemon"]
+
+
+@dataclass
+class _AgentLink:
+    """One accepted connection and its parse state."""
+
+    sock: socket.socket
+    peer: str
+    reader: FrameReader
+    #: Host id, set once the handshake completes; None while pending.
+    host: Optional[str] = None
+    connected_at: float = 0.0
+    frames: int = field(default=0)
+
+
+class PartitionDaemon:
+    """Accept host agents, keep tenant state, push CAT mask updates."""
+
+    def __init__(
+        self,
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        policy: str = "lfoc",
+        n_ways: Optional[int] = None,
+        params: LfocParams = DEFAULT_PARAMS,
+        replay: Optional[ReplayLog] = None,
+        supervise: int = 0,
+        workload: Optional[str] = None,
+        batches: int = 50,
+        seed: int = 0,
+        agent_chaos: Optional[Mapping[str, Any]] = None,
+        quiet: bool = True,
+    ) -> None:
+        if supervise and not workload:
+            raise SimulationError(
+                "supervised agents need a workload (serve --supervise N --workload W)"
+            )
+        self.core = ServiceCore(
+            policy=policy, n_ways=n_ways, params=params, replay=replay
+        )
+        self.supervise = supervise
+        self.workload = workload
+        self.batches = batches
+        self.seed = seed
+        self.agent_chaos = dict(agent_chaos) if agent_chaos else None
+        self.quiet = quiet
+        #: Corrupt/violating frames charged to dropped links (never crashes).
+        self.frame_errors = 0
+        #: Every dropped link as ``(peer, reason)``, oldest first.
+        self.drop_events: List[Tuple[str, str]] = []
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(bind)
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._links: List[_AgentLink] = []
+        self._supervisor = None
+        self._closed = False
+
+    # -- addresses / observability -------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` agents should ``--connect`` to."""
+        return self._listener.getsockname()
+
+    @property
+    def replay(self) -> ReplayLog:
+        return self.core.replay
+
+    @property
+    def host_ids(self) -> List[str]:
+        """Stable ids of the supervised agent slots (``host0`` .. ``hostN-1``)."""
+        return [f"host{i}" for i in range(self.supervise)]
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "links": len(self._links),
+            "frame_errors": self.frame_errors,
+            "drops": list(self.drop_events),
+            **self.core.summary(),
+        }
+        if self._supervisor is not None:
+            out["supervisor"] = self._supervisor.summary()
+        return out
+
+    # -- the event loop -------------------------------------------------------------
+
+    def pump(self, timeout: float = 0.05) -> None:
+        """One iteration: accept / read / reply, then supervise."""
+        for key, _events in self._selector.select(timeout):
+            if key.data is None:
+                self._accept_all()
+            else:
+                self._read_link(key.data)
+        self._poll_supervisor()
+
+    def run(
+        self,
+        *,
+        until_byes: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Pump until ``until_byes`` hosts completed (or the deadline/forever).
+
+        Completion counts hosts that *ever* sent an orderly ``host_bye`` —
+        a supervisor respawning an already-finished agent cannot un-finish
+        it.  Returns :meth:`summary`.
+        """
+        deadline = time.monotonic() + max_seconds if max_seconds else None
+        try:
+            while True:
+                if (
+                    until_byes is not None
+                    and len(self.core.ever_completed) >= until_byes
+                ):
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    if until_byes is not None:
+                        raise SimulationError(
+                            f"daemon deadline after {max_seconds:.0f}s with only "
+                            f"{len(self.core.ever_completed)} of {until_byes} "
+                            f"host sessions completed"
+                            + (
+                                f" (recent drops: {self.drop_events[-3:]})"
+                                if self.drop_events
+                                else ""
+                            )
+                        )
+                    break
+                self.pump()
+        finally:
+            if self._supervisor is not None:
+                self._supervisor.stop()
+        return self.summary()
+
+    def _poll_supervisor(self) -> None:
+        if self.supervise < 1:
+            return
+        if self._supervisor is None:
+            from repro.runtime.executors.supervisor import WorkerSupervisor
+
+            extra = [
+                "--workload",
+                str(self.workload),
+                "--batches",
+                str(self.batches),
+                "--seed",
+                str(self.seed),
+            ]
+            first = (
+                ("--chaos", json.dumps(self.agent_chaos)) if self.agent_chaos else ()
+            )
+            self._supervisor = WorkerSupervisor(
+                self.address,
+                count=self.supervise,
+                subcommand=("agent",),
+                extra_args=extra,
+                slot_extra=[("--host-id", host) for host in self.host_ids],
+                first_spawn_extra=first,
+                quiet=self.quiet,
+            )
+        self._supervisor.poll()
+
+    # -- connections -----------------------------------------------------------------
+
+    def _accept_all(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            enable_keepalive(sock)
+            link = _AgentLink(
+                sock=sock,
+                peer=f"{addr[0]}:{addr[1]}",
+                reader=FrameReader(),
+                connected_at=time.monotonic(),
+            )
+            self._links.append(link)
+            self._selector.register(sock, selectors.EVENT_READ, link)
+
+    def _read_link(self, link: _AgentLink) -> None:
+        try:
+            data = link.sock.recv(1 << 20)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_link(link, reason="read error")
+            return
+        if not data:
+            # Clean EOF: agent exited, was killed, or is reconnecting.
+            self._drop_link(link, reason="connection closed")
+            return
+        try:
+            frames = list(link.reader.feed(data))
+        except Exception as exc:
+            self.frame_errors += 1
+            self._drop_link(link, reason=f"bad frame: {exc}")
+            return
+        for frame in frames:
+            self._handle_frame(link, frame)
+            if link not in self._links:
+                return  # the handler dropped the link
+
+    def _handle_frame(self, link: _AgentLink, frame: Any) -> None:
+        try:
+            kind, payload = check_frame(frame)
+        except ServiceProtocolError as exc:
+            self.frame_errors += 1
+            self._drop_link(link, reason=f"invalid frame: {exc}")
+            return
+        link.frames += 1
+        if link.host is None:
+            if kind != "host_hello":
+                self.frame_errors += 1
+                self._drop_link(link, reason=f"{kind!r} before host_hello")
+                return
+            try:
+                reply = self.core.handle_hello(payload)
+            except ServiceProtocolError as exc:
+                # Courtesy reject so the agent's error names the mismatch.
+                try:
+                    link.sock.settimeout(5.0)
+                    link.sock.sendall(pack_frame(protocol.reject(str(exc))))
+                except OSError:
+                    pass
+                self._drop_link(link, reason=f"handshake rejected: {exc}")
+                return
+            # One live link per host: a reconnecting agent's fresh hello
+            # supersedes the old connection even before its EOF surfaces.
+            for other in list(self._links):
+                if other is not link and other.host == payload["host"]:
+                    self._drop_link(other, reason="superseded by a newer connection")
+            link.host = payload["host"]
+            self._send(link, pack_frame(reply))
+            return
+        if kind not in SEQUENCED_KINDS:
+            self.frame_errors += 1
+            self._drop_link(link, reason=f"unexpected {kind!r} after handshake")
+            return
+        try:
+            reply = self.core.handle(link.host, kind, payload)
+        except (ServiceProtocolError, SimulationError) as exc:
+            self.frame_errors += 1
+            self._drop_link(link, reason=f"protocol violation: {exc}")
+            return
+        self._send(link, pack_frame(reply))
+
+    def _send(self, link: _AgentLink, blob: bytes) -> bool:
+        """Bounded-blocking send; drops the link on failure."""
+        try:
+            link.sock.settimeout(30.0)
+            try:
+                link.sock.sendall(blob)
+            finally:
+                link.sock.settimeout(0.0)
+            return True
+        except OSError as exc:
+            self._drop_link(link, reason=f"send failed: {exc}")
+            return False
+
+    def _drop_link(self, link: _AgentLink, *, reason: str) -> None:
+        if link not in self._links:
+            return
+        self._links.remove(link)
+        self.drop_events.append((link.peer, reason))
+        try:
+            self._selector.unregister(link.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for link in list(self._links):
+            self._drop_link(link, reason="daemon shutting down")
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._supervisor is not None:
+            self._supervisor.stop()
+
+    def __enter__(self) -> "PartitionDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,402 @@
+"""Per-host tenant state and the transport-free service core.
+
+:class:`HostSession` is the daemon's brain for one host: a scalar
+:class:`~repro.runtime.monitor.AppMonitor` per registered application
+(warm-up, rolling windows, phase-change heuristics — the same state
+machine the runtime engine drives), fed by streamed ``monitor_samples``
+and deciding through the PR 5 incremental decision layer:
+
+* **lfoc** — a classification version vector over the live apps guards a
+  fingerprint-keyed :class:`~repro.core.lfoc.LfocDecisionCache`, so an
+  unchanged classification answers without re-running Algorithm 1 and a
+  *recurring* classification answers from the cache in O(changed apps);
+* **dunn** — rolling stall-fraction windows per app feeding
+  :meth:`~repro.policies.dunn.DunnPolicy.allocation_for_values` behind an
+  LRU keyed on the exact stall vector bytes.
+
+Sessions are **lockstep and idempotent**: every sequenced frame gets
+exactly one ``mask_update`` reply; a duplicated frame (``seq <=
+last_seq``) is answered with the cached reply and touches nothing; a gap
+is a protocol error.  A new *boot* token in the hello means the host
+restarted (agent kill + respawn, or reconnection with full state
+re-registration): live monitors are parked, the epoch is bumped and
+sequence numbers restart — but parked monitors keep their classification,
+so a re-arriving application goes through
+:meth:`~repro.runtime.monitor.AppMonitor.reset_for_restart` (warm-up and
+windows restart, the sweep outcome survives) instead of a cold start.
+
+:class:`ServiceCore` aggregates the sessions of all connected hosts plus
+the shared :class:`~repro.service.replay.ReplayLog`.  The daemon is a
+socket shell around it; the offline replay oracle calls it directly —
+which is what makes the live-vs-offline determinism pin meaningful.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.caching import LruDict
+from repro.core.classification import AppClass
+from repro.core.lfoc import DEFAULT_PARAMS, LfocDecisionCache, LfocParams
+from repro.errors import SimulationError
+from repro.hardware.platform import PlatformSpec
+from repro.hardware.pmc import DerivedMetrics
+from repro.metrics.aggregate import short_mean
+from repro.policies.dunn import DunnPolicy
+from repro.runtime.monitor import AppMonitor, MonitorConfig
+from repro.service import protocol
+from repro.service.protocol import ServiceProtocolError
+from repro.service.replay import ReplayLog
+
+__all__ = ["HostSession", "ServiceCore"]
+
+POLICIES = ("lfoc", "dunn")
+
+
+def _metrics(llcmpkc: float, stall_fraction: float) -> DerivedMetrics:
+    """Monitor-facing metrics from a streamed sample (the monitors only read
+    ``llcmpkc`` and ``stall_fraction``; the other fields never left the
+    host, so they travel as zeros)."""
+    return DerivedMetrics(
+        ipc=0.0,
+        llcmpkc=float(llcmpkc),
+        llcmpki=0.0,
+        stall_fraction=float(stall_fraction),
+        instructions=0.0,
+        cycles=0.0,
+    )
+
+
+class HostSession:
+    """Daemon-side state for one connected host."""
+
+    def __init__(
+        self,
+        host: str,
+        *,
+        policy: str = "lfoc",
+        platform: Optional[PlatformSpec] = None,
+        params: LfocParams = DEFAULT_PARAMS,
+        monitor_config: Optional[MonitorConfig] = None,
+        history_window: int = 5,
+        replay: Optional[ReplayLog] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise SimulationError(
+                f"unknown service policy {policy!r}; known: {', '.join(POLICIES)}"
+            )
+        self.host = host
+        self.policy = policy
+        self.platform = platform or PlatformSpec()
+        self.monitor_config = monitor_config or MonitorConfig()
+        self.replay = replay if replay is not None else ReplayLog()
+        # -- tenant state --
+        self.live: List[str] = []  # arrival order (decision input order)
+        self.monitors: Dict[str, AppMonitor] = {}
+        self.parked: Dict[str, AppMonitor] = {}
+        # -- session identity / idempotence --
+        self.boot: Optional[int] = None
+        self.epoch = 0
+        self.last_seq = 0
+        self._last_reply: Optional[Tuple[str, Dict[str, Any]]] = None
+        self.completed = False
+        self.duplicates_dropped = 0
+        # -- decision layer (lfoc) --
+        self._decision_cache = LfocDecisionCache(params=params)
+        self._last_versions: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._last_allocation_masks: Optional[Dict[str, int]] = None
+        self._last_pushed: Optional[Dict[str, int]] = None
+        self.decision_fast_hits = 0
+        self.decisions_computed = 0
+        # -- decision layer (dunn) --
+        self.history_window = history_window
+        self._dunn = DunnPolicy(backend="incremental")
+        self._stalls: Dict[str, Deque[float]] = {}
+        self._dunn_cache = LruDict(4096)
+
+    # -- handshake ------------------------------------------------------------------
+
+    def hello(self, boot: int) -> Tuple[int, int]:
+        """Register a (re)connection; returns ``(epoch, last_seq)``.
+
+        A changed boot token is a host restart: every live monitor is
+        parked (classification kept for the re-arrival path) and the
+        sequence numbering restarts.  The epoch bumps either way, so
+        replies from a previous connection are recognisably stale.
+        """
+        self.epoch += 1
+        if self.boot != boot:
+            self.boot = boot
+            for app in self.live:
+                self.parked[app] = self.monitors.pop(app)
+            self.live = []
+            self.last_seq = 0
+            self._last_reply = None
+            # The rebooted host starts from stock (full-mask) CAT state, so
+            # the next decision must be pushed even if it matches what the
+            # previous incarnation last saw.
+            self._last_pushed = None
+            self._last_versions = None
+            self._last_allocation_masks = None
+            self.completed = False
+        return self.epoch, self.last_seq
+
+    # -- sequenced frames -------------------------------------------------------------
+
+    def handle(self, kind: str, payload: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        """Process one *validated* sequenced frame; returns the reply frame.
+
+        Duplicates are answered idempotently with the cached reply; a gap
+        in the sequence raises :class:`ServiceProtocolError` (the daemon
+        drops the link and the agent re-registers).
+        """
+        if self.epoch == 0:
+            raise ServiceProtocolError(
+                f"host {self.host!r} sent {kind} before host_hello"
+            )
+        seq = payload["seq"]
+        if seq <= self.last_seq:
+            self.duplicates_dropped += 1
+            if self._last_reply is None:
+                # Post-reboot stale frame from a previous incarnation.
+                return protocol.mask_update(self.epoch, self.last_seq)
+            return self._last_reply
+        if seq != self.last_seq + 1:
+            raise ServiceProtocolError(
+                f"host {self.host!r} jumped from seq {self.last_seq} to {seq}"
+            )
+        requests: List[str] = []
+        if kind == "app_arrive":
+            self._arrive(payload["app"])
+        elif kind == "app_depart":
+            self._depart(payload["app"])
+        elif kind == "monitor_samples":
+            requests = self._ingest(payload["samples"], payload["classify"])
+        elif kind == "host_bye":
+            self.completed = True
+        else:  # pragma: no cover - check_frame only admits the kinds above
+            raise ServiceProtocolError(f"unexpected sequenced kind {kind!r}")
+        masks: Optional[Dict[str, int]] = None
+        decision_index: Optional[int] = None
+        if kind != "host_bye":
+            pushed = self._decide(seq)
+            if pushed is not None:
+                masks, decision_index = pushed
+        self.last_seq = seq
+        reply = protocol.mask_update(
+            self.epoch, seq, masks=masks, sample=requests, decision=decision_index
+        )
+        self._last_reply = reply
+        return reply
+
+    # -- tenant churn -----------------------------------------------------------------
+
+    def _arrive(self, app: str) -> None:
+        if app in self.monitors:
+            return  # duplicate arrival within one boot; idempotent
+        monitor = self.parked.pop(app, None)
+        if monitor is not None:
+            # Session churn: the application restarted on this host.  The
+            # sweep outcome (class, slowdown table, critical size) is still
+            # valid; the short-term state is not.
+            monitor.reset_for_restart()
+        else:
+            monitor = AppMonitor(app, self.monitor_config)
+        self.monitors[app] = monitor
+        self.live.append(app)
+        self._stalls[app] = deque(maxlen=self.history_window)
+
+    def _depart(self, app: str) -> None:
+        if app not in self.monitors:
+            return  # departing an unknown app is a no-op, not a crash
+        self.parked[app] = self.monitors.pop(app)
+        self.live.remove(app)
+        self._stalls.pop(app, None)
+
+    # -- samples ----------------------------------------------------------------------
+
+    def _ingest(
+        self,
+        samples: List[Mapping[str, Any]],
+        classify: List[Mapping[str, Any]],
+    ) -> List[str]:
+        """Install sweep outcomes, feed the monitors, collect new sweep requests."""
+        for entry in classify:
+            monitor = self.monitors.get(entry["app"]) or self.parked.get(entry["app"])
+            if monitor is None:
+                continue  # classified app departed and never came back
+            monitor.set_classification(
+                AppClass(entry["class"]),
+                slowdown_table=entry["slowdown_table"],
+                critical_size=entry["critical_size"],
+            )
+        requests: List[str] = []
+        for entry in samples:
+            app = entry["app"]
+            monitor = self.monitors.get(app)
+            if monitor is None:
+                continue  # sample for an app that departed in this batch
+            wants = monitor.observe(
+                _metrics(entry["llcmpkc"], entry["stall_fraction"]),
+                float(entry["effective_ways"]),
+            )
+            self._stalls[app].append(float(entry["stall_fraction"]))
+            if wants and not monitor.in_sampling_mode:
+                monitor.begin_sampling()
+                requests.append(app)
+        return requests
+
+    # -- the decision layer -------------------------------------------------------------
+
+    def _decide(self, seq: int) -> Optional[Tuple[Dict[str, int], int]]:
+        """Re-decide for the current tenants; returns pushed masks (if changed)."""
+        masks = self._decide_masks()
+        if masks is None or masks == self._last_pushed:
+            return None
+        self._last_pushed = masks
+        decision = self.replay.append(self.host, self.epoch, seq, masks)
+        return dict(masks), decision.index
+
+    def _decide_masks(self) -> Optional[Dict[str, int]]:
+        if not self.live:
+            return None
+        if self.policy == "dunn":
+            return self._decide_dunn()
+        # Algorithm 1's inputs change only when a sweep outcome lands or the
+        # tenant set changes; both are visible in the version vector.
+        versions = tuple(
+            (app, self.monitors[app].classification_version) for app in self.live
+        )
+        if versions == self._last_versions and self._last_allocation_masks is not None:
+            self.decision_fast_hits += 1
+            return self._last_allocation_masks
+        streaming: List[str] = []
+        sensitive: List[str] = []
+        light: List[str] = []
+        tables: Dict[str, List[float]] = {}
+        for app in self.live:
+            monitor = self.monitors[app]
+            if monitor.app_class is AppClass.STREAMING:
+                streaming.append(app)
+            elif monitor.app_class is AppClass.SENSITIVE and monitor.slowdown_table:
+                sensitive.append(app)
+                tables[app] = monitor.slowdown_table
+            else:
+                light.append(app)
+        allocation = self._decision_cache.allocation_for(
+            streaming, sensitive, light, self.platform.llc_ways, tables
+        )
+        self._last_versions = versions
+        self._last_allocation_masks = dict(allocation.masks)
+        self.decisions_computed += 1
+        return self._last_allocation_masks
+
+    def _decide_dunn(self) -> Optional[Dict[str, int]]:
+        if any(not self._stalls[app] for app in self.live):
+            return None  # not every tenant has been sampled yet
+        apps = list(self.live)
+        values = np.array(
+            [short_mean(self._stalls[app]) for app in apps], dtype=float
+        )
+        key = (tuple(apps), values.tobytes())
+        masks = self._dunn_cache.get(key)
+        if masks is None:
+            allocation = self._dunn.allocation_for_values(apps, values, self.platform)
+            masks = dict(allocation.masks)
+            self._dunn_cache.put(key, masks)
+            self.decisions_computed += 1
+        else:
+            self.decision_fast_hits += 1
+        return masks
+
+    # -- observability ----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "epoch": self.epoch,
+            "last_seq": self.last_seq,
+            "live": list(self.live),
+            "parked": sorted(self.parked),
+            "completed": self.completed,
+            "decisions_computed": self.decisions_computed,
+            "decision_fast_hits": self.decision_fast_hits,
+            "duplicates_dropped": self.duplicates_dropped,
+        }
+
+
+class ServiceCore:
+    """Transport-free multi-tenant control plane: all host sessions + the log."""
+
+    def __init__(
+        self,
+        *,
+        policy: str = "lfoc",
+        n_ways: Optional[int] = None,
+        params: LfocParams = DEFAULT_PARAMS,
+        monitor_config: Optional[MonitorConfig] = None,
+        replay: Optional[ReplayLog] = None,
+    ) -> None:
+        platform = PlatformSpec()
+        if n_ways is not None:
+            platform = platform.with_ways(n_ways)
+        self.platform = platform
+        self.policy = policy
+        self.params = params
+        self.monitor_config = monitor_config
+        self.replay = replay if replay is not None else ReplayLog()
+        self.sessions: Dict[str, HostSession] = {}
+        #: Hosts that have *ever* completed an orderly ``host_bye``.  Unlike
+        #: ``HostSession.completed`` this survives a later reconnection (a
+        #: supervisor may respawn an already-finished agent), so run loops
+        #: waiting for N hosts to finish terminate exactly once.
+        self.ever_completed: set = set()
+
+    def handle_hello(self, payload: Mapping[str, Any]) -> Tuple[str, Dict[str, Any]]:
+        """Version-checked handshake; returns the ``hello_ack`` frame."""
+        protocol.check_protocol(payload, f"host_hello from {payload.get('host')!r}")
+        host = payload["host"]
+        session = self.sessions.get(host)
+        if session is None:
+            session = HostSession(
+                host,
+                policy=self.policy,
+                platform=self.platform,
+                params=self.params,
+                monitor_config=self.monitor_config,
+                replay=self.replay,
+            )
+            self.sessions[host] = session
+        epoch, last_seq = session.hello(payload["boot"])
+        return protocol.hello_ack(epoch, last_seq)
+
+    def handle(
+        self, host: str, kind: str, payload: Mapping[str, Any]
+    ) -> Tuple[str, Dict[str, Any]]:
+        session = self.sessions.get(host)
+        if session is None:
+            raise ServiceProtocolError(
+                f"sequenced frame {kind!r} from unregistered host {host!r}"
+            )
+        reply = session.handle(kind, payload)
+        if session.completed:
+            self.ever_completed.add(host)
+        return reply
+
+    def completed_hosts(self) -> List[str]:
+        return sorted(
+            host for host, session in self.sessions.items() if session.completed
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "hosts": len(self.sessions),
+            "completed": self.completed_hosts(),
+            "decisions": len(self.replay),
+            "sessions": {
+                host: session.summary() for host, session in sorted(self.sessions.items())
+            },
+        }

@@ -1,0 +1,171 @@
+"""Profile-backed simulated host for the partitioning service.
+
+The live deployment target of the service is a machine with CAT hardware
+and perf counters; neither exists here, so the agent drives a
+:class:`SimulatedHost` instead: a software CAT controller
+(:class:`~repro.hardware.cat.CatController`) plus the offline profiles of
+one catalogue workload.  Samples are read at whatever way count the
+currently programmed masks give each application, with a small
+deterministic jitter so the stream looks like measurements rather than a
+constant — making the whole control loop (monitors, sampling-mode
+requests, Algorithm 1, mask pushes) testable end to end with no hardware
+and no randomness that could break replay.
+
+Determinism is load-bearing: every quantity is a pure function of the
+host seed, so two runs over the same trace — live over sockets and
+offline in-process — produce bit-identical samples and therefore
+bit-identical decision logs.  That is the service's determinism pin.
+Jitter is derived per ``(app, tick)`` by hashing, not by drawing from a
+shared RNG, so it is independent of sampling order and of how often a
+connection was dropped and replayed.
+
+:func:`churn_schedule` scripts tenant churn (an application departing
+mid-run and re-arriving later) from the same seed, exercising the
+monitor park/restart path on the daemon side.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.classification import (
+    AppClass,
+    ClassificationThresholds,
+    classify_profile,
+)
+from repro.errors import SimulationError
+from repro.hardware.cat import CatController
+from repro.hardware.platform import PlatformSpec
+from repro.workloads.generator import Workload
+from repro.workloads.suites import workload_by_name
+
+__all__ = ["SimulatedHost", "churn_schedule", "host_seed"]
+
+
+def host_seed(seed: int, host_id: str) -> int:
+    """Per-host seed derived from the run seed and the host's stable id.
+
+    Pure and stable across processes (crc32, not ``hash()``), so the agent
+    subprocess and the offline replay oracle derive the same stream.
+    """
+    return (int(seed) * 0x9E3779B1 + zlib.crc32(host_id.encode("utf-8"))) & 0xFFFFFFFF
+
+
+def _unit(seed: int, app: str, tick: int, channel: str) -> float:
+    """Deterministic uniform in [0, 1) as a pure function of its arguments."""
+    token = f"{seed}:{app}:{tick}:{channel}".encode("utf-8")
+    return zlib.crc32(token) / 4294967296.0
+
+
+def churn_schedule(
+    apps: List[str], batches: int, seed: int
+) -> List[Tuple[int, str, str]]:
+    """Scripted tenant churn: ``(batch_index, "depart"|"arrive", app)`` events.
+
+    One seeded application departs a third of the way through the trace and
+    re-arrives two thirds in — long enough apart that its monitor is parked
+    across real decisions, which is the restart path the service must get
+    right.  Traces too short (or single-tenant hosts) get no churn.
+    """
+    if batches < 6 or len(apps) < 2:
+        return []
+    victim = apps[zlib.crc32(f"churn:{seed}".encode("utf-8")) % len(apps)]
+    depart_at = batches // 3
+    arrive_at = (2 * batches) // 3
+    return [(depart_at, "depart", victim), (arrive_at, "arrive", victim)]
+
+
+class SimulatedHost:
+    """One multi-tenant host: offline profiles behind a software CAT model."""
+
+    def __init__(
+        self,
+        workload: Union[str, Workload],
+        *,
+        seed: int = 0,
+        n_ways: Optional[int] = None,
+        platform: Optional[PlatformSpec] = None,
+        jitter: float = 0.02,
+        thresholds: Optional[ClassificationThresholds] = None,
+    ) -> None:
+        if isinstance(workload, str):
+            workload = workload_by_name(workload)
+        self.workload = workload
+        platform = platform or PlatformSpec()
+        if n_ways is not None:
+            platform = platform.with_ways(n_ways)
+        self.platform = platform
+        self.seed = int(seed)
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        self.jitter = float(jitter)
+        self.thresholds = thresholds or ClassificationThresholds()
+        self.profiles = workload.profiles(platform.llc_ways)
+        #: Instance names in workload order; the agent registers these.
+        self.apps: List[str] = list(self.profiles)
+        self.cat = CatController(platform)
+        self.masks_applied = 0
+
+    # -- measurement ------------------------------------------------------------------
+
+    def effective_ways(self, app: str) -> int:
+        return self.cat.effective_ways(app)
+
+    def sample(self, app: str, tick: int) -> Dict[str, Any]:
+        """One monitoring-interval sample for ``app`` under the current masks."""
+        profile = self.profiles.get(app)
+        if profile is None:
+            raise SimulationError(
+                f"host has no application {app!r}; known: {', '.join(self.apps)}"
+            )
+        ways = self.cat.effective_ways(app)
+        wiggle = lambda channel: 1.0 + self.jitter * (
+            2.0 * _unit(self.seed, app, tick, channel) - 1.0
+        )
+        llcmpkc = max(0.0, profile.llcmpkc_at(ways) * wiggle("mpkc"))
+        stall = profile.stall_fraction_at(ways, self.platform) * wiggle("stall")
+        return {
+            "app": app,
+            "llcmpkc": llcmpkc,
+            "stall_fraction": min(0.95, max(0.0, stall)),
+            "effective_ways": ways,
+        }
+
+    # -- classification sweeps ----------------------------------------------------------
+
+    def classify(self, app: str) -> Dict[str, Any]:
+        """Outcome of a sampling-mode sweep, straight from the offline profile.
+
+        A real host would walk the application through shrinking masks and
+        measure; the profile *is* those measurements, so the sweep collapses
+        to a pure function — which keeps live and offline replays identical.
+        Only sensitive applications ship a slowdown table and critical size,
+        mirroring what LFOC's sampling mode retains (Section 4.2).
+        """
+        profile = self.profiles.get(app)
+        if profile is None:
+            raise SimulationError(f"cannot classify unknown application {app!r}")
+        app_class = classify_profile(profile, self.thresholds)
+        table: Optional[List[float]] = None
+        critical: Optional[int] = None
+        if app_class is AppClass.SENSITIVE:
+            table = [float(x) for x in profile.slowdown_table()]
+            critical = self.platform.llc_ways
+            for w, slowdown in enumerate(table, start=1):
+                if slowdown <= self.thresholds.critical_slowdown:
+                    critical = w
+                    break
+        return {
+            "app": app,
+            "class": app_class.value,
+            "slowdown_table": table,
+            "critical_size": critical,
+        }
+
+    # -- actuation ---------------------------------------------------------------------
+
+    def apply_masks(self, masks: Mapping[str, int]) -> None:
+        """Program a pushed allocation; unlisted tasks fall back to CLOS 0."""
+        self.cat.apply_allocation(dict(masks))
+        self.masks_applied += 1
