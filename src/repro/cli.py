@@ -425,6 +425,130 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress the summary line"
     )
 
+    tournament = sub.add_parser(
+        "tournament",
+        help="policy tournaments: seeded scenario grids, paired statistical "
+        "verdicts, CI regression gates",
+    )
+    tsub = tournament.add_subparsers(dest="tournament_command", required=True)
+
+    trun = tsub.add_parser(
+        "run", help="run a tournament from a .toml/.json spec and judge it"
+    )
+    trun.add_argument("spec", help="path to the tournament spec (.toml or .json)")
+    trun.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the spec's worker-process count (0 = all available CPUs)",
+    )
+    trun.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help="execution backend (registered executors: "
+        f"{', '.join(EXECUTORS.names())}); overrides the spec and --jobs; "
+        "finer executor knobs live in the spec's [executor] table",
+    )
+    trun.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executor worker count (pool size, or tcp/supervised workers)",
+    )
+    trun.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help="tcp/supervised coordinator listen address",
+    )
+    trun.add_argument(
+        "--fault-tolerance",
+        default=None,
+        metavar="JSON",
+        help="retry/quarantine policy as JSON (or \"true\"/\"false\"); "
+        "quarantined runs drop their paired units from the statistics",
+    )
+    trun.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="durably append each completed scenario replica to this JSONL "
+        "file (crash-safe)",
+    )
+    trun.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenario replicas already completed in --checkpoint",
+    )
+    trun.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="save the full verdict (standings, head-to-head, rows) as JSONL",
+    )
+    trun.add_argument(
+        "--markdown",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered leaderboard as Markdown",
+    )
+
+    treport = tsub.add_parser(
+        "report", help="re-render a saved tournament verdict"
+    )
+    treport.add_argument("result", help="verdict JSONL from `tournament run --out`")
+    treport.add_argument(
+        "--markdown", default=None, metavar="FILE", help="write the Markdown render"
+    )
+    treport.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable report (standings + head-to-head)",
+    )
+
+    tgate = tsub.add_parser(
+        "gate",
+        help="check a verdict against a committed baseline; exit 1 on "
+        "regression beyond the bootstrap noise band",
+    )
+    tgate.add_argument("result", help="verdict JSONL from `tournament run --out`")
+    tgate.add_argument(
+        "--baseline",
+        required=True,
+        metavar="FILE",
+        help="baseline JSON file (commit it next to the spec)",
+    )
+    tgate.add_argument(
+        "--update",
+        action="store_true",
+        help="bless this verdict: (re)write the baseline instead of checking",
+    )
+    tgate.add_argument(
+        "--margin",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="extra absolute slack beyond the CI non-overlap test",
+    )
+    tgate.add_argument(
+        "--nerf",
+        default=None,
+        metavar="POLICY",
+        help="drill knob: degrade POLICY's rows by --nerf-factor before "
+        "judging, to prove the gate trips (CI uses this)",
+    )
+    tgate.add_argument(
+        "--nerf-factor",
+        type=float,
+        default=1.25,
+        metavar="F",
+        help="degradation factor for --nerf (unfairness x F, STP / F)",
+    )
+
     sweep = sub.add_parser(
         "sweep", help="run a policy x workload x ways x seeds parameter sweep"
     )
@@ -484,6 +608,27 @@ def _format_cell(value: Any) -> str:
     return str(value)
 
 
+def _print_degraded(failures: Sequence[Any]) -> None:
+    """Surface quarantined runs loudly: a degraded study must not look clean.
+
+    The per-scenario quarantine lines scroll away on long studies; this
+    summary sits right next to the aggregate table so missing rows are
+    impossible to miss before anyone trusts the means.
+    """
+    if not failures:
+        return
+    preview = ", ".join(
+        f"{f.get('label')} ({f.get('scenario_id')})" for f in failures[:3]
+    )
+    if len(failures) > 3:
+        preview += f", ... {len(failures) - 3} more"
+    print(
+        f"\n! DEGRADED STUDY: {len(failures)} run(s) quarantined after "
+        f"exhausting retries — {preview}. Their rows are missing from every "
+        "aggregate above."
+    )
+
+
 def _print_study(result: StudyResult) -> None:
     """Render every scenario's rows plus the cross-seed policy aggregate."""
     for scenario in result.scenarios:
@@ -513,6 +658,7 @@ def _print_study(result: StudyResult) -> None:
             ],
         )
     )
+    _print_degraded(result.failures())
 
 
 def _report_study(result: StudyResult, out: Optional[str]) -> int:
@@ -673,6 +819,130 @@ def _agent_command(args: argparse.Namespace) -> int:
     )
 
 
+def _tournament_run_command(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.tournament import load_tournament_spec, run_tournament
+
+    spec = load_tournament_spec(args.spec)
+    executor = None
+    if args.executor is not None:
+        executor = ExecutorSpec(
+            name=args.executor, workers=args.workers, bind=args.bind
+        )
+    elif args.workers is not None or args.bind is not None:
+        raise SpecError(
+            "--workers/--bind configure the executor selected by --executor; "
+            "pass --executor as well (or set them in the spec's [executor] "
+            "table)"
+        )
+    if args.resume and args.checkpoint is None:
+        raise SpecError(
+            "--resume reads completed scenarios from --checkpoint; pass "
+            "--checkpoint FILE as well"
+        )
+    extra: dict = dict(
+        executor=executor, checkpoint=args.checkpoint, resume=args.resume
+    )
+    if args.fault_tolerance is not None:
+        import json
+
+        from repro.experiments.specs import FaultToleranceSpec
+
+        try:
+            data = json.loads(args.fault_tolerance)
+        except ValueError as exc:
+            raise SpecError(
+                f"--fault-tolerance is not valid JSON: {exc}"
+            ) from exc
+        extra["fault_tolerance"] = FaultToleranceSpec.coerce(
+            data, where="--fault-tolerance"
+        )
+    if args.jobs is not None:
+        extra["jobs"] = args.jobs or None
+    result = run_tournament(spec, **extra)
+    markdown = result.render_markdown()
+    print(markdown, end="")
+    _print_degraded(result.failures)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"\nwrote leaderboard to {args.markdown}")
+    if args.out:
+        result.save(args.out)
+        print(
+            f"\nsaved verdict ({len(result.standings)} standings, "
+            f"{len(result.rows)} rows) to {args.out}"
+        )
+    return 0
+
+
+def _tournament_report_command(args: argparse.Namespace) -> int:
+    from repro.tournament import TournamentResult
+
+    result = TournamentResult.load(args.result)
+    markdown = result.render_markdown()
+    print(markdown, end="")
+    _print_degraded(result.failures)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"\nwrote leaderboard to {args.markdown}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_report_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote machine-readable report to {args.json}")
+    return 0
+
+
+def _tournament_gate_command(args: argparse.Namespace) -> int:
+    from repro.tournament import (
+        TournamentResult,
+        check_regression,
+        load_baseline,
+        nerf_rows,
+        rejudge,
+        write_baseline,
+    )
+
+    result = TournamentResult.load(args.result)
+    if args.nerf is not None:
+        result = rejudge(result, nerf_rows(result.rows, args.nerf, args.nerf_factor))
+        print(
+            f"(drill) nerfed {args.nerf!r} by x{args.nerf_factor:g} before judging"
+        )
+    if args.update:
+        write_baseline(result, args.baseline)
+        print(
+            f"blessed tournament {result.name!r} "
+            f"({len(result.standings)} policies, {result.n_complete_units} "
+            f"paired units) as baseline {args.baseline}"
+        )
+        return 0
+    baseline = load_baseline(args.baseline)
+    violations = check_regression(result, baseline, margin=args.margin)
+    if not violations:
+        print(
+            f"gate OK: {len(result.standings)} policies within the noise "
+            f"band of baseline {args.baseline}"
+        )
+        return 0
+    print(f"gate FAILED: {len(violations)} regression(s) vs {args.baseline}")
+    for violation in violations:
+        print(f"  - [{violation['policy']}/{violation['check']}] {violation['message']}")
+    return 1
+
+
+def _tournament_command(args: argparse.Namespace) -> int:
+    if args.tournament_command == "run":
+        return _tournament_run_command(args)
+    if args.tournament_command == "report":
+        return _tournament_report_command(args)
+    return _tournament_gate_command(args)
+
+
 def _sweep_command(args: argparse.Namespace) -> int:
     engine = EngineSpec(
         instructions_per_run=args.instructions,
@@ -784,6 +1054,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _agent_command(args)
     elif args.command == "sweep":
         return _sweep_command(args)
+    elif args.command == "tournament":
+        return _tournament_command(args)
     else:  # pragma: no cover - argparse enforces the choices
         return 1
     return 0

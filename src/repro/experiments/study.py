@@ -185,6 +185,12 @@ class StudyResult:
         scalars for a single ``by`` field, tuples otherwise; insertion order
         follows first appearance.  Rows missing a ``by`` field raise, rows
         missing a metric are skipped for that metric.
+
+        Each present metric contributes three keys per group:
+        ``mean_<metric>``, ``std_<metric>`` (population standard deviation,
+        0.0 for a single sample) and ``n_<metric>`` (sample count, as a
+        float so the mapping stays uniformly typed).  Metrics with no
+        samples in a group are omitted entirely.
         """
         by = tuple(by)
         grouped: Dict[Any, Dict[str, List[float]]] = {}
@@ -197,14 +203,17 @@ class StudyResult:
             for metric in metrics:
                 if metric in row:
                     bucket[metric].append(float(row[metric]))
-        return {
-            key: {
-                f"mean_{metric}": float(np.mean(values))
-                for metric, values in buckets.items()
-                if values
-            }
-            for key, buckets in grouped.items()
-        }
+        aggregated: Dict[Any, Dict[str, float]] = {}
+        for key, buckets in grouped.items():
+            stats: Dict[str, float] = {}
+            for metric, values in buckets.items():
+                if not values:
+                    continue
+                stats[f"mean_{metric}"] = float(np.mean(values))
+                stats[f"std_{metric}"] = float(np.std(values))
+                stats[f"n_{metric}"] = float(len(values))
+            aggregated[key] = stats
+        return aggregated
 
     # -- persistence ------------------------------------------------------------
 

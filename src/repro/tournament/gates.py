@@ -1,0 +1,242 @@
+"""CI regression gates: pin a tournament verdict and fail loudly on drift.
+
+A *baseline* is a small committed JSON file holding, per policy, the
+bootstrap noise band of the two headline aggregates (normalised unfairness
+and STP) from a blessed tournament run.  :func:`check_regression` compares a
+fresh :class:`~repro.tournament.leaderboard.TournamentResult` against it and
+reports a violation when a policy's aggregate degrades *beyond the noise*:
+the new confidence interval must clear the baseline interval entirely in
+the bad direction (plus an optional absolute ``margin``) before the gate
+trips, so ordinary bootstrap jitter never turns CI red while a genuine
+policy regression cannot hide inside it.
+
+Also here: :func:`nerf_rows`, the deliberate-degradation knob the CI smoke
+uses to prove the gate actually fires — it perturbs one policy's metric
+rows by a factor, after which the verdict is re-judged and must violate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import SpecError
+from repro.tournament.leaderboard import TournamentResult, build_result
+
+__all__ = [
+    "BASELINE_RECORD",
+    "baseline_from_result",
+    "write_baseline",
+    "load_baseline",
+    "check_regression",
+    "nerf_rows",
+    "rejudge",
+]
+
+#: The ``record`` tag of a baseline file.
+BASELINE_RECORD = "tournament_baseline"
+
+#: Baseline fields pinned per policy.
+_POLICY_FIELDS = (
+    "n",
+    "mean_unfairness",
+    "unfairness_lo",
+    "unfairness_hi",
+    "mean_stp",
+    "stp_lo",
+    "stp_hi",
+)
+
+
+def baseline_from_result(result: TournamentResult) -> Dict[str, Any]:
+    """The JSON-ready baseline record of a blessed tournament verdict."""
+    return {
+        "record": BASELINE_RECORD,
+        "name": result.name,
+        "kind": result.kind,
+        "reference": result.reference,
+        "confidence": result.stats.confidence,
+        "resamples": result.stats.resamples,
+        "stat_seed": result.stats.seed,
+        "n_complete_units": result.n_complete_units,
+        "policies": {
+            standing.policy: {
+                field: getattr(standing, field) for field in _POLICY_FIELDS
+            }
+            for standing in result.standings
+        },
+    }
+
+
+def write_baseline(result: TournamentResult, path) -> None:
+    """Bless ``result`` as the committed baseline at ``path`` (JSON)."""
+    Path(path).write_text(
+        json.dumps(baseline_from_result(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path) -> Dict[str, Any]:
+    """Read and schema-check a baseline file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SpecError(f"cannot read tournament baseline {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"tournament baseline {path} is not valid JSON: {exc}")
+    if not isinstance(data, Mapping) or data.get("record") != BASELINE_RECORD:
+        raise SpecError(
+            f"{path} is not a tournament baseline (expected a JSON object "
+            f"with record={BASELINE_RECORD!r})"
+        )
+    policies = data.get("policies")
+    if not isinstance(policies, Mapping) or not policies:
+        raise SpecError(f"tournament baseline {path} pins no policies")
+    for policy, entry in policies.items():
+        missing = [f for f in _POLICY_FIELDS if f not in entry]
+        if missing:
+            raise SpecError(
+                f"tournament baseline {path}: policy {policy!r} is missing "
+                f"{', '.join(repr(f) for f in missing)}"
+            )
+    return dict(data)
+
+
+def check_regression(
+    result: TournamentResult,
+    baseline: Mapping[str, Any],
+    *,
+    margin: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """Violations of ``result`` against a blessed ``baseline``.
+
+    Per policy pinned in the baseline, a violation is reported when:
+
+    * the policy has no rows in the new result (a silently dropped policy
+      must fail the gate, not pass it by absence); or
+    * its unfairness degraded beyond the noise band — the new CI's *lower*
+      edge sits above the baseline CI's upper edge plus ``margin`` (higher
+      unfairness is worse); or
+    * its STP degraded beyond the noise band — the new CI's *upper* edge
+      sits below the baseline CI's lower edge minus ``margin``.
+
+    Returns a list of structured violation records (empty = gate passes).
+    Improvements never violate; refresh the baseline deliberately with
+    ``tournament gate --update`` when a better verdict should become the
+    new pin.
+    """
+    if margin < 0:
+        raise SpecError(f"gate margin must be >= 0, got {margin}")
+    violations: List[Dict[str, Any]] = []
+    current = {standing.policy: standing for standing in result.standings}
+    for policy, pinned in baseline["policies"].items():
+        standing = current.get(policy)
+        if standing is None:
+            violations.append(
+                {
+                    "policy": policy,
+                    "check": "present",
+                    "message": f"policy {policy!r} is pinned in the baseline "
+                    "but produced no rows in this tournament",
+                }
+            )
+            continue
+        if standing.unfairness_lo > pinned["unfairness_hi"] + margin:
+            violations.append(
+                {
+                    "policy": policy,
+                    "check": "unfairness",
+                    "message": (
+                        f"normalised unfairness degraded beyond the noise "
+                        f"band: new mean {standing.mean_unfairness:.4f} "
+                        f"(CI low {standing.unfairness_lo:.4f}) vs baseline "
+                        f"mean {pinned['mean_unfairness']:.4f} "
+                        f"(CI high {pinned['unfairness_hi']:.4f}"
+                        + (f" + margin {margin:g}" if margin else "")
+                        + ")"
+                    ),
+                    "new_mean": standing.mean_unfairness,
+                    "new_lo": standing.unfairness_lo,
+                    "baseline_mean": pinned["mean_unfairness"],
+                    "baseline_hi": pinned["unfairness_hi"],
+                }
+            )
+        if standing.stp_hi < pinned["stp_lo"] - margin:
+            violations.append(
+                {
+                    "policy": policy,
+                    "check": "stp",
+                    "message": (
+                        f"normalised STP degraded beyond the noise band: "
+                        f"new mean {standing.mean_stp:.4f} "
+                        f"(CI high {standing.stp_hi:.4f}) vs baseline mean "
+                        f"{pinned['mean_stp']:.4f} "
+                        f"(CI low {pinned['stp_lo']:.4f}"
+                        + (f" - margin {margin:g}" if margin else "")
+                        + ")"
+                    ),
+                    "new_mean": standing.mean_stp,
+                    "new_hi": standing.stp_hi,
+                    "baseline_mean": pinned["mean_stp"],
+                    "baseline_lo": pinned["stp_lo"],
+                }
+            )
+    return violations
+
+
+def nerf_rows(
+    rows: Sequence[Mapping[str, Any]], policy: str, factor: float
+) -> List[Dict[str, Any]]:
+    """Deterministically degrade one policy's rows by ``factor`` (> 1).
+
+    Unfairness is multiplied and STP divided (both raw and normalised
+    fields), which is exactly what a genuine policy regression looks like
+    at the metric layer.  This is a *drill* knob: the CI smoke nerfs a
+    policy, re-judges the verdict and asserts the gate trips — proving the
+    gate watches something real.
+    """
+    if factor <= 1.0:
+        raise SpecError(f"nerf factor must be > 1, got {factor}")
+    matched = 0
+    nerfed: List[Dict[str, Any]] = []
+    for row in rows:
+        row = dict(row)
+        if row.get("policy") == policy:
+            matched += 1
+            for field in ("unfairness", "normalized_unfairness"):
+                if field in row:
+                    row[field] = float(row[field]) * factor
+            for field in ("stp", "normalized_stp"):
+                if field in row:
+                    row[field] = float(row[field]) / factor
+        nerfed.append(row)
+    if not matched:
+        raise SpecError(
+            f"nerf target {policy!r} has no rows in this tournament "
+            f"(have: {', '.join(sorted({r.get('policy') for r in rows}))})"
+        )
+    return nerfed
+
+
+def rejudge(
+    result: TournamentResult,
+    rows: Optional[Sequence[Mapping[str, Any]]] = None,
+) -> TournamentResult:
+    """Re-run the verdict of a loaded result, optionally on replaced rows.
+
+    Uses the stats/reference/kind recorded in the result header, so a
+    ``gate --nerf`` drill judges perturbed rows under exactly the original
+    tournament's statistical configuration.
+    """
+    return build_result(
+        result.name,
+        result.rows if rows is None else rows,
+        result.failures,
+        stats=result.stats,
+        reference=result.reference or None,
+        kind=result.kind,
+        spec=result.spec,
+        description=result.description,
+    )

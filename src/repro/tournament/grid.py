@@ -1,0 +1,532 @@
+"""Tournament specifications and deterministic scenario-grid generation.
+
+A tournament is *data*, exactly like a study: a :class:`TournamentSpec`
+declares the policy line-up, the workload suites (random-mix axes), the
+platform shapes, how many paired seeds to replicate, and the statistical
+knobs (:class:`StatsSpec`).  It round-trips through dictionaries and
+therefore JSON/TOML (:func:`load_tournament_spec` /
+:func:`dump_tournament_spec`), with the same schema-validation contract as
+:class:`~repro.experiments.specs.StudySpec`.
+
+:meth:`TournamentSpec.to_study_spec` lowers the tournament onto the existing
+declarative study layer: one :class:`~repro.experiments.specs.ScenarioSpec`
+per (suite x platform) cell, replicated across ``seeds`` paired seeds.  The
+pairing guarantee is structural — within a scenario replica every policy is
+evaluated on the *same* resolved workloads (one workload draw per
+``(suite, platform, seed)`` cell), so every policy sees byte-identical
+scenarios and the per-scenario deltas in :mod:`repro.tournament.stats` are
+true paired observations.  The grid is a pure function of the spec: same
+spec => same scenario IDs, same workload draws, on every executor backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SpecError
+from repro.experiments.io import toml_dumps
+from repro.experiments.specs import (
+    EngineSpec,
+    ExecutorSpec,
+    FaultToleranceSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SolverSpec,
+    StudySpec,
+    WorkloadSpec,
+    resolve_platform,
+)
+# Shared schema-validation helpers of the spec layer (same error contract).
+from repro.experiments.specs import (
+    _as_bool,
+    _as_float,
+    _as_int,
+    _check_keys,
+    _opt_int,
+    _opt_str,
+    _require,
+)
+
+__all__ = [
+    "TOURNAMENT_SCHEMA_VERSION",
+    "SuiteSpec",
+    "StatsSpec",
+    "TournamentSpec",
+    "load_tournament_spec",
+    "dump_tournament_spec",
+]
+
+#: Version stamp written into every serialized tournament spec.
+TOURNAMENT_SCHEMA_VERSION = 1
+
+#: Prime stride separating the base seeds of the workload draws within one
+#: scenario, so multi-workload suites never reuse a draw across slots.
+_DRAW_STRIDE = 9973
+
+
+# ---------------------------------------------------------------------------
+# SuiteSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """One workload axis of the grid: random mixes of a fixed size and kind.
+
+    ``count`` workloads are drawn per scenario replica (each from its own
+    seed stream); the scenario's paired seed offsets every draw, so seed
+    replicas see fresh — but policy-identical — mixes.  ``label`` names the
+    axis in scenario IDs and defaults to ``"<kind><size>"``.
+    """
+
+    size: int
+    kind: str = "S"
+    count: int = 1
+    seed: int = 0
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 2:
+            raise SpecError("tournament suites need a 'size' >= 2")
+        if self.kind not in ("S", "P"):
+            raise SpecError(
+                f"tournament suite kind must be 'S' or 'P', got {self.kind!r}"
+            )
+        if self.count < 1:
+            raise SpecError("tournament suite count must be >= 1")
+
+    @property
+    def axis_label(self) -> str:
+        return self.label or f"{self.kind}{self.size}"
+
+    def workload_specs(self) -> Tuple[WorkloadSpec, ...]:
+        """The per-scenario workload draws (before the paired-seed offset)."""
+        return tuple(
+            WorkloadSpec(
+                source="random",
+                size=self.size,
+                kind=self.kind,
+                seed=self.seed + slot * _DRAW_STRIDE,
+                name=f"{self.axis_label}w{slot}",
+            )
+            for slot in range(self.count)
+        )
+
+    _KEYS = ("size", "kind", "count", "seed", "label")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"size": self.size}
+        defaults = SuiteSpec(size=self.size)
+        for key in self._KEYS[1:]:
+            value = getattr(self, key)
+            if value is not None and value != getattr(defaults, key):
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SuiteSpec":
+        _check_keys(data, cls._KEYS, "SuiteSpec")
+        return cls(
+            size=_as_int(_require(data, "size", "SuiteSpec"), "SuiteSpec.size"),
+            kind=data.get("kind", "S"),
+            count=_as_int(data.get("count", 1), "SuiteSpec.count"),
+            seed=_as_int(data.get("seed", 0), "SuiteSpec.seed"),
+            label=_opt_str(data.get("label"), "SuiteSpec.label"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# StatsSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StatsSpec:
+    """Statistical knobs of the tournament verdict.
+
+    ``resamples``/``confidence`` parameterize every bootstrap interval;
+    ``seed`` roots the deterministic RNG streams (one derived stream per
+    statistic, see :func:`repro.tournament.stats.stat_seed`);
+    ``tie_epsilon`` is the paired-delta magnitude below which a scenario
+    counts as a tie.
+    """
+
+    resamples: int = 1000
+    confidence: float = 0.95
+    seed: int = 20190805
+    tie_epsilon: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.resamples < 1:
+            raise SpecError("stats resamples must be >= 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise SpecError("stats confidence must be in (0, 1)")
+        if self.tie_epsilon < 0:
+            raise SpecError("stats tie_epsilon must be >= 0")
+
+    _KEYS = ("resamples", "confidence", "seed", "tie_epsilon")
+
+    def to_dict(self) -> Dict[str, Any]:
+        defaults = StatsSpec()
+        return {
+            key: getattr(self, key)
+            for key in self._KEYS
+            if getattr(self, key) != getattr(defaults, key)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StatsSpec":
+        _check_keys(data, cls._KEYS, "StatsSpec")
+        defaults = cls()
+        return cls(
+            resamples=_as_int(
+                data.get("resamples", defaults.resamples), "StatsSpec.resamples"
+            ),
+            confidence=_as_float(
+                data.get("confidence", defaults.confidence), "StatsSpec.confidence"
+            ),
+            seed=_as_int(data.get("seed", defaults.seed), "StatsSpec.seed"),
+            tie_epsilon=_as_float(
+                data.get("tie_epsilon", defaults.tie_epsilon),
+                "StatsSpec.tie_epsilon",
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Platform axis normalisation
+# ---------------------------------------------------------------------------
+
+
+def _platform_entry(value: Any, index: int) -> Tuple[str, Any]:
+    """``(label, ScenarioSpec-compatible platform value)`` for one axis entry.
+
+    Accepts a preset name string or a mapping of
+    :class:`~repro.hardware.platform.PlatformSpec` field overrides (with an
+    optional ``preset`` base and an optional ``label``).  Every entry is
+    resolved eagerly so a typo fails at load time, not mid-tournament.
+    """
+    if isinstance(value, str):
+        resolve_platform(value)
+        return value, value
+    if isinstance(value, Mapping):
+        entry = dict(value)
+        label = entry.pop("label", None)
+        if label is not None and (not isinstance(label, str) or not label):
+            raise SpecError(
+                f"tournament platform label must be a non-empty string, got {label!r}"
+            )
+        resolve_platform(entry)
+        if label is None:
+            preset = entry.get("preset", "skylake_gold_6138")
+            overrides = sorted(k for k in entry if k != "preset")
+            label = preset if not overrides else (
+                preset + "-" + "-".join(f"{k}{entry[k]}" for k in overrides)
+            )
+        return label, entry
+    raise SpecError(
+        f"tournament platforms[{index}] must be a preset name or an override "
+        f"mapping, got {type(value).__name__}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# TournamentSpec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TournamentSpec:
+    """Everything a policy tournament needs, as serializable data."""
+
+    name: str
+    policies: Tuple[PolicySpec, ...]
+    suites: Tuple[SuiteSpec, ...]
+    kind: str = "static"
+    platforms: Tuple[Any, ...] = ("skylake_gold_6138",)
+    #: Paired seeds per (suite x platform) cell: seeds ``seed0 ..
+    #: seed0 + seeds - 1`` replicate every scenario.
+    seeds: int = 8
+    seed0: int = 0
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    solver: SolverSpec = field(default_factory=SolverSpec)
+    stats: StatsSpec = field(default_factory=StatsSpec)
+    #: Row label of the reference policy for win/loss records; ``None``
+    #: defaults to the first policy's label at verdict time.
+    reference: Optional[str] = None
+    description: str = ""
+    jobs: Optional[int] = 1
+    executor: Optional[ExecutorSpec] = None
+    fault_tolerance: Optional[FaultToleranceSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("tournaments need a non-empty 'name'")
+        if self.kind not in ("static", "dynamic"):
+            raise SpecError(
+                f"tournament kind must be 'static' or 'dynamic', got {self.kind!r}"
+            )
+        object.__setattr__(
+            self,
+            "policies",
+            tuple(
+                PolicySpec.coerce(p, where="tournament policy") for p in self.policies
+            ),
+        )
+        object.__setattr__(
+            self, "suites", tuple(self.suites)
+        )
+        object.__setattr__(self, "platforms", tuple(self.platforms))
+        if len(self.policies) < 2:
+            raise SpecError(
+                "a tournament needs at least two policies to compare "
+                f"(got {len(self.policies)})"
+            )
+        if not self.suites:
+            raise SpecError("tournaments need at least one workload suite")
+        if not self.platforms:
+            raise SpecError("tournaments need at least one platform")
+        if self.seeds < 1:
+            raise SpecError("tournament seeds must be >= 1")
+        labels = [s.axis_label for s in self.suites]
+        if len(set(labels)) != len(labels):
+            raise SpecError(
+                f"tournament suite labels must be unique, got {labels}"
+            )
+        if self.executor is not None and not isinstance(self.executor, ExecutorSpec):
+            object.__setattr__(
+                self,
+                "executor",
+                ExecutorSpec.coerce(self.executor, where="TournamentSpec.executor"),
+            )
+        if self.fault_tolerance is not None and not isinstance(
+            self.fault_tolerance, FaultToleranceSpec
+        ):
+            object.__setattr__(
+                self,
+                "fault_tolerance",
+                FaultToleranceSpec.coerce(
+                    self.fault_tolerance, where="TournamentSpec.fault_tolerance"
+                ),
+            )
+
+    # -- grid generation --------------------------------------------------------
+
+    def grid_cells(self) -> List[Tuple[str, SuiteSpec, str, Any]]:
+        """The (scenario name, suite, platform label, platform) grid cells."""
+        cells: List[Tuple[str, SuiteSpec, str, Any]] = []
+        platform_entries = [
+            _platform_entry(value, index) for index, value in enumerate(self.platforms)
+        ]
+        plabels = [label for label, _ in platform_entries]
+        if len(set(plabels)) != len(plabels):
+            raise SpecError(
+                f"tournament platform labels must be unique, got {plabels}"
+            )
+        for suite in self.suites:
+            for plabel, platform in platform_entries:
+                name = (
+                    suite.axis_label
+                    if len(platform_entries) == 1
+                    else f"{suite.axis_label}@{plabel}"
+                )
+                cells.append((name, suite, plabel, platform))
+        return cells
+
+    def n_scenarios(self) -> int:
+        """Scenario replicas in the grid: suites x platforms x paired seeds."""
+        return len(self.suites) * len(self.platforms) * self.seeds
+
+    def to_study_spec(self) -> StudySpec:
+        """Lower the tournament onto the declarative study layer.
+
+        One scenario per grid cell, replicated across the paired seed range;
+        every scenario carries the *full* policy line-up, which is what makes
+        the seeds paired — within a replica, each policy is evaluated on the
+        same resolved workload draws.
+        """
+        seeds = tuple(range(self.seed0, self.seed0 + self.seeds))
+        scenarios = tuple(
+            ScenarioSpec(
+                name=name,
+                kind=self.kind,
+                workloads=suite.workload_specs(),
+                policies=self.policies,
+                engine=self.engine,
+                solver=self.solver,
+                platform=platform,
+                seeds=seeds,
+            )
+            for name, suite, _, platform in self.grid_cells()
+        )
+        return StudySpec(
+            name=self.name,
+            scenarios=scenarios,
+            description=self.description,
+            jobs=self.jobs,
+            executor=self.executor,
+            fault_tolerance=self.fault_tolerance,
+        )
+
+    # -- serialization ----------------------------------------------------------
+
+    _KEYS = (
+        "schema",
+        "name",
+        "description",
+        "kind",
+        "policies",
+        "suites",
+        "platforms",
+        "seeds",
+        "seed0",
+        "engine",
+        "solver",
+        "stats",
+        "reference",
+        "jobs",
+        "executor",
+        "fault_tolerance",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema": TOURNAMENT_SCHEMA_VERSION,
+            "name": self.name,
+            "kind": self.kind,
+            "policies": [p.to_dict() for p in self.policies],
+            "suites": [s.to_dict() for s in self.suites],
+            # Normalise string presets to mappings so the TOML array is
+            # homogeneous (the emitter renders it as [[platforms]] tables).
+            "platforms": [
+                {"preset": p} if isinstance(p, str) else dict(p)
+                for p in self.platforms
+            ],
+            "seeds": self.seeds,
+        }
+        if self.description:
+            out["description"] = self.description
+        if self.seed0:
+            out["seed0"] = self.seed0
+        engine = self.engine.to_dict()
+        if engine != EngineSpec().to_dict():
+            out["engine"] = engine
+        solver = self.solver.to_dict()
+        if solver != SolverSpec().to_dict():
+            out["solver"] = solver
+        stats = self.stats.to_dict()
+        if stats:
+            out["stats"] = stats
+        if self.reference is not None:
+            out["reference"] = self.reference
+        if self.jobs != 1:
+            out["jobs"] = 0 if self.jobs is None else self.jobs
+        if self.executor is not None:
+            out["executor"] = self.executor.to_dict()
+        if self.fault_tolerance is not None:
+            out["fault_tolerance"] = self.fault_tolerance.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TournamentSpec":
+        _check_keys(data, cls._KEYS, "TournamentSpec")
+        schema = data.get("schema", TOURNAMENT_SCHEMA_VERSION)
+        if schema != TOURNAMENT_SCHEMA_VERSION:
+            raise SpecError(
+                f"unsupported tournament schema version {schema!r} "
+                f"(this build reads version {TOURNAMENT_SCHEMA_VERSION})"
+            )
+        suites = _require(data, "suites", "TournamentSpec")
+        if isinstance(suites, Mapping):
+            suites = [suites]
+        jobs = data.get("jobs", 1)
+        if jobs is not None:
+            jobs = _opt_int(jobs, "TournamentSpec.jobs")
+            if jobs == 0:
+                jobs = None
+        executor = data.get("executor")
+        if executor is not None:
+            executor = ExecutorSpec.coerce(executor, where="TournamentSpec.executor")
+        spec = cls(
+            name=_require(data, "name", "TournamentSpec"),
+            policies=tuple(_require(data, "policies", "TournamentSpec")),
+            suites=tuple(SuiteSpec.from_dict(s) for s in suites),
+            kind=data.get("kind", "static"),
+            platforms=tuple(data.get("platforms", ("skylake_gold_6138",))),
+            seeds=_as_int(data.get("seeds", 8), "TournamentSpec.seeds"),
+            seed0=_as_int(data.get("seed0", 0), "TournamentSpec.seed0"),
+            engine=EngineSpec.from_dict(data.get("engine", {})),
+            solver=SolverSpec.from_dict(data.get("solver", {})),
+            stats=StatsSpec.from_dict(data.get("stats", {})),
+            reference=_opt_str(data.get("reference"), "TournamentSpec.reference"),
+            description=data.get("description", ""),
+            jobs=jobs,
+            executor=executor,
+            fault_tolerance=FaultToleranceSpec.coerce(
+                data.get("fault_tolerance"), where="TournamentSpec.fault_tolerance"
+            ),
+        )
+        # Fail at load time, not mid-run: building the study spec resolves
+        # every policy, platform and workload reference through the
+        # registries (cheap — no profiles are built).
+        spec.to_study_spec()
+        return spec
+
+
+# ---------------------------------------------------------------------------
+# File round-trips
+# ---------------------------------------------------------------------------
+
+
+def load_tournament_spec(path) -> TournamentSpec:
+    """Read a tournament spec from a ``.toml`` or ``.json`` file."""
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError(f"cannot read tournament spec {path}: {exc}")
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"tournament spec is not valid JSON: {exc}")
+    elif suffix == ".toml":
+        from repro.experiments.io import tomllib
+
+        if tomllib is None:  # pragma: no cover - Python 3.10 without tomli
+            raise SpecError(
+                "reading TOML tournament specs needs Python >= 3.11 (tomllib) "
+                "or the 'tomli' package; use a .json spec instead"
+            )
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"tournament spec is not valid TOML: {exc}")
+    else:
+        raise SpecError(
+            f"tournament specs must be .toml or .json files, got {path.name!r}"
+        )
+    return TournamentSpec.from_dict(data)
+
+
+def dump_tournament_spec(spec: TournamentSpec, path) -> None:
+    """Write a tournament spec to a ``.toml`` or ``.json`` file."""
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        text = toml_dumps(spec.to_dict())
+    elif suffix == ".json":
+        text = json.dumps(spec.to_dict(), indent=2) + "\n"
+    else:
+        raise SpecError(
+            f"tournament specs must be .toml or .json files, got {path.name!r}"
+        )
+    path.write_text(text, encoding="utf-8")

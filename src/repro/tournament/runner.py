@@ -1,0 +1,83 @@
+"""Tournament execution: lower the grid onto the study layer and judge it.
+
+:func:`run_tournament` is deliberately thin — the heavy lifting is reused
+wholesale from PRs 3–7:
+
+* the scenario grid becomes a :class:`~repro.experiments.specs.StudySpec`
+  (:meth:`TournamentSpec.to_study_spec`) and runs through
+  :func:`~repro.experiments.study.run_study`, so every executor backend
+  (``serial``/``pool``/``tcp``/``supervised``), the crash-safe
+  ``checkpoint``/``resume`` protocol, and the
+  :class:`~repro.experiments.specs.FaultToleranceSpec` retry/quarantine
+  layer apply to tournaments unchanged;
+* the resulting rows are judged by
+  :func:`~repro.tournament.leaderboard.build_result` into the statistical
+  verdict.
+
+A 10k-run tournament on a supervised executor therefore survives worker
+loss exactly like a study does, and an interrupted one resumes from its
+checkpoint without recomputing completed scenario replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import SpecError
+from repro.experiments.study import StudyResult, run_study
+from repro.tournament.grid import TournamentSpec
+from repro.tournament.leaderboard import TournamentResult, build_result
+
+__all__ = ["run_tournament", "judge_study"]
+
+_UNSET = object()
+
+
+def judge_study(
+    spec: TournamentSpec, study: StudyResult
+) -> TournamentResult:
+    """Render the statistical verdict over an already-executed study."""
+    return build_result(
+        spec.name,
+        study.rows(),
+        study.failures(),
+        stats=spec.stats,
+        reference=spec.reference,
+        kind=spec.kind,
+        spec=spec.to_dict(),
+        description=spec.description,
+    )
+
+
+def run_tournament(
+    spec: Any,
+    *,
+    jobs: Any = _UNSET,
+    executor: Any = None,
+    checkpoint: Any = None,
+    resume: bool = False,
+    fault_tolerance: Any = _UNSET,
+) -> TournamentResult:
+    """Run every policy over the paired scenario grid and judge the rows.
+
+    ``spec`` is a :class:`~repro.tournament.grid.TournamentSpec` or a plain
+    mapping (validated through ``TournamentSpec.from_dict``).  The remaining
+    keywords are forwarded verbatim to
+    :func:`~repro.experiments.study.run_study` and carry the same semantics
+    (executor precedence, checkpoint/resume, retry/quarantine).  The verdict
+    is a pure function of the rows, so the returned leaderboard is
+    bit-identical across executor backends.
+    """
+    if isinstance(spec, dict):
+        spec = TournamentSpec.from_dict(spec)
+    if not isinstance(spec, TournamentSpec):
+        raise SpecError(
+            f"run_tournament expects a TournamentSpec or mapping, got {spec!r}"
+        )
+    run_kwargs = dict(executor=executor, checkpoint=checkpoint, resume=resume)
+    if jobs is not _UNSET:
+        run_kwargs["jobs"] = jobs
+    if fault_tolerance is not _UNSET:
+        run_kwargs["fault_tolerance"] = fault_tolerance
+    study = run_study(spec.to_study_spec(), **run_kwargs)
+    return judge_study(spec, study)

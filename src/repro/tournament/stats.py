@@ -1,0 +1,227 @@
+"""Paired-comparison statistics for policy tournaments.
+
+Everything here is stdlib + NumPy — no SciPy.  The statistical unit is one
+*paired observation*: one workload draw (a ``(scenario_id, workload)`` cell of
+a study) on which every policy was evaluated under byte-identical conditions.
+Pairing is what gives the tournament its power: instead of comparing two
+noisy marginal distributions, every comparison happens *within* a scenario
+and only the per-scenario deltas are aggregated.
+
+Three tools:
+
+* :func:`bootstrap_mean_ci` — percentile-bootstrap confidence interval on a
+  mean, seeded and fully deterministic (same inputs + seed => bit-identical
+  interval on every platform, which is what lets the CI gate compare
+  leaderboards across executor backends with ``==``);
+* :func:`sign_test_p` — the exact two-sided sign-test p-value (binomial
+  tails via :func:`math.comb`), the canonical distribution-free test for
+  paired wins/losses;
+* :func:`compare_paired` — the full paired verdict between two policies on
+  one metric: win/loss/tie counts, mean delta with bootstrap CI, p-value.
+
+Ties are first-class: two policies that produce *identical* metric values on
+a scenario (common when both pick the same clustering) are counted as ties
+and excluded from the sign test, exactly like the classical procedure.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BootstrapCI",
+    "PairedComparison",
+    "bootstrap_mean_ci",
+    "sign_test_p",
+    "compare_paired",
+    "stat_seed",
+]
+
+#: Deltas smaller than this (in absolute value) count as ties.  Metric values
+#: come out of one deterministic simulation, so equal configurations produce
+#: *exactly* equal floats — the epsilon only guards against denormal dust
+#: from the normalisation division.
+TIE_EPSILON = 1e-12
+
+
+def stat_seed(base: int, *parts: str) -> int:
+    """A stable derived seed for one statistic.
+
+    Mixes ``base`` with the CRC32 of the identifying strings (policy label,
+    metric name...) so every statistic gets its own reproducible RNG stream
+    regardless of the order statistics are computed in.
+    """
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part.encode("utf-8"), crc)
+    return (int(base) & 0xFFFFFFFF) ^ crc
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A mean with its percentile-bootstrap confidence interval."""
+
+    mean: float
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"mean": self.mean, "lo": self.lo, "hi": self.hi}
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI on the mean of ``values``.
+
+    ``resamples`` bootstrap replicates are drawn with a
+    ``numpy.random.default_rng(seed)`` generator, so the interval is a pure
+    function of ``(values, resamples, confidence, seed)`` — bit-identical
+    across runs, platforms and executor backends.  A single observation has
+    no resampling distribution: its interval collapses to the point.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ReproError("bootstrap_mean_ci needs at least one value")
+    if not np.all(np.isfinite(data)):
+        raise ReproError("bootstrap_mean_ci values must be finite")
+    if resamples < 1:
+        raise ReproError(f"resamples must be >= 1, got {resamples}")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(data.mean())
+    if data.size == 1:
+        return BootstrapCI(mean=mean, lo=mean, hi=mean)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, data.size, size=(resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(mean=mean, lo=float(lo), hi=float(hi))
+
+
+def sign_test_p(wins: int, losses: int) -> float:
+    """Exact two-sided sign-test p-value for a win/loss record.
+
+    Under the null hypothesis (no systematic difference) each non-tied
+    scenario is a fair coin; the p-value is the two-sided binomial tail
+    probability of an imbalance at least as extreme as the observed one.
+    Ties carry no information and must be excluded before calling.
+    """
+    if wins < 0 or losses < 0:
+        raise ReproError(f"wins/losses must be >= 0, got {wins}/{losses}")
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    tail = sum(math.comb(n, i) for i in range(k + 1)) / (2.0**n)
+    return min(1.0, 2.0 * tail)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """The paired verdict of policy ``a`` versus policy ``b`` on one metric.
+
+    ``delta`` is always ``a - b`` in raw metric units; ``wins`` counts the
+    scenarios where ``a`` is *better* (direction given by ``better``), so a
+    positive record reads the same way whichever way the metric points.
+    """
+
+    a: str
+    b: str
+    metric: str
+    better: str  # "lower" or "higher"
+    n: int
+    wins: int
+    losses: int
+    ties: int
+    delta: BootstrapCI
+    p_value: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "a": self.a,
+            "b": self.b,
+            "metric": self.metric,
+            "better": self.better,
+            "n": self.n,
+            "wins": self.wins,
+            "losses": self.losses,
+            "ties": self.ties,
+            "mean_delta": self.delta.mean,
+            "delta_lo": self.delta.lo,
+            "delta_hi": self.delta.hi,
+            "p_value": self.p_value,
+        }
+
+
+def compare_paired(
+    a_label: str,
+    b_label: str,
+    a_values: Sequence[float],
+    b_values: Sequence[float],
+    *,
+    metric: str,
+    better: str = "lower",
+    resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+    tie_epsilon: Optional[float] = None,
+) -> PairedComparison:
+    """Full paired comparison of two policies over matched scenarios.
+
+    ``a_values[i]`` and ``b_values[i]`` must come from the *same* scenario
+    (same workload draw, same seed, same platform) — that pairing is the
+    whole point.  Scenarios whose absolute delta is within ``tie_epsilon``
+    are ties; the sign test runs on the rest.
+    """
+    if better not in ("lower", "higher"):
+        raise ReproError(f"better must be 'lower' or 'higher', got {better!r}")
+    a = np.asarray(list(a_values), dtype=float)
+    b = np.asarray(list(b_values), dtype=float)
+    if a.size != b.size:
+        raise ReproError(
+            f"paired comparison needs matched samples, got {a.size} vs {b.size}"
+        )
+    if a.size == 0:
+        raise ReproError("paired comparison needs at least one scenario")
+    eps = TIE_EPSILON if tie_epsilon is None else tie_epsilon
+    deltas = a - b
+    ties = int(np.sum(np.abs(deltas) <= eps))
+    if better == "lower":
+        wins = int(np.sum(deltas < -eps))
+    else:
+        wins = int(np.sum(deltas > eps))
+    losses = int(a.size - wins - ties)
+    return PairedComparison(
+        a=a_label,
+        b=b_label,
+        metric=metric,
+        better=better,
+        n=int(a.size),
+        wins=wins,
+        losses=losses,
+        ties=ties,
+        delta=bootstrap_mean_ci(
+            deltas,
+            resamples=resamples,
+            confidence=confidence,
+            seed=stat_seed(seed, a_label, b_label, metric, "delta"),
+        ),
+        p_value=sign_test_p(wins, losses),
+    )

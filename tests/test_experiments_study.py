@@ -7,6 +7,7 @@ the wrappers still reproduce the pre-refactor rows bit for bit, and a study
 defined purely as data (TOML included) lowers to the exact same computation.
 """
 
+import numpy as np
 import pytest
 
 from repro.analysis.figures import fig6_static_study, fig7_dynamic_study
@@ -219,6 +220,24 @@ class TestRunStudy:
         assert set(per_seed) == {
             (BASELINE_LABEL, 0), (BASELINE_LABEL, 1), ("LFOC", 0), ("LFOC", 1),
         }
+        # Every metric reports mean, spread and sample count per group.
+        lfoc = summary["LFOC"]
+        for metric in ("normalized_unfairness", "normalized_stp"):
+            assert set(lfoc) >= {f"mean_{metric}", f"std_{metric}", f"n_{metric}"}
+            assert lfoc[f"n_{metric}"] == 2.0
+            assert lfoc[f"std_{metric}"] >= 0.0
+        values = [
+            row["normalized_unfairness"]
+            for row in result.rows()
+            if row["policy"] == "LFOC"
+        ]
+        assert lfoc["std_normalized_unfairness"] == pytest.approx(
+            float(np.std(values))
+        )
+        # Single-sample groups have zero spread, not NaN.
+        single = per_seed[("LFOC", 0)]
+        assert single["n_normalized_unfairness"] == 1.0
+        assert single["std_normalized_unfairness"] == 0.0
 
     def test_aggregate_unknown_field_raises(self):
         spec = StudySpec(
