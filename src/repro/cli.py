@@ -363,6 +363,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the mask-decision log as JSONL on exit",
     )
     serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="FILE",
+        help="CRC-guarded daemon state snapshot: restored at startup when "
+        "FILE exists, refreshed periodically and on SIGTERM/clean exit, so "
+        "a restarted daemon resumes every host session mid-epoch",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds between periodic snapshots (<= 0: only on exit)",
+    )
+    serve.add_argument(
+        "--monitor-backend",
+        choices=("bank", "reference"),
+        default="bank",
+        help="monitor ingest path: the fused MonitorBank (default) or the "
+        "per-AppMonitor reference oracle (parity testing; no snapshots)",
+    )
+    serve.add_argument(
         "--once",
         action="store_true",
         help="without --supervise: exit after the first host session "
@@ -394,8 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--host-id",
         default="host0",
         metavar="ID",
-        help="stable host identity; reconnections under the same id resume "
-        "the daemon-side session with a bumped epoch",
+        help="stable host identity; the same agent process reconnecting "
+        "resumes its daemon-side session mid-epoch, a respawned process "
+        "(new boot token) restarts it with a bumped epoch",
     )
     agent.add_argument(
         "--workload",
@@ -760,6 +783,8 @@ def _worker_command(args: argparse.Namespace) -> int:
 
 
 def _serve_command(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.runtime.executors.tcp import parse_address
     from repro.service.daemon import PartitionDaemon
 
@@ -774,22 +799,41 @@ def _serve_command(args: argparse.Namespace) -> int:
         seed=args.seed,
         agent_chaos=chaos.to_dict() if chaos is not None else None,
         quiet=args.quiet,
+        monitor_backend=args.monitor_backend,
+        snapshot=args.snapshot,
+        snapshot_every_s=args.snapshot_every,
     )
     host, port = daemon.address
     if not args.quiet:
         print(f"partitioning daemon listening on {host}:{port}", flush=True)
+        if daemon.restored:
+            print(f"restored daemon state from {args.snapshot}", flush=True)
     if daemon.supervise:
         until: Optional[int] = daemon.supervise  # exit when every agent finished
     elif args.once:
         until = 1
     else:
-        until = None  # serve until --max-seconds or Ctrl-C
+        until = None  # serve until --max-seconds, SIGTERM or Ctrl-C
+
+    previous_sigterm = signal.getsignal(signal.SIGTERM)
+
+    def _on_sigterm(_signum, _frame) -> None:  # pragma: no cover - signal path
+        # Orderly shutdown: run() exits at the next pump boundary and
+        # close() takes the final snapshot.
+        daemon.request_stop()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread (embedding)
+        previous_sigterm = None
     try:
         summary = daemon.run(until_byes=until, max_seconds=args.max_seconds)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         summary = daemon.summary()
     finally:
-        if args.replay_log:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+        if args.replay_log and not daemon.killed:
             daemon.replay.save(args.replay_log)
         daemon.close()
     if not args.quiet:

@@ -683,10 +683,18 @@ class ServiceSpec:
     workload: Optional[str] = None
     batches: int = 50
     seed: int = 0
-    #: Fault plan for the first supervised agent incarnation only.
+    #: Fault plan for the first supervised agent incarnation only (daemon-side
+    #: faults such as ``daemon_kill_decisions`` ride in the same dict).
     agent_chaos: Optional[Mapping[str, Any]] = None
     #: Where to save the mask-decision log (JSONL); None keeps it in memory.
     replay_log: Optional[str] = None
+    #: CRC-guarded daemon state snapshot: restored at startup when the file
+    #: exists, refreshed periodically and on clean exit.
+    snapshot: Optional[str] = None
+    snapshot_every_s: float = 5.0
+    #: ``"bank"`` (fused MonitorBank, the live default) or ``"reference"``
+    #: (per-AppMonitor parity oracle; cannot snapshot).
+    monitor_backend: str = "bank"
 
     def __post_init__(self) -> None:
         if self.policy not in ("lfoc", "dunn"):
@@ -701,6 +709,15 @@ class ServiceSpec:
             raise SpecError("service batches must be >= 1")
         if self.supervise and not self.workload:
             raise SpecError("a supervised service spec needs a workload")
+        if self.monitor_backend not in ("bank", "reference"):
+            raise SpecError(
+                "service monitor_backend must be 'bank' or 'reference', "
+                f"got {self.monitor_backend!r}"
+            )
+        if self.snapshot and self.monitor_backend != "bank":
+            raise SpecError(
+                "service snapshots need the 'bank' monitor backend"
+            )
         if self.agent_chaos is not None:
             object.__setattr__(self, "agent_chaos", dict(self.fault_plan().to_dict()))
 
@@ -729,6 +746,9 @@ class ServiceSpec:
             seed=self.seed,
             agent_chaos=self.agent_chaos,
             quiet=quiet,
+            monitor_backend=self.monitor_backend,
+            snapshot=self.snapshot,
+            snapshot_every_s=self.snapshot_every_s,
         )
 
     def run(self, *, max_seconds: Optional[float] = None, quiet: bool = True):
@@ -739,7 +759,7 @@ class ServiceSpec:
                 until_byes=self.supervise or None, max_seconds=max_seconds
             )
         finally:
-            if self.replay_log:
+            if self.replay_log and not daemon.killed:
                 daemon.replay.save(self.replay_log)
             daemon.close()
         return summary
@@ -754,6 +774,9 @@ class ServiceSpec:
         "seed",
         "agent_chaos",
         "replay_log",
+        "snapshot",
+        "snapshot_every_s",
+        "monitor_backend",
     )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -783,6 +806,13 @@ class ServiceSpec:
             seed=_as_int(data.get("seed", defaults.seed), "ServiceSpec.seed"),
             agent_chaos=data.get("agent_chaos"),
             replay_log=_opt_str(data.get("replay_log"), "ServiceSpec.replay_log"),
+            snapshot=_opt_str(data.get("snapshot"), "ServiceSpec.snapshot"),
+            snapshot_every_s=float(
+                data.get("snapshot_every_s", defaults.snapshot_every_s)
+            ),
+            monitor_backend=str(
+                data.get("monitor_backend", defaults.monitor_backend)
+            ),
         )
 
     @classmethod

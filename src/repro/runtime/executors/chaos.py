@@ -17,7 +17,12 @@ chaos test is as reproducible as any other run:
   re-registration; ``agent_corrupt_frames`` flips a byte of the N-th frame
   the agent sends, exercising the daemon's drop-and-reconnect path;
   ``agent_delay_batches`` stalls a batch by ``delay_s``, exercising
-  stale-sample handling).
+  stale-sample handling);
+* **daemon-side** faults key on the index of mask decisions the
+  partitioning daemon appends to its replay log
+  (``daemon_kill_decisions`` hard-kills the daemon process right after
+  the N-th decision lands — *without* a final snapshot — exercising
+  restore-from-the-latest-periodic-snapshot and agent journal resume).
 
 Plans travel as plain dictionaries — through
 :class:`~repro.experiments.specs.ExecutorSpec` (``chaos={...}`` injects
@@ -78,6 +83,8 @@ class FaultPlan:
     agent_kill_batches: Tuple[int, ...] = ()
     agent_corrupt_frames: Tuple[int, ...] = ()
     agent_delay_batches: Tuple[int, ...] = ()
+    # -- daemon-side (indexes into the daemon's replay-log decision stream) --
+    daemon_kill_decisions: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         for name in (
@@ -91,6 +98,7 @@ class FaultPlan:
             "agent_kill_batches",
             "agent_corrupt_frames",
             "agent_delay_batches",
+            "daemon_kill_decisions",
         ):
             object.__setattr__(
                 self, name, _index_tuple(getattr(self, name), f"FaultPlan.{name}")
@@ -111,6 +119,7 @@ class FaultPlan:
                 self.agent_kill_batches,
                 self.agent_corrupt_frames,
                 self.agent_delay_batches,
+                self.daemon_kill_decisions,
             )
         )
 
@@ -131,6 +140,9 @@ class FaultPlan:
             or self.agent_corrupt_frames
             or self.agent_delay_batches
         )
+
+    def daemon_faults(self) -> bool:
+        return bool(self.daemon_kill_decisions)
 
     @classmethod
     def seeded(

@@ -47,8 +47,8 @@ arithmetic is identical either way).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -277,6 +277,42 @@ class MonitorBank:
 
     def __len__(self) -> int:
         return len(self.names)
+
+    def add_row(self, name: str) -> int:
+        """Append one fresh (cold, UNKNOWN) row; returns its index.
+
+        The partitioning service grows one shared bank as hosts register
+        applications, so the bank must accept rows after construction.
+        Growth re-allocates the arrays at their exact new size — rows are
+        added a handful at a time and the arrays are tiny, and keeping
+        ``rows == len(names)`` preserves the invariant every other bank
+        consumer (the multi-run engine stacks whole banks) relies on.
+        """
+        if name in self._row_of:
+            raise SimulationError(f"duplicate monitor row {name!r}")
+        row = len(self.names)
+        window = self.config.history_window
+        self.names.append(name)
+        self._row_of[name] = row
+        self.warmup_remaining = np.append(
+            self.warmup_remaining, np.int64(self.config.warmup_samples)
+        )
+        self.samples_seen = np.append(self.samples_seen, np.int64(0))
+        self.class_code = np.append(self.class_code, np.int8(0))  # UNKNOWN
+        self.in_sampling_mode = np.append(self.in_sampling_mode, False)
+        self.classification_version = np.append(self.classification_version, np.int64(0))
+        self.class_changes = np.append(self.class_changes, np.int64(0))
+        self.sampling_mode_entries = np.append(self.sampling_mode_entries, np.int64(0))
+        self.critical_eval = np.append(self.critical_eval, 1.0)
+        self.critical_size.append(None)
+        self.slowdown_tables.append(None)
+        self._win_values = np.concatenate([self._win_values, np.zeros((1, window, 2))])
+        self._win_partials = np.concatenate(
+            [self._win_partials, np.zeros((1, window, 2))]
+        )
+        self._win_start = np.append(self._win_start, np.int64(0))
+        self._win_live = np.append(self._win_live, np.int64(0))
+        return row
 
     def row_index(self, name: str) -> int:
         try:
@@ -535,6 +571,98 @@ class MonitorBank:
             "class_changes": float(self.class_changes[row]),
             "sampling_entries": float(self.sampling_mode_entries[row]),
         }
+
+    # -- persistence --------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable image of every row's full state.
+
+        Floats round-trip exactly through JSON (``repr`` emits the shortest
+        string that parses back to the same double), so a restored bank
+        continues producing bit-identical window means and trigger masks —
+        the property the daemon snapshot/restore pin depends on.
+        """
+        thresholds = {
+            f.name: getattr(self.config.thresholds, f.name)
+            for f in dataclass_fields(self.config.thresholds)
+        }
+        return {
+            "names": list(self.names),
+            "config": {
+                "warmup_samples": self.config.warmup_samples,
+                "history_window": self.config.history_window,
+                "thresholds": thresholds,
+            },
+            "warmup_remaining": [int(x) for x in self.warmup_remaining],
+            "samples_seen": [int(x) for x in self.samples_seen],
+            "class_code": [int(x) for x in self.class_code],
+            "in_sampling_mode": [bool(x) for x in self.in_sampling_mode],
+            "classification_version": [int(x) for x in self.classification_version],
+            "class_changes": [int(x) for x in self.class_changes],
+            "sampling_mode_entries": [int(x) for x in self.sampling_mode_entries],
+            "critical_eval": [float(x) for x in self.critical_eval],
+            "critical_size": list(self.critical_size),
+            "slowdown_tables": [
+                list(t) if t is not None else None for t in self.slowdown_tables
+            ],
+            "win_values": self._win_values.tolist(),
+            "win_partials": self._win_partials.tolist(),
+            "win_start": [int(x) for x in self._win_start],
+            "win_live": [int(x) for x in self._win_live],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "MonitorBank":
+        """Rebuild a bank from :meth:`state_dict` output (exact restore)."""
+        try:
+            cfg = state["config"]
+            config = MonitorConfig(
+                warmup_samples=int(cfg["warmup_samples"]),
+                history_window=int(cfg["history_window"]),
+                thresholds=ClassificationThresholds(**cfg["thresholds"]),
+            )
+            bank = cls(state["names"], config)
+            rows, window = len(bank.names), config.history_window
+            bank.warmup_remaining = np.array(state["warmup_remaining"], dtype=np.int64)
+            bank.samples_seen = np.array(state["samples_seen"], dtype=np.int64)
+            bank.class_code = np.array(state["class_code"], dtype=np.int8)
+            bank.in_sampling_mode = np.array(state["in_sampling_mode"], dtype=bool)
+            bank.classification_version = np.array(
+                state["classification_version"], dtype=np.int64
+            )
+            bank.class_changes = np.array(state["class_changes"], dtype=np.int64)
+            bank.sampling_mode_entries = np.array(
+                state["sampling_mode_entries"], dtype=np.int64
+            )
+            bank.critical_eval = np.array(state["critical_eval"], dtype=float)
+            bank.critical_size = [
+                int(x) if x is not None else None for x in state["critical_size"]
+            ]
+            bank.slowdown_tables = [
+                [float(v) for v in t] if t is not None else None
+                for t in state["slowdown_tables"]
+            ]
+            bank._win_values = np.array(state["win_values"], dtype=float).reshape(
+                rows, window, 2
+            )
+            bank._win_partials = np.array(state["win_partials"], dtype=float).reshape(
+                rows, window, 2
+            )
+            bank._win_start = np.array(state["win_start"], dtype=np.int64)
+            bank._win_live = np.array(state["win_live"], dtype=np.int64)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed monitor bank state: {exc}") from exc
+        for name, arr in (
+            ("warmup_remaining", bank.warmup_remaining),
+            ("win_start", bank._win_start),
+            ("win_live", bank._win_live),
+        ):
+            if arr.shape[0] != rows:
+                raise SimulationError(
+                    f"monitor bank state {name} has {arr.shape[0]} rows, "
+                    f"expected {rows}"
+                )
+        return bank
 
 
 class BankMonitor:

@@ -10,16 +10,22 @@ decision layer into a **long-lived multi-tenant service**:
   agents, keeps per-host tenant state and pushes CAT mask updates;
 * :mod:`repro.service.agent` — ``repro.cli agent``: the per-host client
   that registers applications, streams monitor samples and applies pushed
-  masks, reconnecting with full state re-registration after a drop;
+  masks, journaling every sent frame so a dropped link (or a daemon
+  restart) is healed by replaying the unacknowledged suffix;
 * :mod:`repro.service.session` — the transport-free core: per-host
-  sessions with an :class:`~repro.runtime.monitor.AppMonitor` per
-  registered application, fed through the incremental decision layer
-  (fingerprint-keyed :class:`~repro.core.lfoc.LfocDecisionCache`, Dunn's
-  LRU allocation cache) so re-deciding is O(changed apps);
+  sessions whose monitors are rows of one shared growable
+  :class:`~repro.runtime.monitor.MonitorBank` (each event-loop drain
+  ingests every host's samples through a single fused ``observe_batch``
+  call), fed through the incremental decision layer (fingerprint-keyed
+  :class:`~repro.core.lfoc.LfocDecisionCache`, Dunn's LRU allocation
+  cache) so re-deciding is O(changed apps);
+* :mod:`repro.service.snapshot` — CRC-guarded, atomically-replaced
+  snapshot files of the whole control plane, so ``serve --snapshot`` can
+  restore after a crash and reconnecting agents resume mid-epoch;
 * :mod:`repro.service.protocol` — the message schema (``host_hello``,
   ``app_arrive``, ``app_depart``, ``monitor_samples``, ``mask_update``,
-  ``host_bye``) spoken over the safe wire codec under
-  ``PROTOCOL_VERSION`` negotiation;
+  ``host_bye``, read-only ``metrics``) spoken over the safe wire codec
+  under ``PROTOCOL_VERSION`` negotiation;
 * :mod:`repro.service.replay` — the append-only decision log plus the
   offline replay oracle that pins live daemon decisions bit-identical to
   a socket-free run on the same trace;
@@ -31,8 +37,9 @@ from repro.service.agent import HostAgent, run_agent
 from repro.service.daemon import PartitionDaemon
 from repro.service.protocol import SERVICE_KINDS, ServiceProtocolError
 from repro.service.replay import MaskDecision, ReplayLog, offline_replay
-from repro.service.session import HostSession, ServiceCore
+from repro.service.session import BankIngest, HostSession, ServiceCore
 from repro.service.simhost import SimulatedHost, churn_schedule, host_seed
+from repro.service.snapshot import load_snapshot, save_snapshot
 
 __all__ = [
     "HostAgent",
@@ -43,9 +50,12 @@ __all__ = [
     "MaskDecision",
     "ReplayLog",
     "offline_replay",
+    "BankIngest",
     "HostSession",
     "ServiceCore",
     "SimulatedHost",
     "churn_schedule",
     "host_seed",
+    "load_snapshot",
+    "save_snapshot",
 ]

@@ -18,11 +18,19 @@ Two transports implement the loop's contract:
   :class:`~repro.service.session.ServiceCore` directly; used by
   :func:`~repro.service.replay.offline_replay` to produce golden logs.
 * :class:`HostAgent` — the real client: safe-codec frames over TCP,
-  validation of every reply, and a reconnect loop.  A drop (daemon
-  restart, corrupted frame costing the link) makes the *next* step fail;
-  :func:`drive_host` then reconnects with a fresh ``boot`` token and
-  re-registers the full live application set, after which the daemon's
-  session epoch has advanced and sequence numbers restart from zero.
+  validation of every reply, and a reconnect loop.  The boot token is
+  **stable for the life of the agent process**: a drop (daemon restart,
+  corrupted frame costing the link) makes the *next* step fail, and
+  :func:`drive_host` reconnects with the *same* boot — so the daemon
+  resumes the session mid-epoch and the agent replays its journal of
+  sent frames from the daemon's acknowledged sequence number onward.
+  That journal resync is what makes daemon snapshot/restore seamless: a
+  daemon restored from an older checkpoint simply acks a smaller
+  ``last_seq`` and the agent re-sends the gap, deterministically
+  regenerating the decisions the crash threw away.  Only a *new agent
+  process* (a supervised respawn after a host crash) carries a new boot,
+  which is the signal for the daemon to park monitors, advance the epoch
+  and restart sequence numbers.
 
 Chaos hooks (``FaultPlan.agent_*``) live in :class:`HostAgent` only — the
 offline oracle stays pristine.  A scripted kill is ``os._exit`` right
@@ -34,6 +42,7 @@ it — forcing this agent through the reconnect path.
 
 from __future__ import annotations
 
+import itertools
 import os
 import socket
 import time
@@ -112,6 +121,15 @@ class HostAgent:
         self._frames_sent = 0
         self._batches_sent = 0
         self.reconnects = 0
+        # One boot token per agent object, stable across reconnects: the
+        # daemon uses it to tell "same host incarnation, resume the
+        # session" from "the host restarted, park and re-register".  The
+        # low byte distinguishes agents created in one process (tests).
+        self.boot = ((os.getpid() & 0x7FFFFF) << 8) | (
+            next(self._boot_nonce) & 0xFF
+        )
+
+    _boot_nonce = itertools.count(1)
 
     # -- connection management ----------------------------------------------------
 
@@ -126,8 +144,10 @@ class HostAgent:
     def hello(self) -> Tuple[int, int]:
         """(Re)connect and handshake; returns the daemon's ``(epoch, last_seq)``.
 
-        Every call uses a fresh ``boot`` token, so the daemon treats the
-        connection as a host restart and expects full re-registration.
+        Every call presents the *same* boot token, so a reconnect resumes
+        the existing session: the returned ``last_seq`` tells the caller
+        how far the daemon got, and :func:`drive_host` replays its journal
+        from there.
         """
         self._close_socket()
         last_error: Optional[BaseException] = None
@@ -145,10 +165,9 @@ class HostAgent:
             self._connections += 1
             if self._connections > 1:
                 self.reconnects += 1
-            boot = ((os.getpid() & 0x7FFFFF) << 8) | (self._connections & 0xFF)
             try:
                 kind, payload = self._roundtrip(
-                    protocol.host_hello(self.host_id, boot, os.getpid())
+                    protocol.host_hello(self.host_id, self.boot, os.getpid())
                 )
             except TransportDropped as exc:
                 last_error = exc
@@ -245,18 +264,29 @@ def drive_host(
     The same loop serves the offline oracle (:class:`LocalTransport`) and
     the live agent (:class:`HostAgent`); the transport is the *only*
     difference between a golden replay and a real run, which is what makes
-    the determinism pin meaningful.  On :class:`TransportDropped` the loop
-    reconnects and re-registers every live application under a fresh boot
-    (sequence numbers restart at zero), then resumes the batch that failed.
+    the determinism pin meaningful.
+
+    Every sent frame is kept in a **journal** (``journal[i]`` carries seq
+    ``i + 1``).  On :class:`TransportDropped` the loop reconnects — same
+    boot token — and the daemon's ``hello_ack`` says how far it got
+    (``last_seq``): the journal suffix from there is replayed verbatim.
+    A frame the daemon had already processed is answered from its
+    idempotent reply cache; a frame the daemon lost (a crash restored
+    from an older snapshot — possibly from *no* snapshot at all) is
+    re-processed and deterministically regenerates the same reply.
+    Replies the agent had already applied are re-applied masks-only:
+    their classification-sweep requests were consumed into later
+    journaled frames, so honouring them twice would fork the trace.
     """
     events: Dict[int, List[Tuple[str, str]]] = {}
     for batch_index, op, app in churn:
         events.setdefault(batch_index, []).append((op, app))
     live: List[str] = list(host.apps)
     pending: List[Dict[str, Any]] = []
-    seq = 0
+    journal: List[Tuple[str, Dict[str, Any]]] = []
+    applied = 0  # highest seq whose reply has been fully applied
 
-    def apply_reply(reply: Tuple[str, Any]) -> None:
+    def apply_reply(reply: Tuple[str, Any], *, masks_only: bool = False) -> None:
         kind, payload = reply
         if kind != "mask_update":
             raise ServiceProtocolError(
@@ -264,35 +294,51 @@ def drive_host(
             )
         if payload["masks"] is not None:
             host.apply_masks(payload["masks"])
+        if masks_only:
+            return
         for app in payload["sample"]:
             pending.append(host.classify(app))
 
-    def register() -> None:
-        nonlocal seq
+    def resync() -> None:
+        nonlocal applied
         while True:
             try:
-                transport.hello()
-                seq = 0
-                for app in live:
-                    apply_reply(transport.exchange(protocol.app_arrive(seq + 1, app)))
-                    seq += 1
+                _epoch, acked = transport.hello()
+                # Everything at or below both watermarks is settled on both
+                # sides; everything above either is replayed in order.
+                for frame in journal[min(acked, applied):]:
+                    seq = frame[1]["seq"]
+                    reply = transport.exchange(frame)
+                    apply_reply(reply, masks_only=seq <= applied)
+                    applied = max(applied, seq)
                 return
             except TransportDropped:
                 continue
 
     def step(build: Callable[[int], Tuple[str, Dict[str, Any]]]) -> None:
-        nonlocal seq
+        nonlocal applied
+        frame = build(len(journal) + 1)
+        journal.append(frame)
         while True:
             try:
-                reply = transport.exchange(build(seq + 1))
+                reply = transport.exchange(frame)
             except TransportDropped:
-                register()
+                resync()
+                if applied >= frame[1]["seq"]:
+                    return  # the resync replay covered this frame
                 continue
-            seq += 1
+            applied = frame[1]["seq"]
             apply_reply(reply)
             return
 
-    register()
+    while True:
+        try:
+            transport.hello()
+            break
+        except TransportDropped:
+            continue
+    for app in live:
+        step(lambda s, a=app: protocol.app_arrive(s, a))
     for batch in range(batches):
         for op, app in events.get(batch, ()):
             if op == "depart":
@@ -308,16 +354,7 @@ def drive_host(
         pending.clear()
         step(lambda s: protocol.monitor_samples(s, samples, classify))
     # The bye reply never carries masks, but must still arrive (lockstep).
-    while True:
-        try:
-            reply = transport.exchange(protocol.host_bye(seq + 1))
-        except TransportDropped:
-            register()
-            continue
-        kind, _ = reply
-        if kind != "mask_update":
-            raise ServiceProtocolError(f"expected mask_update ack for bye, got {kind!r}")
-        break
+    step(lambda s: protocol.host_bye(s))
     transport.close()
 
 

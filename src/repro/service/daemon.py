@@ -8,17 +8,35 @@ which the replay pin depends on.
 
 Each accepted connection must open with a validated ``host_hello``
 (version-negotiated; a mismatch is answered with a courtesy ``reject``
-before the drop).  After the handshake the link is bound to its host id
-and every sequenced frame is fed to the
-:class:`~repro.service.session.ServiceCore`, whose reply — always exactly
-one ``mask_update`` — goes straight back on the wire.  Failure policy is
-inherited from the executor transport: **corruption or protocol
-violations cost the link, never the event loop.**  A torn frame waits
-for more bytes; a garbled one raises out of
+before the drop) — except the read-only ``metrics`` request, which any
+connection may send at any time and which never binds a host.  After the
+handshake, sequenced frames are *gathered*: one pass of the event loop
+reads every ready link, collects the sequenced frames, and feeds them to
+:meth:`~repro.service.session.ServiceCore.handle_drain` as **one batch**
+— which is what turns per-tick monitor ingestion into a single fused
+``MonitorBank.observe_batch`` call across all hosts, the scaling move
+that keeps this loop single-threaded and paper-faithful.  Each frame's
+reply — always exactly one ``mask_update`` — goes straight back on its
+wire.  Failure policy is inherited from the executor transport:
+**corruption or protocol violations cost the link, never the event
+loop.**  A torn frame waits for more bytes; a garbled one raises out of
 :class:`~repro.runtime.executors.framing.FrameReader` and is charged to
-``frame_errors``; the agent reconnects with a fresh boot and
-re-registers, and the session's epoch/sequence machinery makes whatever
-was in flight idempotent.
+``frame_errors``; the agent reconnects — same boot token, so the session
+*resumes* and the agent replays its unacknowledged journal suffix — and
+the epoch/sequence machinery makes whatever was in flight idempotent.
+
+With ``snapshot=PATH`` the daemon is crash-recoverable: it restores from
+``PATH`` at startup when the file exists (re-parking monitors so
+reconnecting agents resume mid-epoch), checkpoints periodically
+(``snapshot_every_s``) at pump boundaries — where the shared bank is
+always flushed — and takes a final snapshot on orderly shutdown.  Files
+are CRC-guarded and replaced atomically
+(:mod:`repro.service.snapshot`), so a crash mid-write costs nothing but
+recency.  A scripted :class:`~repro.runtime.executors.chaos.FaultPlan`
+``daemon_kill_decisions`` fault simulates exactly that crash: right
+after the N-th replay-log decision lands the daemon drops every link
+and dies *without* a final snapshot, and the chaos drill asserts a
+restored daemon regenerates a byte-identical log.
 
 With ``supervise=N`` the daemon babysits its own host agents through
 :class:`~repro.runtime.executors.supervisor.WorkerSupervisor`
@@ -32,6 +50,7 @@ mid-trace and its replacement comes up clean — the chaos drill CI runs.
 from __future__ import annotations
 
 import json
+import os
 import selectors
 import socket
 import time
@@ -40,6 +59,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.lfoc import DEFAULT_PARAMS, LfocParams
 from repro.errors import SimulationError
+from repro.runtime.executors.chaos import FaultPlan
 from repro.runtime.executors.framing import (
     FrameProtocolError,
     FrameReader,
@@ -50,6 +70,7 @@ from repro.service import protocol
 from repro.service.protocol import SEQUENCED_KINDS, ServiceProtocolError, check_frame
 from repro.service.replay import ReplayLog
 from repro.service.session import ServiceCore
+from repro.service.snapshot import load_snapshot, save_snapshot
 
 __all__ = ["PartitionDaemon"]
 
@@ -84,24 +105,60 @@ class PartitionDaemon:
         seed: int = 0,
         agent_chaos: Optional[Mapping[str, Any]] = None,
         quiet: bool = True,
+        monitor_backend: str = "bank",
+        snapshot: Optional[str] = None,
+        snapshot_every_s: float = 5.0,
     ) -> None:
         if supervise and not workload:
             raise SimulationError(
                 "supervised agents need a workload (serve --supervise N --workload W)"
             )
         self.core = ServiceCore(
-            policy=policy, n_ways=n_ways, params=params, replay=replay
+            policy=policy,
+            n_ways=n_ways,
+            params=params,
+            replay=replay,
+            monitor_backend=monitor_backend,
         )
+        self.snapshot = snapshot
+        self.snapshot_every_s = snapshot_every_s
+        #: True when startup state came from an existing snapshot file.
+        self.restored = False
+        self.snapshots_written = 0
+        if snapshot and os.path.exists(snapshot):
+            restored = load_snapshot(snapshot)
+            if restored.policy != policy:
+                raise SimulationError(
+                    f"snapshot {snapshot} was taken under policy "
+                    f"{restored.policy!r}, daemon configured for {policy!r}"
+                )
+            if n_ways is not None and restored.platform.llc_ways != n_ways:
+                raise SimulationError(
+                    f"snapshot {snapshot} was taken with {restored.platform.llc_ways} "
+                    f"LLC ways, daemon configured for {n_ways}"
+                )
+            self.core = restored
+            self.restored = True
         self.supervise = supervise
         self.workload = workload
         self.batches = batches
         self.seed = seed
         self.agent_chaos = dict(agent_chaos) if agent_chaos else None
+        # Daemon-side faults ride in the same chaos dict the agents get;
+        # the agent side ignores the daemon keys and vice versa.
+        self._kill_decisions = list(
+            FaultPlan.from_dict(self.agent_chaos).daemon_kill_decisions
+        )
+        #: True once a scripted daemon_kill fired: links dropped, listener
+        #: closed, **no** final snapshot — a simulated crash.
+        self.killed = False
         self.quiet = quiet
         #: Corrupt/violating frames charged to dropped links (never crashes).
         self.frame_errors = 0
         #: Every dropped link as ``(peer, reason)``, oldest first.
         self.drop_events: List[Tuple[str, str]] = []
+        self._stop_requested = False
+        self._next_snapshot_due: Optional[float] = None
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -135,21 +192,36 @@ class PartitionDaemon:
             "links": len(self._links),
             "frame_errors": self.frame_errors,
             "drops": list(self.drop_events),
+            "restored": self.restored,
+            "snapshots_written": self.snapshots_written,
             **self.core.summary(),
         }
         if self._supervisor is not None:
             out["supervisor"] = self._supervisor.summary()
         return out
 
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to exit at the next pump boundary (SIGTERM path)."""
+        self._stop_requested = True
+
     # -- the event loop -------------------------------------------------------------
 
     def pump(self, timeout: float = 0.05) -> None:
-        """One iteration: accept / read / reply, then supervise."""
+        """One iteration: accept, gather every ready link's sequenced frames
+        into one core drain (one fused ``observe_batch``), reply, then
+        checkpoint / chaos / supervise."""
+        drain: List[Tuple[_AgentLink, str, Dict[str, Any]]] = []
         for key, _events in self._selector.select(timeout):
             if key.data is None:
                 self._accept_all()
             else:
-                self._read_link(key.data)
+                self._read_link(key.data, drain)
+        if drain:
+            self._handle_drain(drain)
+        self._maybe_chaos_kill()
+        if self.killed:
+            return
+        self._maybe_snapshot()
         self._poll_supervisor()
 
     def run(
@@ -167,6 +239,8 @@ class PartitionDaemon:
         deadline = time.monotonic() + max_seconds if max_seconds else None
         try:
             while True:
+                if self.killed or self._stop_requested:
+                    break
                 if (
                     until_byes is not None
                     and len(self.core.ever_completed) >= until_byes
@@ -240,7 +314,9 @@ class PartitionDaemon:
             self._links.append(link)
             self._selector.register(sock, selectors.EVENT_READ, link)
 
-    def _read_link(self, link: _AgentLink) -> None:
+    def _read_link(
+        self, link: _AgentLink, drain: List[Tuple[_AgentLink, str, Dict[str, Any]]]
+    ) -> None:
         try:
             data = link.sock.recv(1 << 20)
         except (BlockingIOError, InterruptedError):
@@ -259,11 +335,18 @@ class PartitionDaemon:
             self._drop_link(link, reason=f"bad frame: {exc}")
             return
         for frame in frames:
-            self._handle_frame(link, frame)
+            self._collect_frame(link, frame, drain)
             if link not in self._links:
                 return  # the handler dropped the link
 
-    def _handle_frame(self, link: _AgentLink, frame: Any) -> None:
+    def _collect_frame(
+        self,
+        link: _AgentLink,
+        frame: Any,
+        drain: List[Tuple[_AgentLink, str, Dict[str, Any]]],
+    ) -> None:
+        """Handle handshake/metrics frames inline; queue sequenced frames for
+        the pump's single core drain."""
         try:
             kind, payload = check_frame(frame)
         except ServiceProtocolError as exc:
@@ -271,6 +354,17 @@ class PartitionDaemon:
             self._drop_link(link, reason=f"invalid frame: {exc}")
             return
         link.frames += 1
+        if kind == "metrics":
+            # Read-only observability: answered from any connection, bound
+            # or not, without touching session state.
+            try:
+                reply = self.core.handle_metrics(payload)
+            except ServiceProtocolError as exc:
+                self.frame_errors += 1
+                self._drop_link(link, reason=f"bad metrics request: {exc}")
+                return
+            self._send(link, pack_frame(reply))
+            return
         if link.host is None:
             if kind != "host_hello":
                 self.frame_errors += 1
@@ -299,13 +393,70 @@ class PartitionDaemon:
             self.frame_errors += 1
             self._drop_link(link, reason=f"unexpected {kind!r} after handshake")
             return
-        try:
-            reply = self.core.handle(link.host, kind, payload)
-        except (ServiceProtocolError, SimulationError) as exc:
-            self.frame_errors += 1
-            self._drop_link(link, reason=f"protocol violation: {exc}")
+        drain.append((link, kind, payload))
+
+    def _handle_drain(
+        self, drain: List[Tuple[_AgentLink, str, Dict[str, Any]]]
+    ) -> None:
+        """Feed the gathered sequenced frames to the core as one batch.
+
+        A link superseded or dropped while its frame sat in the gather
+        buffer is skipped; per-frame protocol violations cost that link
+        only — the other hosts' frames in the same drain still answer.
+        """
+        entries = [
+            (link, kind, payload)
+            for link, kind, payload in drain
+            if link in self._links and link.host is not None
+        ]
+        if not entries:
             return
-        self._send(link, pack_frame(reply))
+        results = self.core.handle_drain(
+            [(link.host, kind, payload) for link, kind, payload in entries]
+        )
+        for (link, kind, _payload), result in zip(entries, results):
+            if isinstance(result, Exception):
+                self.frame_errors += 1
+                self._drop_link(link, reason=f"protocol violation: {result}")
+            elif link in self._links:
+                self._send(link, pack_frame(result))
+
+    # -- checkpoints and scripted crashes ---------------------------------------------
+
+    def _maybe_snapshot(self) -> None:
+        """Periodic checkpoint at a pump boundary (the bank is flushed here)."""
+        if not self.snapshot or self.snapshot_every_s <= 0:
+            return
+        now = time.monotonic()
+        if self._next_snapshot_due is None:
+            self._next_snapshot_due = now + self.snapshot_every_s
+            return
+        if now < self._next_snapshot_due:
+            return
+        save_snapshot(self.core, self.snapshot)
+        self.snapshots_written += 1
+        self._next_snapshot_due = now + self.snapshot_every_s
+
+    def _maybe_chaos_kill(self) -> None:
+        if not self._kill_decisions or self.killed:
+            return
+        if len(self.core.replay) <= self._kill_decisions[0]:
+            return
+        # Simulated hard crash: every link dies, the port closes, and —
+        # crucially — no parting snapshot is written.  Restore must make do
+        # with the latest periodic one (or none at all).
+        self._kill_decisions.pop(0)
+        self.killed = True
+        for link in list(self._links):
+            self._drop_link(link, reason="daemon killed by fault plan")
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
 
     def _send(self, link: _AgentLink, blob: bytes) -> bool:
         """Bounded-blocking send; drops the link on failure."""
@@ -340,6 +491,11 @@ class PartitionDaemon:
         if self._closed:
             return
         self._closed = True
+        if self.snapshot and not self.killed:
+            # Orderly shutdown (including SIGTERM) checkpoints first, so a
+            # restarted daemon resumes exactly where this one stopped.
+            save_snapshot(self.core, self.snapshot)
+            self.snapshots_written += 1
         for link in list(self._links):
             self._drop_link(link, reason="daemon shutting down")
         try:

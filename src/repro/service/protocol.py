@@ -1,7 +1,7 @@
 """Message schema of the partitioning service.
 
 The service speaks the executor's safe wire codec
-(:mod:`repro.runtime.executors.framing`) and adds six message kinds on
+(:mod:`repro.runtime.executors.framing`) and adds its message kinds on
 top of it.  Frames are ``(kind, payload)`` tuples with a string kind and
 a plain-dict payload; this module owns the builders and — more
 importantly — the validators.  Everything arriving off the wire goes
@@ -34,6 +34,16 @@ Daemon → agent:
 * ``reject`` — handshake refusal (version mismatch), mirroring the
   worker protocol.
 
+Read-only observability (either direction of a connection, no
+handshake required — a metrics scraper is not a host):
+
+* ``metrics`` — request the daemon's live counters; carries only the
+  protocol version.
+* ``metrics_reply`` — per-host and per-class live counters plus service
+  totals.  Purely observational: serving one never touches session
+  state, so the reporting layer can poll without perturbing replay
+  determinism.
+
 Sequencing makes duplicated or stale frames idempotent: every stateful
 agent frame carries ``seq``; the daemon processes ``last_seq + 1``,
 answers a duplicate (``seq <= last_seq``) by re-sending its cached reply,
@@ -60,6 +70,8 @@ __all__ = [
     "mask_update",
     "host_bye",
     "reject",
+    "metrics",
+    "metrics_reply",
     "check_frame",
     "check_protocol",
 ]
@@ -79,6 +91,8 @@ SERVICE_KINDS = (
     "mask_update",
     "host_bye",
     "reject",
+    "metrics",
+    "metrics_reply",
 )
 
 #: Agent → daemon kinds that carry a per-host sequence number.
@@ -148,6 +162,26 @@ def host_bye(seq: int) -> Tuple[str, Dict[str, Any]]:
 
 def reject(reason: str) -> Tuple[str, str]:
     return ("reject", reason)
+
+
+def metrics() -> Tuple[str, Dict[str, Any]]:
+    return ("metrics", {"protocol": PROTOCOL_VERSION})
+
+
+def metrics_reply(
+    hosts: Mapping[str, Mapping[str, Any]],
+    classes: Mapping[str, int],
+    totals: Mapping[str, Any],
+) -> Tuple[str, Dict[str, Any]]:
+    return (
+        "metrics_reply",
+        {
+            "protocol": PROTOCOL_VERSION,
+            "hosts": {h: dict(v) for h, v in hosts.items()},
+            "classes": dict(classes),
+            "totals": dict(totals),
+        },
+    )
 
 
 # -- validation -------------------------------------------------------------------
@@ -279,14 +313,45 @@ def check_frame(frame: Any) -> Tuple[str, Any]:
             raise ServiceProtocolError(
                 "monitor_samples.samples/.classify must be lists"
             )
+        seen_apps = set()
         for entry in samples:
-            _check_sample(entry, "monitor_samples.samples[]")
+            entry = _check_sample(entry, "monitor_samples.samples[]")
+            # One sample per app per batch: a duplicate row would make the
+            # fused bank ingest diverge from the sequential reference (the
+            # batched partial-sum add touches each row exactly once).
+            if entry["app"] in seen_apps:
+                raise ServiceProtocolError(
+                    f"monitor_samples.samples[] repeats app {entry['app']!r} "
+                    "within one batch"
+                )
+            seen_apps.add(entry["app"])
         for entry in classify:
             _check_classify(entry, "monitor_samples.classify[]")
         return kind, payload
     if kind == "host_bye":
         payload = _check_keys(payload, ("seq",), kind)
         _require_int(payload, "seq", kind, minimum=1)
+        return kind, payload
+    if kind == "metrics":
+        payload = _check_keys(payload, ("protocol",), kind)
+        _require_int(payload, "protocol", kind, minimum=1)
+        return kind, payload
+    if kind == "metrics_reply":
+        payload = _check_keys(payload, ("protocol", "hosts", "classes", "totals"), kind)
+        _require_int(payload, "protocol", kind, minimum=1)
+        for key in ("hosts", "classes", "totals"):
+            if not isinstance(payload[key], dict):
+                raise ServiceProtocolError(f"metrics_reply.{key} must be a mapping")
+        for host, counters in payload["hosts"].items():
+            if not isinstance(host, str) or not host or not isinstance(counters, dict):
+                raise ServiceProtocolError(
+                    "metrics_reply.hosts must map host ids to counter mappings"
+                )
+        for cls, count in payload["classes"].items():
+            if cls not in _CLASS_VALUES or not isinstance(count, int):
+                raise ServiceProtocolError(
+                    "metrics_reply.classes must map app classes to integer counts"
+                )
         return kind, payload
     # mask_update
     payload = _check_keys(

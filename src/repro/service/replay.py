@@ -137,6 +137,7 @@ def offline_replay(
     seed: int = 0,
     policy: str = "lfoc",
     n_ways: Optional[int] = None,
+    monitor_backend: str = "bank",
 ) -> ReplayLog:
     """Socket-free oracle: run the same hosts against a fresh service core.
 
@@ -146,6 +147,19 @@ def offline_replay(
     :class:`~repro.service.session.ServiceCore` — exactly the code the
     live daemon runs, minus the wire.  The returned log is the golden
     reference the live daemon must match bit for bit on a clean run.
+
+    Frames are delivered strictly in each host's send order, one at a
+    time — so within a batch the core sees churn before samples, and a
+    departure lands (and its decision fires) before the next ingest.
+    That **ingest → depart → decide** ordering is the same one the live
+    daemon's drain path enforces by flushing before a host's second frame
+    (see :meth:`~repro.service.session.ServiceCore.handle_drain`); the
+    oracle and the daemon must never disagree on it.
+
+    ``monitor_backend`` selects the fused-``MonitorBank`` ingest path
+    (``"bank"``, the live default) or the per-``AppMonitor`` reference
+    path (``"reference"``) — the parity oracle for the bank: the two
+    backends must produce bit-identical logs for any trace.
     """
     from repro.service.agent import LocalTransport, drive_host
     from repro.service.session import ServiceCore
@@ -153,7 +167,7 @@ def offline_replay(
 
     if isinstance(host_ids, str):
         host_ids = [host_ids]
-    core = ServiceCore(policy=policy, n_ways=n_ways)
+    core = ServiceCore(policy=policy, n_ways=n_ways, monitor_backend=monitor_backend)
     for host_id in host_ids:
         host = SimulatedHost(
             workload, seed=host_seed(seed, host_id), n_ways=n_ways

@@ -142,6 +142,10 @@ def _monitor_scripts(draw):
             st.sampled_from(_CLASSES),
             st.one_of(st.none(), st.integers(min_value=0, max_value=6)),
         ),
+        # Session churn: the app departs and re-arrives (arrive → depart →
+        # arrive), which is reset_for_restart on both paths — classification
+        # and lifetime counters survive, warm-up and windows restart.
+        st.tuples(st.just("restart"), st.integers(0, n_apps - 1)),
     )
     steps = draw(st.lists(step, min_size=1, max_size=40))
     return n_apps, config, steps
@@ -205,6 +209,10 @@ class TestMonitorBankEquivalence:
                 _, i = step
                 monitors[names[i]].begin_sampling()
                 bank.monitor(names[i]).begin_sampling()
+            elif step[0] == "restart":
+                _, i = step
+                monitors[names[i]].reset_for_restart()
+                bank.monitor(names[i]).reset_for_restart()
             else:
                 _, i, app_class, critical = step
                 table = [1.2] * 4 if app_class is AppClass.SENSITIVE else None
@@ -215,6 +223,101 @@ class TestMonitorBankEquivalence:
                     app_class, slowdown_table=table, critical_size=critical
                 )
             self._assert_rows_match(bank, monitors)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_monitor_scripts())
+    def test_state_round_trip_preserves_bit_identical_behaviour(self, script):
+        """state_dict → JSON → from_state is an exact restore: the restored
+        bank's rows match the scalar reference and keep matching under
+        further ingestion (the property daemon snapshot/restore rests on)."""
+        import json as _json
+
+        n_apps, config, steps = script
+        names = [f"app{i}" for i in range(n_apps)]
+        monitors = {name: AppMonitor(name, config) for name in names}
+        bank = MonitorBank(names, config)
+        for step in steps:
+            if step[0] == "observe":
+                _, samples, included = step
+                rows = [i for i in range(n_apps) if included[i]]
+                if not rows:
+                    continue
+                for i in rows:
+                    monitors[names[i]].observe(
+                        metrics(llcmpkc=samples[i][0], stall=samples[i][1]),
+                        samples[i][2],
+                    )
+                bank.observe_batch(
+                    [samples[i][0] for i in rows],
+                    [samples[i][1] for i in rows],
+                    [samples[i][2] for i in rows],
+                    rows=rows,
+                )
+            elif step[0] == "begin":
+                monitors[names[step[1]]].begin_sampling()
+                bank.monitor(names[step[1]]).begin_sampling()
+            elif step[0] == "restart":
+                monitors[names[step[1]]].reset_for_restart()
+                bank.monitor(names[step[1]]).reset_for_restart()
+            else:
+                _, i, app_class, critical = step
+                table = [1.2] * 4 if app_class is AppClass.SENSITIVE else None
+                monitors[names[i]].set_classification(
+                    app_class, slowdown_table=table, critical_size=critical
+                )
+                bank.monitor(names[i]).set_classification(
+                    app_class, slowdown_table=table, critical_size=critical
+                )
+        # Through actual JSON text, exactly as the snapshot file does it.
+        restored = MonitorBank.from_state(
+            _json.loads(_json.dumps(bank.state_dict(), sort_keys=True))
+        )
+        self._assert_rows_match(restored, monitors)
+        # The restore is behavioural, not just structural: further fused
+        # ingestion stays bit-identical to the scalar reference.
+        for extra in range(3):
+            llc = [1.0 + extra + i for i in range(n_apps)]
+            stl = [0.1 * (extra + 1)] * n_apps
+            eff = [4.0] * n_apps
+            scalar = [
+                monitors[name].observe(metrics(llcmpkc=llc[i], stall=stl[i]), eff[i])
+                for i, name in enumerate(names)
+            ]
+            assert list(restored.observe_batch(llc, stl, eff)) == scalar
+        self._assert_rows_match(restored, monitors)
+
+    def test_add_row_grows_the_bank_without_disturbing_existing_rows(self):
+        config = MonitorConfig(warmup_samples=1, history_window=3)
+        bank = MonitorBank(["a"], config)
+        reference = {"a": AppMonitor("a", config)}
+        for i in range(4):
+            reference["a"].observe(metrics(llcmpkc=5.0 + i, stall=0.3), 4.0)
+            bank.observe_batch([5.0 + i], [0.3], [4.0])
+        row = bank.add_row("b")
+        assert row == 1 and len(bank) == 2
+        reference["b"] = AppMonitor("b", config)
+        self._assert_rows_match(bank, reference)
+        # The grown bank ingests across old and new rows in one fused call.
+        scalar = [
+            reference["a"].observe(metrics(llcmpkc=12.0, stall=0.1), 6.0),
+            reference["b"].observe(metrics(llcmpkc=0.5, stall=0.02), 6.0),
+        ]
+        assert list(bank.observe_batch([12.0, 0.5], [0.1, 0.02], [6.0, 6.0])) == scalar
+        self._assert_rows_match(bank, reference)
+        with pytest.raises(SimulationError):
+            bank.add_row("a")  # duplicate names stay rejected after growth
+
+    def test_from_state_rejects_malformed_state(self):
+        bank = MonitorBank(["a", "b"])
+        state = bank.state_dict()
+        broken = dict(state)
+        broken.pop("names")
+        with pytest.raises(SimulationError, match="malformed monitor bank state"):
+            MonitorBank.from_state(broken)
+        truncated = dict(state)
+        truncated["warmup_remaining"] = [0]  # row count mismatch
+        with pytest.raises(SimulationError):
+            MonitorBank.from_state(truncated)
 
     def test_warmup_boundary_and_sampling_reset_and_short_window(self):
         # The three named edge cases, deterministically: a sample batch that

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import threading
 
 import pytest
@@ -32,7 +33,12 @@ from repro.errors import SimulationError
 from repro.experiments import ServiceSpec, SpecError
 from repro.runtime import PoolExecutor
 from repro.runtime.executors.chaos import FaultPlan
-from repro.runtime.executors.framing import FrameProtocolError, FrameReader, pack_frame
+from repro.runtime.executors.framing import (
+    FrameProtocolError,
+    FrameReader,
+    pack_frame,
+    recv_frame,
+)
 from repro.service import (
     HostAgent,
     HostSession,
@@ -43,7 +49,9 @@ from repro.service import (
     SimulatedHost,
     churn_schedule,
     host_seed,
+    load_snapshot,
     offline_replay,
+    save_snapshot,
 )
 from repro.service import protocol
 from repro.service.agent import LocalTransport, drive_host
@@ -84,6 +92,12 @@ def fuzz_messages():
         protocol.mask_update(2, 3, masks={"xalancbmk06-0": 0x7}, sample=["lbm06-1"]),
         protocol.host_bye(4),
         protocol.reject("protocol version 1 does not match"),
+        protocol.metrics(),
+        protocol.metrics_reply(
+            hosts={"hostA": {"epoch": 1, "last_seq": 3, "live": 2}},
+            classes={AppClass.SENSITIVE.value: 1, AppClass.UNKNOWN.value: 1},
+            totals={"hosts": 1, "decisions": 4},
+        ),
     ]
 
 
@@ -175,6 +189,40 @@ class TestProtocolSchema:
         check_protocol(protocol.host_hello("h", 1, 0)[1], "host_hello")
         with pytest.raises(ServiceProtocolError, match="protocol version"):
             check_protocol({"protocol": 1}, "host_hello")
+
+    def test_duplicate_app_within_one_sample_batch_rejected(self):
+        """The fused observe_batch ingests each bank row at most once per
+        call, so a frame repeating an app must die at the schema boundary."""
+        entry = {
+            "app": "a",
+            "llcmpkc": 1.0,
+            "stall_fraction": 0.2,
+            "effective_ways": 4,
+        }
+        with pytest.raises(ServiceProtocolError, match="repeats app"):
+            check_frame(
+                ("monitor_samples", {"seq": 1, "samples": [entry, dict(entry)],
+                                     "classify": []})
+            )
+
+    def test_metrics_frames_validated(self):
+        check_frame(protocol.metrics())
+        with pytest.raises(ServiceProtocolError):
+            check_frame(("metrics", {}))
+        good = protocol.metrics_reply(
+            hosts={"h": {"live": 1}}, classes={}, totals={"hosts": 1}
+        )
+        check_frame(good)
+        for key, value in [
+            ("hosts", ["h"]),
+            ("hosts", {"": {}}),
+            ("hosts", {"h": 3}),
+            ("classes", {"mysterious": 1}),
+            ("classes", {AppClass.LIGHT.value: "one"}),
+            ("totals", None),
+        ]:
+            with pytest.raises(ServiceProtocolError):
+                check_frame(("metrics_reply", {**good[1], key: value}))
 
     def test_single_byte_corruption_never_crashes(self):
         """The daemon's ingest path is ``FrameReader`` then ``check_frame``;
@@ -321,19 +369,20 @@ class TestHostSession:
               "slowdown_table": None, "critical_size": None}],
         )
 
-        # Same boot reconnect: epoch bumps, sequencing continues.
-        assert session.hello(boot=1) == (2, 2)
+        # Same boot reconnect: the session *resumes* — same epoch, same
+        # sequence position, so the agent can replay its journal suffix.
+        assert session.hello(boot=1) == (1, 2)
         assert session.live == ["a"]
 
         # New boot: full restart — monitors parked, sequencing restarts.
-        assert session.hello(boot=2) == (3, 0)
+        assert session.hello(boot=2) == (2, 0)
         assert session.live == []
         assert "a" in session.parked
         repush = arrive(session, 1, "a")
         # The rebooted host lost its CAT state, so the (unchanged) decision
         # is pushed again rather than suppressed as a duplicate.
         assert repush[1]["masks"] == first[1]["masks"]
-        assert [d.epoch for d in session.replay.for_host("h0")] == [1, 3]
+        assert [d.epoch for d in session.replay.for_host("h0")] == [1, 2]
 
     def test_stale_frame_right_after_reboot_answers_bare_ack(self):
         """A duplicate arriving while the rebooted session has no cached
@@ -469,10 +518,13 @@ class TestLiveService:
             assert daemon.frame_errors >= 1
             assert agent.reconnects >= 1
             session = daemon.core.sessions["hostA"]
-            assert session.epoch >= 2  # the reconnect re-registered
+            # Same boot token on reconnect: the session *resumed* mid-epoch
+            # (no restart) and the agent's journal replay healed the gap —
+            # so the log is bit-identical to the clean oracle run, not
+            # merely convergent.
+            assert session.epoch == 1
             assert session.completed
-            # Replayed batches may shift *when* decisions land, but the
-            # session converges to the clean run's final allocation.
+            assert daemon.replay.signature("hostA") == golden.signature("hostA")
             assert daemon.replay.final_masks("hostA") == golden.final_masks("hostA")
 
     def test_supervised_agent_kill_and_respawn_converges(self):
@@ -572,6 +624,9 @@ class TestServiceSpec:
             seed=7,
             agent_chaos={"agent_kill_batches": [3]},
             replay_log="out.jsonl",
+            snapshot="daemon.snapshot",
+            snapshot_every_s=0.5,
+            monitor_backend="bank",
         )
         assert ServiceSpec.from_dict(spec.to_dict()) == spec
         assert ServiceSpec().to_dict() == {}
@@ -585,6 +640,10 @@ class TestServiceSpec:
             ServiceSpec(batches=0)
         with pytest.raises(SpecError, match="agent_chaos"):
             ServiceSpec(agent_chaos={"agent_kill_batch": [3]})
+        with pytest.raises(SpecError, match="monitor_backend"):
+            ServiceSpec(monitor_backend="threads")
+        with pytest.raises(SpecError, match="'bank' monitor backend"):
+            ServiceSpec(snapshot="x.snapshot", monitor_backend="reference")
 
     def test_load_toml(self, tmp_path):
         path = tmp_path / "service.toml"
@@ -594,10 +653,524 @@ class TestServiceSpec:
             "supervise = 2\n"
             "batches = 24\n"
             "seed = 7\n"
+            'snapshot = "daemon.snapshot"\n'
+            "snapshot_every_s = 0.5\n"
+            'monitor_backend = "bank"\n'
             "[service.agent_chaos]\n"
             "agent_kill_batches = [3]\n"
         )
         spec = ServiceSpec.load(str(path))
         assert spec.supervise == 2
         assert spec.workload == WORKLOAD
+        assert spec.snapshot == "daemon.snapshot"
+        assert spec.snapshot_every_s == 0.5
+        assert spec.monitor_backend == "bank"
         assert spec.fault_plan() == FaultPlan(agent_kill_batches=(3,))
+
+
+# ---------------------------------------------------------------------------
+# Bank-batched ingestion: parity, drain fusion, ordering
+# ---------------------------------------------------------------------------
+
+
+class _DrainHost:
+    """One simulated host's frame stream, dispensed one frame at a time so a
+    round-robin driver can assemble cross-host drains."""
+
+    def __init__(self, host_id, *, batches, seed, workload=WORKLOAD):
+        self.host_id = host_id
+        self.sim = SimulatedHost(workload, seed=host_seed(seed, host_id))
+        self.events = {}
+        for b, op, app in churn_schedule(
+            self.sim.apps, batches, host_seed(seed, host_id)
+        ):
+            self.events.setdefault(b, []).append((op, app))
+        self.live = list(self.sim.apps)
+        self.pending = []
+        self.seq = 0
+        self.batches = batches
+        self.batch = 0
+        self.queue = [("app_arrive", protocol.app_arrive(0, app)[1])
+                      for app in self.live]
+        self.done = False
+
+    def next_item(self):
+        """The next ``(host, kind, payload)`` to send, or None when finished."""
+        if not self.queue:
+            if self.batch < self.batches:
+                b = self.batch
+                self.batch += 1
+                for op, app in self.events.get(b, ()):
+                    if op == "depart":
+                        if app in self.live:
+                            self.live.remove(app)
+                        self.queue.append(
+                            ("app_depart", protocol.app_depart(0, app)[1])
+                        )
+                    else:
+                        if app not in self.live:
+                            self.live.append(app)
+                        self.queue.append(
+                            ("app_arrive", protocol.app_arrive(0, app)[1])
+                        )
+                samples_ = [self.sim.sample(app, b) for app in self.live]
+                classify = list(self.pending)
+                self.pending.clear()
+                self.queue.append(
+                    ("monitor_samples",
+                     protocol.monitor_samples(0, samples_, classify)[1])
+                )
+            elif not self.done:
+                self.done = True
+                self.queue.append(("host_bye", protocol.host_bye(0)[1]))
+            else:
+                return None
+        kind, payload = self.queue.pop(0)
+        self.seq += 1
+        payload = {**payload, "seq": self.seq}
+        return (self.host_id, kind, payload)
+
+    def apply(self, reply):
+        kind, payload = reply
+        assert kind == "mask_update"
+        if payload["masks"] is not None:
+            self.sim.apply_masks(payload["masks"])
+        for app in payload["sample"]:
+            self.pending.append(self.sim.classify(app))
+
+
+def drive_drains(core, host_ids, *, batches, seed, use_drain):
+    """Drive all hosts against ``core`` with a deterministic round-robin
+    schedule: one frame per host per tick.  With ``use_drain`` the tick's
+    frames go through one ``handle_drain`` call (the daemon's gathered event
+    loop); without it they are handled one by one in the same global order
+    (the sequential reference).  Returns the per-tick observe_batch deltas."""
+    hosts = [
+        _DrainHost(h, batches=batches, seed=seed) for h in host_ids
+    ]
+    deltas = []
+    while True:
+        items, owners = [], []
+        for h in hosts:
+            item = h.next_item()
+            if item is not None:
+                items.append(item)
+                owners.append(h)
+        if not items:
+            return deltas
+        calls_before = core.ingest.observe_batch_calls if core.ingest else 0
+        if use_drain:
+            results = core.handle_drain(items)
+        else:
+            results = [
+                core.handle(host, kind, payload) for host, kind, payload in items
+            ]
+        for h, result in zip(owners, results):
+            assert not isinstance(result, Exception), result
+            h.apply(result)
+        calls_after = core.ingest.observe_batch_calls if core.ingest else 0
+        deltas.append(calls_after - calls_before)
+
+
+class TestBankBatchedIngestion:
+    HOSTS4 = ("h0", "h1", "h2", "h3")
+
+    def _hello_all(self, core, host_ids):
+        for host in host_ids:
+            core.handle_hello(protocol.host_hello(host, 1, 0)[1])
+
+    def test_bank_backend_matches_reference_backend_bit_for_bit(self):
+        """The tentpole parity pin: the fused-bank offline replay equals the
+        per-AppMonitor reference replay, multi-host, with churn."""
+        bank = offline_replay(
+            list(HOSTS), WORKLOAD, batches=BATCHES, seed=SEED,
+            monitor_backend="bank",
+        )
+        reference = offline_replay(
+            list(HOSTS), WORKLOAD, batches=BATCHES, seed=SEED,
+            monitor_backend="reference",
+        )
+        assert len(bank) > 0
+        assert bank.signature() == reference.signature()
+
+    def test_one_observe_batch_per_drain_and_parity_with_sequential(self):
+        """A cross-host drain costs at most ONE fused observe_batch call and
+        answers bit-identically to handling the same frames one by one."""
+        batched = ServiceCore()
+        sequential = ServiceCore(monitor_backend="reference")
+        self._hello_all(batched, self.HOSTS4)
+        self._hello_all(sequential, self.HOSTS4)
+        deltas = drive_drains(
+            batched, self.HOSTS4, batches=8, seed=SEED, use_drain=True
+        )
+        drive_drains(
+            sequential, self.HOSTS4, batches=8, seed=SEED, use_drain=False
+        )
+        assert max(deltas) == 1  # never more than one fused call per tick
+        assert deltas.count(1) >= 8  # and the sample ticks really fuse
+        # 4 hosts' samples per tick, one call: fewer calls than sample frames.
+        total_sample_frames = sum(
+            s.samples_ingested > 0 for s in batched.sessions.values()
+        ) * 8
+        assert batched.ingest.observe_batch_calls < total_sample_frames
+        assert batched.replay.signature() == sequential.replay.signature()
+        for host in self.HOSTS4:
+            assert (
+                batched.sessions[host].summary()["last_seq"]
+                == sequential.sessions[host].summary()["last_seq"]
+            )
+
+    def test_same_host_twice_in_one_drain_stays_sequential(self):
+        """The ingest → depart → decide ordering pin (offline_replay's
+        documented order): a samples frame and the same host's depart frame
+        in ONE drain must behave exactly as if handled back to back."""
+        drained = ServiceCore()
+        sequential = ServiceCore(monitor_backend="reference")
+        sweep = {
+            "app": "a",
+            "class": AppClass.STREAMING.value,
+            "slowdown_table": None,
+            "critical_size": None,
+        }
+        setup = [
+            ("app_arrive", protocol.app_arrive(1, "a")[1]),
+            ("app_arrive", protocol.app_arrive(2, "b")[1]),
+            ("monitor_samples",
+             protocol.monitor_samples(
+                 3,
+                 [{"app": "a", "llcmpkc": 40.0, "stall_fraction": 0.5,
+                   "effective_ways": 11},
+                  {"app": "b", "llcmpkc": 1.0, "stall_fraction": 0.05,
+                   "effective_ways": 11}],
+                 [sweep],
+             )[1]),
+        ]
+        tail = [
+            ("monitor_samples",
+             protocol.monitor_samples(
+                 4,
+                 [{"app": "a", "llcmpkc": 41.0, "stall_fraction": 0.5,
+                   "effective_ways": 11},
+                  {"app": "b", "llcmpkc": 1.1, "stall_fraction": 0.06,
+                   "effective_ways": 11}],
+                 [],
+             )[1]),
+            ("app_depart", protocol.app_depart(5, "b")[1]),
+        ]
+        for core in (drained, sequential):
+            core.handle_hello(protocol.host_hello("h", 1, 0)[1])
+            for kind, payload in setup:
+                core.handle("h", kind, payload)
+        # The drained core takes ingest + depart as one gathered batch; the
+        # host-repeat rule must flush and decide between them.
+        drain_results = drained.handle_drain(
+            [("h", kind, payload) for kind, payload in tail]
+        )
+        seq_results = [sequential.handle("h", kind, payload) for kind, payload in tail]
+        assert drain_results == seq_results
+        assert drained.replay.signature() == sequential.replay.signature()
+        # The depart itself fired a decision (the streaming app's partition
+        # grew), proving "decide" came after "depart" on both paths.
+        assert drained.replay.decisions[-1].seq == 5
+
+    def test_direct_duplicate_app_in_frame_raises_in_stage(self):
+        session = HostSession("h0")
+        session.hello(boot=1)
+        arrive(session, 1, "a")
+        payload = protocol.monitor_samples(
+            2,
+            [sample_entry("a"), sample_entry("a")],
+            [],
+        )[1]
+        with pytest.raises(ServiceProtocolError, match="repeated app"):
+            session.handle("monitor_samples", payload)
+
+    def test_drain_isolates_per_link_failures(self):
+        """One host's protocol violation in a gathered drain must not stall
+        the other hosts' frames in the same drain."""
+        core = ServiceCore()
+        self._hello_all(core, ("good", "bad"))
+        core.handle("good", "app_arrive", protocol.app_arrive(1, "x")[1])
+        core.handle("bad", "app_arrive", protocol.app_arrive(1, "y")[1])
+        results = core.handle_drain([
+            ("bad", "app_arrive", protocol.app_arrive(5, "z")[1]),  # seq gap
+            ("good", "monitor_samples",
+             protocol.monitor_samples(2, [sample_entry("x")], [])[1]),
+        ])
+        assert isinstance(results[0], ServiceProtocolError)
+        assert results[1][0] == "mask_update"
+        assert core.sessions["good"].last_seq == 2
+
+
+# ---------------------------------------------------------------------------
+# Idempotency-cache staleness across boot epochs
+# ---------------------------------------------------------------------------
+
+
+class TestEpochStaleness:
+    def test_cached_reply_from_previous_boot_never_replays(self):
+        """The staleness regression: a reply cached under boot 1 must be
+        unreachable once boot 2 resets the sequence space."""
+        session = make_session()
+        session.hello(boot=1)
+        arrive(session, 1, "a")
+        cached = samples(session, 2, [sample_entry("a")])
+        old_epoch = session.epoch
+
+        # Same boot: the session resumes, the cache stays valid and its
+        # epoch stamp is still correct.
+        assert session.hello(boot=1) == (old_epoch, 2)
+        dup = samples(session, 2, [sample_entry("a")])
+        assert dup == cached
+        assert dup[1]["epoch"] == session.epoch
+
+        # New boot: the cache is cleared with the sequence space.
+        session.hello(boot=2)
+        assert session._last_reply is None
+        # Reusing an old in-range seq is processed FRESH in the new epoch,
+        # never answered from the previous boot's cache.
+        fresh = arrive(session, 1, "a")
+        assert fresh != cached
+        assert fresh[1]["epoch"] == session.epoch == old_epoch + 1
+        # Reusing a deeper old seq is a gap in the new space: a hard error,
+        # not a stale replay.
+        with pytest.raises(ServiceProtocolError, match="jumped from seq"):
+            samples(session, 3, [sample_entry("a")])
+
+    def test_reconnect_mid_batch_with_old_seqs_over_local_transport(self):
+        """Agent-shaped regression: reconnect mid-batch under a new boot and
+        replay old sequence numbers; every reply must carry the new epoch."""
+        core = ServiceCore()
+        transport = LocalTransport(core, "h0")
+        transport.hello()  # boot 1
+        transport.exchange(protocol.app_arrive(1, "a"))
+        transport.exchange(
+            protocol.monitor_samples(2, [sample_entry("a")], [])
+        )
+        first_epoch = core.sessions["h0"].epoch
+        transport.hello()  # boot 2: mid-batch reconnect, seq space resets
+        kind, payload = transport.exchange(protocol.app_arrive(1, "a"))
+        assert kind == "mask_update"
+        assert payload["epoch"] == first_epoch + 1
+        assert core.sessions["h0"].last_seq == 1
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore
+# ---------------------------------------------------------------------------
+
+
+def _feed(core, host, items):
+    out = []
+    for kind, payload in items:
+        out.append(core.handle(host, kind, payload))
+    return out
+
+
+class TestSnapshotRestore:
+    def _mid_run_core(self):
+        core = ServiceCore()
+        core.handle_hello(protocol.host_hello("h0", 7, 0)[1])
+        _feed(core, "h0", [
+            ("app_arrive", protocol.app_arrive(1, "a")[1]),
+            ("app_arrive", protocol.app_arrive(2, "b")[1]),
+            ("monitor_samples", protocol.monitor_samples(
+                3,
+                [sample_entry("a"), sample_entry("b", llcmpkc=2.0, stall=0.04)],
+                [{"app": "a", "class": AppClass.STREAMING.value,
+                  "slowdown_table": None, "critical_size": None}],
+            )[1]),
+            ("app_depart", protocol.app_depart(4, "b")[1]),
+        ])
+        return core
+
+    def test_state_round_trip_continues_bit_identically(self):
+        original = self._mid_run_core()
+        restored = ServiceCore.from_state(
+            json.loads(json.dumps(original.to_state(), sort_keys=True))
+        )
+        # Identity facts survive: epoch, seq, tenants, parked monitors.
+        assert restored.sessions["h0"].epoch == original.sessions["h0"].epoch
+        assert restored.sessions["h0"].last_seq == 4
+        assert restored.sessions["h0"].live == ["a"]
+        assert "b" in restored.sessions["h0"].parked
+        assert restored.replay.signature() == original.replay.signature()
+        # The restored monitor rows are exact: identical further frames give
+        # identical replies and identical decision tails on both cores.
+        tail = [
+            ("app_arrive", protocol.app_arrive(5, "b")[1]),
+            ("monitor_samples", protocol.monitor_samples(
+                6,
+                [sample_entry("a", llcmpkc=41.0),
+                 sample_entry("b", llcmpkc=2.5, stall=0.05)],
+                [],
+            )[1]),
+            ("host_bye", protocol.host_bye(7)[1]),
+        ]
+        assert _feed(restored, "h0", tail) == _feed(original, "h0", tail)
+        assert restored.replay.signature() == original.replay.signature()
+        assert restored.sessions["h0"].completed
+        assert "h0" in restored.ever_completed or restored.completed_hosts() == ["h0"]
+
+    def test_reconnecting_agent_resumes_mid_epoch_after_restore(self):
+        original = self._mid_run_core()
+        restored = ServiceCore.from_state(original.to_state())
+        # Same boot token: resume — same epoch, sequence intact.
+        kind, ack = check_frame(
+            restored.handle_hello(protocol.host_hello("h0", 7, 0)[1])
+        )
+        assert kind == "hello_ack"
+        assert (ack["epoch"], ack["last_seq"]) == (1, 4)
+        # New boot token: restart — parked monitors keep the classification.
+        kind, ack2 = check_frame(
+            restored.handle_hello(protocol.host_hello("h0", 8, 0)[1])
+        )
+        assert (ack2["epoch"], ack2["last_seq"]) == (2, 0)
+        reply = restored.handle("h0", "app_arrive", protocol.app_arrive(1, "a")[1])
+        assert restored.sessions["h0"].monitors["a"].app_class is AppClass.STREAMING
+
+    def test_reference_backend_refuses_snapshots(self):
+        core = ServiceCore(monitor_backend="reference")
+        with pytest.raises(SimulationError, match="bank"):
+            core.to_state()
+
+    def test_snapshot_file_round_trip_and_crc_guard(self, tmp_path):
+        core = self._mid_run_core()
+        path = tmp_path / "daemon.snapshot"
+        save_snapshot(core, str(path))
+        restored = load_snapshot(str(path))
+        assert restored.replay.signature() == core.replay.signature()
+        assert restored.sessions["h0"].last_seq == 4
+
+        # Flip one byte inside the stored state: the CRC must catch it.
+        blob = path.read_bytes()
+        needle = blob.find(b'"last_seq"')
+        assert needle != -1
+        corrupted = bytearray(blob)
+        digit = blob.find(b"4", needle)
+        corrupted[digit:digit + 1] = b"9"
+        path.write_bytes(bytes(corrupted))
+        with pytest.raises(SimulationError, match="CRC"):
+            load_snapshot(str(path))
+
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(SimulationError, match="not a repro-service-snapshot"):
+            load_snapshot(str(path))
+        path.write_text("torn{")
+        with pytest.raises(SimulationError, match="corrupt service snapshot"):
+            load_snapshot(str(path))
+
+    def test_daemon_killed_mid_run_restores_to_byte_identical_log(self, tmp_path):
+        """The chaos drill: a FaultPlan hard-kills the daemon right after a
+        scripted decision lands (no parting snapshot); a second daemon
+        restores from the latest periodic snapshot on the same port; the
+        surviving agent resumes the same boot and replays its journal.  The
+        merged replay log must be byte-identical to an unkilled run's."""
+        golden = offline_replay(["host0"], WORKLOAD, batches=BATCHES, seed=SEED)
+        assert len(golden) >= 4
+        golden_path = tmp_path / "golden.jsonl"
+        golden.save(str(golden_path))
+        snap = str(tmp_path / "daemon.snapshot")
+        kill_after = len(golden) // 2
+
+        daemon_a = PartitionDaemon(
+            ("127.0.0.1", 0),
+            snapshot=snap,
+            snapshot_every_s=0.05,
+            agent_chaos={"daemon_kill_decisions": [kill_after]},
+        )
+        port = daemon_a.address[1]
+        errors = []
+
+        def one():
+            try:
+                host = SimulatedHost(WORKLOAD, seed=host_seed(SEED, "host0"))
+                churn = churn_schedule(host.apps, BATCHES, host_seed(SEED, "host0"))
+                agent = HostAgent(
+                    daemon_a.address, "host0",
+                    connect_attempts=400, connect_delay_s=0.05,
+                )
+                drive_host(host, agent, batches=BATCHES, churn=churn)
+            except BaseException as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=one, daemon=True)
+        thread.start()
+        daemon_a.run(until_byes=1, max_seconds=120)
+        assert daemon_a.killed, "the scripted daemon kill never fired"
+        assert len(daemon_a.replay) > kill_after
+        daemon_a.close()
+
+        daemon_b = PartitionDaemon(
+            ("127.0.0.1", port), snapshot=snap, snapshot_every_s=0.05
+        )
+        if os.path.exists(snap):
+            assert daemon_b.restored
+            # The periodic snapshot predates the crash: the agent journal
+            # replay has to regenerate the lost tail.
+            assert len(daemon_b.replay) <= len(daemon_a.replay)
+        daemon_b.run(until_byes=1, max_seconds=120)
+        thread.join(timeout=60)
+        assert not errors, f"agent failure: {errors}"
+        assert not daemon_b.killed
+        assert daemon_b.frame_errors == 0
+
+        live_path = tmp_path / "live.jsonl"
+        daemon_b.replay.save(str(live_path))
+        daemon_b.close()
+        assert live_path.read_bytes() == golden_path.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# The read-only metrics message
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_core_metrics_counts_hosts_and_classes(self):
+        core = ServiceCore()
+        core.handle_hello(protocol.host_hello("h0", 1, 0)[1])
+        _feed(core, "h0", [
+            ("app_arrive", protocol.app_arrive(1, "a")[1]),
+            ("app_arrive", protocol.app_arrive(2, "b")[1]),
+            ("monitor_samples", protocol.monitor_samples(
+                3, [sample_entry("a")],
+                [{"app": "a", "class": AppClass.STREAMING.value,
+                  "slowdown_table": None, "critical_size": None}],
+            )[1]),
+        ])
+        frame = core.handle_metrics(protocol.metrics()[1])
+        kind, payload = check_frame(frame)  # the reply itself is schema-valid
+        assert kind == "metrics_reply"
+        assert payload["totals"]["hosts"] == 1
+        assert payload["totals"]["backend"] == "bank"
+        assert payload["totals"]["observe_batch_calls"] >= 1
+        assert payload["hosts"]["h0"]["live"] == 2
+        assert payload["hosts"]["h0"]["classes"][AppClass.STREAMING.value] == 1
+        assert payload["hosts"]["h0"]["classes"][AppClass.UNKNOWN.value] == 1
+        assert payload["classes"][AppClass.STREAMING.value] == 1
+        with pytest.raises(ServiceProtocolError, match="protocol version"):
+            core.handle_metrics({"protocol": -1})
+
+    def test_metrics_served_over_the_wire_without_a_handshake(self):
+        """A metrics scraper is not a host: no hello required, no host
+        binding, and the probe never perturbs session state."""
+        with PartitionDaemon(("127.0.0.1", 0)) as daemon:
+            with socket.create_connection(daemon.address, timeout=10) as sock:
+                sock.settimeout(10)
+                sock.sendall(pack_frame(protocol.metrics()))
+                for _ in range(100):
+                    daemon.pump(timeout=0.01)
+                    sock.setblocking(False)
+                    try:
+                        peek = sock.recv(1, socket.MSG_PEEK)
+                    except (BlockingIOError, InterruptedError):
+                        peek = b""
+                    finally:
+                        sock.settimeout(10)
+                    if peek:
+                        break
+                kind, payload = check_frame(recv_frame(sock))
+                assert kind == "metrics_reply"
+                assert payload["totals"]["hosts"] == 0
+            assert daemon.frame_errors == 0
